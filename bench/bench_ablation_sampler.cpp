@@ -1,0 +1,150 @@
+// Ablation for Section IV / Theorem 1: what the Dashboard buys.
+//
+//   1. Dashboard vs naive O(m·n) sampler across frontier sizes m — the
+//      serial-complexity win (per-pop cost O(η) vs O(m)).
+//   2. η sweep — table size vs cleanup frequency trade-off, with the
+//      model's predicted cleanup count (n−m)/((η−1)m) alongside.
+//   3. Degree-cap ablation on the skewed Amazon analogue — pop
+//      concentration on the hottest vertices with and without the cap.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "sampling/frontier_dashboard.hpp"
+#include "sampling/frontier_naive.hpp"
+
+namespace {
+
+using namespace gsgcn;
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: sampler", "dashboard vs naive; eta; degree cap");
+  const std::uint64_t seed = util::global_seed();
+
+  // --- 1. frontier-size sweep, dashboard vs naive ---
+  {
+    const data::Dataset ds = data::make_preset("reddit-s");
+    util::Table t({"m", "budget", "naive ms", "dashboard ms", "speedup"});
+    for (const graph::Vid m : {100u, 300u, 1000u}) {
+      const graph::Vid budget =
+          std::min<graph::Vid>(8 * m, ds.num_vertices() / 2);
+      sampling::FrontierParams p;
+      p.frontier_size = m;
+      p.budget = budget;
+      sampling::NaiveFrontierSampler naive(ds.graph, p);
+      sampling::DashboardFrontierSampler dash(ds.graph, p);
+      util::Xoshiro256 r1(seed), r2(seed);
+      const double t_naive =
+          bench::median_seconds([&] { (void)naive.sample_vertices(r1); });
+      const double t_dash =
+          bench::median_seconds([&] { (void)dash.sample_vertices(r2); });
+      t.row()
+          .cell(static_cast<std::int64_t>(m))
+          .cell(static_cast<std::int64_t>(budget))
+          .cell(1e3 * t_naive, 2)
+          .cell(1e3 * t_dash, 2)
+          .cell(util::speedup_str(t_naive / t_dash));
+    }
+    t.print(
+        "Dashboard vs naive frontier sampler (speedup should grow with m: "
+        "per-pop cost O(eta) vs O(m))");
+  }
+
+  // --- 2. eta sweep ---
+  {
+    const data::Dataset ds = data::make_preset("reddit-s");
+    const graph::Vid m = 500;
+    const graph::Vid budget = std::min<graph::Vid>(4000, ds.num_vertices() / 2);
+    util::Table t({"eta", "ms/subgraph", "probes/pop", "cleanups",
+                   "modeled cleanups", "DB MiB"});
+    for (const double eta : {1.25, 1.5, 2.0, 3.0, 4.0}) {
+      sampling::FrontierParams p;
+      p.frontier_size = m;
+      p.budget = budget;
+      p.eta = eta;
+      sampling::DashboardFrontierSampler dash(ds.graph, p);
+      util::Xoshiro256 rng(seed);
+      const double ms =
+          1e3 * bench::median_seconds([&] { (void)dash.sample_vertices(rng); });
+      const double pops = budget - m;
+      const double modeled = pops / ((eta - 1.0) * m);
+      t.row()
+          .cell(eta, 2)
+          .cell(ms, 2)
+          .cell(static_cast<double>(dash.last_probes()) / pops, 2)
+          .cell(static_cast<std::int64_t>(dash.last_cleanups()))
+          .cell(modeled, 1)
+          .cell(static_cast<double>(dash.dashboard().capacity()) * 12.0 /
+                    (1024.0 * 1024.0),
+                2);
+    }
+    t.print(
+        "Enlargement factor eta: cleanups fall as (n-m)/((eta-1)m), memory "
+        "grows as eta*m*dbar (Section IV-C)");
+  }
+
+  // --- 3. degree cap on a heavily skewed graph ---
+  {
+    // R-MAT with strong quadrant skew stands in for Amazon's hubs (the
+    // preset's BA overlay is too mild to show the effect at this scale).
+    util::Xoshiro256 grng(seed);
+    graph::RmatParams rp;
+    rp.scale = 14;
+    rp.edges = 10 * (1 << 14);
+    rp.a = 0.65;
+    rp.b = 0.15;
+    rp.c = 0.15;
+    const graph::CsrGraph skewed = graph::rmat(rp, grng);
+    const graph::Vid m = 200;
+    const graph::Vid budget =
+        std::min<graph::Vid>(2000, skewed.num_vertices() / 2);
+    util::Table t({"cap", "distinct verts/sample", "cross-sample Jaccard",
+                   "max degree"});
+    for (const graph::Eid cap : {graph::Eid{0}, graph::Eid{30}, graph::Eid{5}}) {
+      sampling::FrontierParams p;
+      p.frontier_size = m;
+      p.budget = budget;
+      p.degree_cap = cap;
+      sampling::DashboardFrontierSampler dash(skewed, p);
+      util::Xoshiro256 rng(seed);
+      std::vector<std::set<graph::Vid>> sets;
+      for (int run = 0; run < 12; ++run) {
+        const auto sample = dash.sample_vertices(rng);
+        sets.emplace_back(sample.begin(), sample.end());
+      }
+      double unique_mean = 0.0;
+      for (const auto& set : sets) {
+        unique_mean += static_cast<double>(set.size());
+      }
+      unique_mean /= static_cast<double>(sets.size());
+      // Mean pairwise Jaccard similarity: hub domination makes every
+      // subgraph revisit the same neighborhoods, inflating overlap.
+      double jaccard = 0.0;
+      int pairs = 0;
+      for (std::size_t a = 0; a < sets.size(); ++a) {
+        for (std::size_t b = a + 1; b < sets.size(); ++b) {
+          std::size_t inter = 0;
+          for (const graph::Vid v : sets[a]) inter += sets[b].count(v);
+          jaccard += static_cast<double>(inter) /
+                     static_cast<double>(sets[a].size() + sets[b].size() - inter);
+          ++pairs;
+        }
+      }
+      t.row()
+          .cell(static_cast<std::int64_t>(cap))
+          .cell(unique_mean, 0)
+          .cell(jaccard / pairs, 4)
+          .cell(static_cast<std::int64_t>(skewed.max_degree()));
+    }
+    t.print(
+        "Degree cap on a skewed R-MAT graph (Section VI-C2): capping hub weight spreads "
+        "pops across iterations, reducing cross-subgraph overlap (effect is\n"
+        "modest at laptop scale; grows with hub degree / graph size)");
+  }
+  return 0;
+}

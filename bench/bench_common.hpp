@@ -1,0 +1,56 @@
+#pragma once
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench binary prints the paper artifact it regenerates, honours
+// GSGCN_SCALE / GSGCN_MAX_THREADS / GSGCN_SEED, and exits 0 so the whole
+// directory can be executed in a loop.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "util/env.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace gsgcn::bench {
+
+inline void banner(const std::string& artifact, const std::string& what) {
+  std::printf("\n################################################################\n");
+  std::printf("## %s — %s\n", artifact.c_str(), what.c_str());
+  std::printf("## scale=%.2f  max_threads=%d  seed=%llu\n",
+              util::dataset_scale(), util::bench_max_threads(),
+              static_cast<unsigned long long>(util::global_seed()));
+  std::printf("################################################################\n");
+}
+
+/// Thread counts to sweep: 1, 2, 4, … up to GSGCN_MAX_THREADS (always
+/// includes the max itself). On the paper's 40-core box this yields
+/// {1,2,4,8,16,32,40}; on a laptop {1,2,4}.
+inline std::vector<int> thread_sweep() {
+  const int max = std::max(1, util::bench_max_threads());
+  std::vector<int> out;
+  for (int t = 1; t < max; t *= 2) out.push_back(t);
+  out.push_back(max);
+  return out;
+}
+
+/// Median-of-k wall time for a callable (first call warms caches).
+template <typename F>
+double median_seconds(F&& fn, int reps = 3) {
+  fn();  // warmup
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    util::Timer t;
+    fn();
+    times.push_back(t.seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace gsgcn::bench

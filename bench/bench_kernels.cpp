@@ -1,0 +1,141 @@
+// Kernel microbenchmarks (google-benchmark): the primitives everything
+// else is built from — GEMM orientations, sparse mean aggregation,
+// subgraph induction, dashboard ops, and a full frontier sample.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "propagation/feature_partitioned.hpp"
+#include "propagation/spmm.hpp"
+#include "sampling/frontier_dashboard.hpp"
+#include "tensor/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gsgcn;
+
+tensor::Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return tensor::Matrix::gaussian(r, c, 1.0f, rng);
+}
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Matrix a = random_matrix(n, n, 1);
+  const tensor::Matrix b = random_matrix(n, n, 2);
+  tensor::Matrix c(n, n);
+  for (auto _ : state) {
+    tensor::gemm_nn(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmNN)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmTN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Matrix a = random_matrix(n, n, 3);
+  const tensor::Matrix b = random_matrix(n, n, 4);
+  tensor::Matrix c(n, n);
+  for (auto _ : state) {
+    tensor::gemm_tn(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTN)->Arg(128)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Matrix a = random_matrix(n, n, 5);
+  const tensor::Matrix b = random_matrix(n, n, 6);
+  tensor::Matrix c(n, n);
+  for (auto _ : state) {
+    tensor::gemm_nt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmNT)->Arg(128)->Arg(256);
+
+void BM_AggregateMean(benchmark::State& state) {
+  const auto n = static_cast<graph::Vid>(state.range(0));
+  util::Xoshiro256 rng(7);
+  const graph::CsrGraph g =
+      graph::erdos_renyi(n, static_cast<graph::Eid>(n) * 15, rng);
+  const tensor::Matrix in = random_matrix(n, 128, 8);
+  tensor::Matrix out(n, 128);
+  for (auto _ : state) {
+    propagation::aggregate_mean_forward(g, in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.num_edges() * 128);
+}
+BENCHMARK(BM_AggregateMean)->Arg(2000)->Arg(8000);
+
+void BM_FeaturePartitionedPropagation(benchmark::State& state) {
+  const auto n = static_cast<graph::Vid>(state.range(0));
+  util::Xoshiro256 rng(9);
+  const graph::CsrGraph g =
+      graph::erdos_renyi(n, static_cast<graph::Eid>(n) * 15, rng);
+  const tensor::Matrix in = random_matrix(n, 128, 10);
+  tensor::Matrix out(n, 128);
+  propagation::FeaturePartitionOptions opts;
+  for (auto _ : state) {
+    propagation::propagate_feature_partitioned(g, in, out, opts);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FeaturePartitionedPropagation)->Arg(2000)->Arg(8000);
+
+void BM_Induce(benchmark::State& state) {
+  util::Xoshiro256 rng(11);
+  const graph::CsrGraph g = graph::erdos_renyi(50000, 750000, rng);
+  graph::Inducer inducer(g);
+  const auto vertices = util::sample_without_replacement(
+      50000, static_cast<std::uint32_t>(state.range(0)), rng);
+  const std::vector<graph::Vid> vlist(vertices.begin(), vertices.end());
+  for (auto _ : state) {
+    auto sub = inducer.induce(vlist);
+    benchmark::DoNotOptimize(sub.graph.num_edges());
+  }
+}
+BENCHMARK(BM_Induce)->Arg(1000)->Arg(8000);
+
+void BM_DashboardPopAdd(benchmark::State& state) {
+  sampling::Dashboard db(1 << 16, sampling::IntraMode::kAuto);
+  util::Xoshiro256 rng(12);
+  graph::Vid next = 0;
+  for (int i = 0; i < 1000; ++i) db.add(next++, 1 + rng.below(20));
+  for (auto _ : state) {
+    const graph::Vid v = db.pop(rng);
+    benchmark::DoNotOptimize(v);
+    const graph::Eid deg = 1 + rng.below(20);
+    if (db.needs_cleanup(deg)) db.cleanup();
+    db.add(next++, deg);
+  }
+}
+BENCHMARK(BM_DashboardPopAdd);
+
+void BM_FrontierSample(benchmark::State& state) {
+  util::Xoshiro256 grng(13);
+  const graph::CsrGraph g = graph::erdos_renyi(50000, 750000, grng);
+  sampling::FrontierParams p;
+  p.frontier_size = 1000;
+  p.budget = static_cast<graph::Vid>(state.range(0));
+  sampling::DashboardFrontierSampler sampler(g, p);
+  util::Xoshiro256 rng(14);
+  for (auto _ : state) {
+    auto out = sampler.sample_vertices(rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FrontierSample)->Arg(4000)->Arg(8000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

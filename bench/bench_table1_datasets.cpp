@@ -1,0 +1,48 @@
+// Reproduces Table I: dataset statistics.
+//
+// The paper's table lists the four evaluation graphs; we regenerate it for
+// the synthetic analogues actually used by this repo's experiments and
+// print the paper's original numbers alongside for reference.
+
+#include "bench_common.hpp"
+#include "graph/csr.hpp"
+
+int main() {
+  using namespace gsgcn;
+  bench::banner("Table I", "dataset statistics (synthetic analogues)");
+
+  util::Table ours({"Dataset", "#Vertices", "#Edges", "Attr", "#Classes",
+                    "Mode", "AvgDeg", "MaxDeg", "Train/Val/Test"});
+  for (const auto& name : data::preset_names()) {
+    const data::Dataset ds = data::make_preset(name);
+    const auto stats = graph::degree_stats(ds.graph);
+    ours.row()
+        .cell(name)
+        .cell(static_cast<std::int64_t>(ds.num_vertices()))
+        .cell(static_cast<std::int64_t>(ds.graph.num_edges() / 2))
+        .cell(static_cast<std::int64_t>(ds.feature_dim()))
+        .cell(static_cast<std::int64_t>(ds.num_classes()))
+        .cell(ds.mode == data::LabelMode::kMulti ? "(M)" : "(S)")
+        .cell(stats.mean_degree, 1)
+        .cell(static_cast<std::int64_t>(stats.max_degree))
+        .cell(std::to_string(ds.train_vertices.size()) + "/" +
+              std::to_string(ds.val_vertices.size()) + "/" +
+              std::to_string(ds.test_vertices.size()));
+  }
+  ours.print("This repo's presets (scaled by GSGCN_SCALE)");
+
+  util::Table paper({"Dataset", "#Vertices", "#Edges", "Attr", "#Classes",
+                     "Mode"});
+  for (const auto& name : data::preset_names()) {
+    const auto info = data::paper_info(name);
+    paper.row()
+        .cell(info.name)
+        .cell(info.vertices)
+        .cell(info.edges)
+        .cell(info.attribute_dim)
+        .cell(info.classes)
+        .cell(info.mode == data::LabelMode::kMulti ? "(M)" : "(S)");
+  }
+  paper.print("Paper's Table I (original datasets, for reference)");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Community detection scenario (the paper's motivating use case for
+// content recommendation style workloads): vertices belong to latent
+// communities; the GCN must recover them from topology + attributes.
+// Compares the paper's frontier sampler against the simpler samplers the
+// conclusion proposes to support, on the same model/budget.
+//
+//   ./community_detection [--vertices 3000] [--communities 8] [--epochs 6]
+
+#include <cstdio>
+#include <iostream>
+
+#include "data/synthetic.hpp"
+#include "gcn/trainer.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gsgcn;
+  try {
+    util::Cli cli(argc, argv);
+
+    data::SyntheticParams dp;
+    dp.name = "communities";
+    dp.num_vertices = static_cast<graph::Vid>(cli.get("vertices", 3000));
+    dp.num_classes = static_cast<std::uint32_t>(cli.get("communities", 8));
+    dp.feature_dim = 40;
+    dp.avg_degree = cli.get("degree", 12.0);
+    dp.homophily = cli.get("homophily", 16.0);
+    dp.feature_signal = 0.8;  // weak features: topology must carry signal
+    dp.seed = static_cast<std::uint64_t>(cli.get("seed", 42));
+    const int epochs = cli.get("epochs", 6);
+
+    for (const auto& flag : cli.unused()) {
+      std::cerr << "unknown flag: --" << flag << "\n";
+      return 2;
+    }
+
+    const data::Dataset ds = data::make_synthetic(dp);
+    std::printf(
+        "Community graph: %u vertices, %u communities, avg degree %.1f, "
+        "weak features (signal 0.8)\n",
+        ds.graph.num_vertices(), dp.num_classes, ds.graph.average_degree());
+
+    util::Table table({"sampler", "test F1", "val F1", "train s", "iters"});
+    const gcn::SamplerKind kinds[] = {
+        gcn::SamplerKind::kFrontierDashboard, gcn::SamplerKind::kUniformNode,
+        gcn::SamplerKind::kRandomEdge, gcn::SamplerKind::kRandomWalk};
+    for (const auto kind : kinds) {
+      gcn::TrainerConfig tc;
+      tc.hidden_dim = 32;
+      tc.epochs = epochs;
+      tc.frontier_size = 120;
+      tc.budget = 480;
+      tc.sampler = kind;
+      tc.p_inter = util::max_threads();
+      tc.threads = util::max_threads();
+      tc.seed = dp.seed;
+      tc.eval_every_epoch = false;
+      gcn::Trainer trainer(ds, tc);
+      const gcn::TrainResult r = trainer.train();
+      table.row()
+          .cell(gcn::sampler_kind_name(kind))
+          .cell(r.final_test_f1, 4)
+          .cell(r.final_val_f1, 4)
+          .cell(r.train_seconds, 2)
+          .cell(r.iterations);
+    }
+    table.print("Community recovery by sampler (same budget & model)");
+    std::printf(
+        "\nFrontier sampling preserves subgraph connectivity, which matters "
+        "most when\nfeatures are weak and label signal must flow along "
+        "edges.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

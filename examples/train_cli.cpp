@@ -1,0 +1,255 @@
+// gsgcn train CLI — the full pipeline a downstream user runs:
+//
+//   1. data: a preset (--preset reddit-s), synthetic params, or a real
+//      edge list (--edges graph.txt, SNAP format; labels/features are
+//      then synthesized from graph communities for demonstration)
+//   2. optional PCA feature compression (--pca 64)
+//   3. training with every knob exposed (sampler, aggregator, dropout,
+//      lr schedule, early stopping, degree cap, parallelism)
+//   4. a per-class classification report on the test split
+//   5. optional checkpoint save/restore round trip (--checkpoint out.bin)
+//
+//   ./train_cli --preset ppi-s --epochs 10 --hidden 64 --dropout 0.2
+//   ./train_cli --edges my_graph.txt --classes 8 --pca 32
+//   ./train_cli --help
+
+#include <cstdio>
+#include <iostream>
+
+#include "data/synthetic.hpp"
+#include "data/transform.hpp"
+#include "gcn/loss.hpp"
+#include "gcn/metrics.hpp"
+#include "gcn/trainer.hpp"
+#include "graph/io.hpp"
+#include "tensor/ops.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace gsgcn;
+
+void print_help() {
+  std::printf(R"(gsgcn train_cli — train a graph-sampling GCN end to end
+
+data source (choose one):
+  --preset NAME        ppi-s | reddit-s | yelp-s | amazon-s
+  --edges FILE         SNAP-format edge list; labels are synthesized from
+                       SBM-like communities detected by --classes
+  (default)            synthetic SBM dataset (--vertices, --classes, ...)
+
+data options:
+  --vertices N (3000)  --classes C (8)     --features F (48)
+  --degree D (14)      --multi-label       --pca K (0 = off)
+
+model / training:
+  --layers L (2)       --hidden H (64)     --dropout P (0)
+  --aggregator A       mean | sum | symmetric
+  --epochs E (10)      --lr R (0.01)       --lr-decay M (1.0)
+  --grad-clip G (0)    --patience K (0 = no early stopping)
+  --restore-best       keep the best-val-F1 weights
+  --saint-norm         GraphSAINT-style unbiased loss normalization
+
+sampler:
+  --sampler S          frontier | naive | uniform | edge | walk | fire | snowball
+  --frontier M (300)   --budget N (1200)   --eta E (2.0)  --degree-cap C (0)
+
+parallelism / misc:
+  --threads T (all)    --p-inter K (all)   --seed S (42)
+  --checkpoint FILE    save trained weights, reload, re-evaluate
+)");
+}
+
+gcn::SamplerKind parse_sampler(const std::string& s) {
+  if (s == "frontier") return gcn::SamplerKind::kFrontierDashboard;
+  if (s == "naive") return gcn::SamplerKind::kFrontierNaive;
+  if (s == "uniform") return gcn::SamplerKind::kUniformNode;
+  if (s == "edge") return gcn::SamplerKind::kRandomEdge;
+  if (s == "walk") return gcn::SamplerKind::kRandomWalk;
+  if (s == "fire") return gcn::SamplerKind::kForestFire;
+  if (s == "snowball") return gcn::SamplerKind::kSnowball;
+  throw std::invalid_argument("unknown --sampler: " + s);
+}
+
+propagation::AggregatorKind parse_aggregator(const std::string& s) {
+  if (s == "mean") return propagation::AggregatorKind::kMean;
+  if (s == "sum") return propagation::AggregatorKind::kSum;
+  if (s == "symmetric") return propagation::AggregatorKind::kSymmetric;
+  throw std::invalid_argument("unknown --aggregator: " + s);
+}
+
+/// Build a labeled dataset around an externally supplied graph: vertices
+/// get community labels by hashing their BFS component + ego region, and
+/// class-correlated features — enough structure to demo the pipeline on
+/// any edge list without shipping labels.
+data::Dataset dataset_from_edges(const std::string& path,
+                                 std::uint32_t classes, std::size_t features,
+                                 std::uint64_t seed) {
+  data::Dataset ds;
+  ds.graph = graph::load_edgelist_text(path);
+  const graph::Vid n = ds.graph.num_vertices();
+  if (n < classes * 4) throw std::invalid_argument("graph too small");
+  util::Xoshiro256 rng(seed);
+
+  // Label by seeded BFS regions: pick `classes` roots, grow in rounds.
+  std::vector<std::uint32_t> label(n, classes);
+  std::vector<graph::Vid> frontier;
+  const auto roots = util::sample_without_replacement(n, classes, rng);
+  for (std::uint32_t c = 0; c < classes; ++c) {
+    label[roots[c]] = c;
+    frontier.push_back(roots[c]);
+  }
+  while (!frontier.empty()) {
+    std::vector<graph::Vid> next;
+    for (const graph::Vid u : frontier) {
+      for (const graph::Vid v : ds.graph.neighbors(u)) {
+        if (label[v] == classes) {
+          label[v] = label[u];
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  for (graph::Vid v = 0; v < n; ++v) {
+    if (label[v] == classes) label[v] = rng.below(classes);  // isolated
+  }
+
+  ds.labels = tensor::Matrix(n, classes);
+  for (graph::Vid v = 0; v < n; ++v) ds.labels(v, label[v]) = 1.0f;
+  ds.mode = data::LabelMode::kSingle;
+
+  tensor::Matrix means = tensor::Matrix::gaussian(classes, features, 1.0f, rng);
+  ds.features = tensor::Matrix::gaussian(n, features, 1.0f, rng);
+  for (graph::Vid v = 0; v < n; ++v) {
+    const float* mu = means.row(label[v]);
+    float* x = ds.features.row(v);
+    for (std::size_t j = 0; j < features; ++j) x[j] += mu[j];
+  }
+  tensor::l2_normalize_rows(ds.features);
+  data::make_split(n, 0.6, 0.2, rng, ds.train_vertices, ds.val_vertices,
+                   ds.test_vertices);
+  ds.name = path;
+  return ds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Cli cli(argc, argv);
+    if (cli.has("help")) {
+      print_help();
+      return 0;
+    }
+    const auto seed = static_cast<std::uint64_t>(cli.get("seed", 42));
+
+    // ---- data ----
+    data::Dataset ds;
+    if (cli.has("preset")) {
+      ds = data::make_preset(cli.get("preset", std::string("ppi-s")));
+    } else if (cli.has("edges")) {
+      ds = dataset_from_edges(
+          cli.get("edges", std::string()),
+          static_cast<std::uint32_t>(cli.get("classes", 8)),
+          static_cast<std::size_t>(cli.get("features", 48)), seed);
+    } else {
+      data::SyntheticParams p;
+      p.num_vertices = static_cast<graph::Vid>(cli.get("vertices", 3000));
+      p.num_classes = static_cast<std::uint32_t>(cli.get("classes", 8));
+      p.feature_dim = static_cast<std::size_t>(cli.get("features", 48));
+      p.avg_degree = cli.get("degree", 14.0);
+      p.mode = cli.has("multi-label") && cli.get("multi-label", false)
+                   ? data::LabelMode::kMulti
+                   : data::LabelMode::kSingle;
+      p.seed = seed;
+      ds = data::make_synthetic(p);
+    }
+    const int pca = cli.get("pca", 0);
+    if (pca > 0) {
+      double explained = 0.0;
+      tensor::Matrix f = ds.features;
+      data::standardize_columns(f);
+      ds.features = data::pca_compress(f, static_cast<std::size_t>(pca),
+                                       &explained);
+      tensor::l2_normalize_rows(ds.features);
+      std::printf("PCA: %d components keep %.1f%% of variance\n", pca,
+                  100.0 * explained);
+    }
+    std::printf("dataset '%s': %u vertices, %lld edges, f=%zu, C=%zu (%s)\n",
+                ds.name.c_str(), ds.num_vertices(),
+                static_cast<long long>(ds.graph.num_edges() / 2),
+                ds.feature_dim(), ds.num_classes(),
+                ds.mode == data::LabelMode::kMulti ? "multi" : "single");
+
+    // ---- training ----
+    gcn::TrainerConfig cfg;
+    cfg.hidden_dim = static_cast<std::size_t>(cli.get("hidden", 64));
+    cfg.num_layers = cli.get("layers", 2);
+    cfg.dropout = static_cast<float>(cli.get("dropout", 0.0));
+    cfg.aggregator = parse_aggregator(cli.get("aggregator", std::string("mean")));
+    cfg.epochs = cli.get("epochs", 10);
+    cfg.lr = static_cast<float>(cli.get("lr", 0.01));
+    cfg.lr_decay = static_cast<float>(cli.get("lr-decay", 1.0));
+    cfg.grad_clip = static_cast<float>(cli.get("grad-clip", 0.0));
+    cfg.early_stop_patience = cli.get("patience", 0);
+    cfg.restore_best = cli.get("restore-best", false);
+    cfg.saint_loss_norm = cli.get("saint-norm", false);
+    cfg.sampler = parse_sampler(cli.get("sampler", std::string("frontier")));
+    cfg.frontier_size = static_cast<graph::Vid>(cli.get("frontier", 300));
+    cfg.budget = static_cast<graph::Vid>(cli.get("budget", 1200));
+    cfg.eta = cli.get("eta", 2.0);
+    cfg.degree_cap = cli.get("degree-cap", 0);
+    cfg.threads = cli.get("threads", util::max_threads());
+    cfg.p_inter = cli.get("p-inter", util::max_threads());
+    cfg.seed = seed;
+    const std::string ckpt = cli.get("checkpoint", std::string());
+
+    for (const auto& flag : cli.unused()) {
+      std::cerr << "unknown flag: --" << flag << " (see --help)\n";
+      return 2;
+    }
+
+    gcn::Trainer trainer(ds, cfg);
+    std::printf("training: %d layers, hidden %zu, sampler %s (m=%u n=%u)\n",
+                cfg.num_layers, cfg.hidden_dim,
+                gcn::sampler_kind_name(cfg.sampler),
+                trainer.effective_frontier(), trainer.effective_budget());
+    const gcn::TrainResult result = trainer.train();
+    for (const auto& rec : result.history) {
+      std::printf("  epoch %2d  loss %.4f  val F1 %.4f  (%.2fs)\n", rec.epoch,
+                  rec.train_loss, rec.val_f1, rec.train_seconds);
+    }
+    if (result.early_stopped) std::printf("  (early stopped)\n");
+
+    // ---- report ----
+    const tensor::Matrix& logits =
+        trainer.model().forward(ds.graph, ds.features, cfg.threads);
+    tensor::Matrix pred(logits.rows(), logits.cols());
+    gcn::predict(ds.mode, logits, pred);
+    tensor::Matrix test_pred(ds.test_vertices.size(), logits.cols());
+    tensor::Matrix test_truth(ds.test_vertices.size(), logits.cols());
+    tensor::gather_rows(pred, ds.test_vertices, test_pred);
+    tensor::gather_rows(ds.labels, ds.test_vertices, test_truth);
+    std::printf("\ntest-split classification report:\n%s",
+                gcn::format_report(
+                    gcn::classification_report(test_pred, test_truth))
+                    .c_str());
+
+    // ---- checkpoint round trip ----
+    if (!ckpt.empty()) {
+      trainer.model().save(ckpt);
+      gcn::GcnModel restored = gcn::GcnModel::load(ckpt);
+      const tensor::Matrix& logits2 =
+          restored.forward(ds.graph, ds.features, cfg.threads);
+      const float drift = tensor::Matrix::max_abs_diff(logits, logits2);
+      std::printf("checkpoint '%s' saved; reload drift %.2g (expect 0)\n",
+                  ckpt.c_str(), static_cast<double>(drift));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

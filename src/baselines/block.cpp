@@ -1,0 +1,106 @@
+#include "baselines/block.hpp"
+
+#include <omp.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gsgcn::baselines {
+
+namespace {
+int resolve(int threads) { return threads > 0 ? threads : omp_get_max_threads(); }
+}  // namespace
+
+BipartiteBlock::BipartiteBlock(std::size_t num_src,
+                               std::vector<std::int64_t> offsets,
+                               std::vector<std::uint32_t> indices,
+                               std::vector<float> weights)
+    : num_src_(num_src),
+      offsets_(std::move(offsets)),
+      indices_(std::move(indices)),
+      weights_(std::move(weights)) {
+  const std::string err = validate();
+  if (!err.empty()) throw std::invalid_argument("BipartiteBlock: " + err);
+}
+
+std::string BipartiteBlock::validate() const {
+  if (offsets_.empty() || offsets_.front() != 0) return "bad offsets head";
+  if (offsets_.back() != static_cast<std::int64_t>(indices_.size())) {
+    return "offsets tail mismatch";
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    if (offsets_[i] < offsets_[i - 1]) return "non-monotone offsets";
+  }
+  for (const std::uint32_t idx : indices_) {
+    if (idx >= num_src_) return "source index out of range";
+  }
+  if (!weights_.empty() && weights_.size() != indices_.size()) {
+    return "weights length mismatch";
+  }
+  return "";
+}
+
+void BipartiteBlock::forward(const tensor::Matrix& in, tensor::Matrix& out,
+                             int threads) const {
+  if (in.rows() != num_src_ || out.rows() != num_dst() ||
+      in.cols() != out.cols()) {
+    throw std::invalid_argument("BipartiteBlock::forward: shape mismatch");
+  }
+  const std::size_t f = in.cols();
+  const std::size_t nd = num_dst();
+#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
+  for (std::size_t v = 0; v < nd; ++v) {
+    float* dst = out.row(v);
+    std::memset(dst, 0, f * sizeof(float));
+    const std::int64_t begin = offsets_[v], end = offsets_[v + 1];
+    if (begin == end) continue;
+    for (std::int64_t e = begin; e < end; ++e) {
+      const float* src = in.row(indices_[static_cast<std::size_t>(e)]);
+      const float w =
+          weighted() ? weights_[static_cast<std::size_t>(e)] : 1.0f;
+      for (std::size_t j = 0; j < f; ++j) dst[j] += w * src[j];
+    }
+    if (!weighted()) {
+      const float inv = 1.0f / static_cast<float>(end - begin);
+      for (std::size_t j = 0; j < f; ++j) dst[j] *= inv;
+    }
+  }
+}
+
+void BipartiteBlock::backward(const tensor::Matrix& d_out,
+                              tensor::Matrix& d_in, int threads) const {
+  if (d_in.rows() != num_src_ || d_out.rows() != num_dst() ||
+      d_in.cols() != d_out.cols()) {
+    throw std::invalid_argument("BipartiteBlock::backward: shape mismatch");
+  }
+  const std::size_t f = d_out.cols();
+  const std::size_t nd = num_dst();
+  const int p = resolve(threads);
+  d_in.set_zero();
+  // Scatter with destination-row races avoided by slicing the *feature*
+  // dimension across threads: each thread owns a column range of d_in.
+#pragma omp parallel num_threads(p)
+  {
+    const int tid = omp_get_thread_num();
+    const int nt = omp_get_num_threads();
+    const std::size_t j0 = f * static_cast<std::size_t>(tid) / static_cast<std::size_t>(nt);
+    const std::size_t j1 = f * static_cast<std::size_t>(tid + 1) / static_cast<std::size_t>(nt);
+    if (j1 > j0) {
+      for (std::size_t v = 0; v < nd; ++v) {
+        const std::int64_t begin = offsets_[v], end = offsets_[v + 1];
+        if (begin == end) continue;
+        const float* src = d_out.row(v);
+        const float mean_w =
+            weighted() ? 1.0f : 1.0f / static_cast<float>(end - begin);
+        for (std::int64_t e = begin; e < end; ++e) {
+          float* dst = d_in.row(indices_[static_cast<std::size_t>(e)]);
+          const float w =
+              weighted() ? weights_[static_cast<std::size_t>(e)] : mean_w;
+          for (std::size_t j = j0; j < j1; ++j) dst[j] += w * src[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gsgcn::baselines

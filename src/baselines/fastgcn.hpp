@@ -1,0 +1,77 @@
+#pragma once
+// FastGCN-style node-based layer-sampling baseline ([3] in the paper).
+//
+// Instead of per-node neighbor fan-out, each layer draws an independent
+// pool of `layer_samples` nodes from a precomputed degree-proportional
+// importance distribution q (the "potentially expensive pre-processing"
+// the paper mentions); inter-layer edges are reconstructed between
+// consecutive pools with importance-corrected weights
+// w(v,u) = 1 / (deg(v) · t · q(u)), the unbiased estimator of the mean
+// aggregator. As in LADIES, the destination nodes are appended to each
+// pool so the self path stays defined — this keeps the architecture
+// identical to the other trainers (shared GcnModel, shared evaluation).
+
+#include <memory>
+
+#include "baselines/block.hpp"
+#include "data/dataset.hpp"
+#include "gcn/trainer.hpp"
+
+namespace gsgcn::baselines {
+
+struct FastGcnConfig {
+  std::size_t hidden_dim = 128;
+  int num_layers = 2;
+  float lr = 0.01f;
+  int epochs = 10;
+  graph::Vid batch_size = 512;
+  graph::Vid layer_samples = 512;  // t: nodes drawn per layer
+  int threads = 1;
+  std::uint64_t seed = 1;
+  bool eval_every_epoch = true;
+};
+
+/// A FastGCN minibatch shares SageBatch's shape: per-layer node lists and
+/// weighted blocks. nodes[ℓ] = dst nodes of layer ℓ+1 (prefix) + pool.
+struct FastGcnBatch {
+  std::vector<std::vector<graph::Vid>> nodes;
+  std::vector<BipartiteBlock> blocks;
+};
+
+class FastGcnTrainer {
+ public:
+  FastGcnTrainer(const data::Dataset& dataset, const FastGcnConfig& config);
+
+  gcn::TrainResult train();
+  double evaluate(const std::vector<graph::Vid>& subset);
+
+  FastGcnBatch sample_batch(const std::vector<graph::Vid>& batch_vertices,
+                            util::Xoshiro256& rng) const;
+  float train_step(const FastGcnBatch& batch);
+
+  gcn::GcnModel& model() { return *model_; }
+
+  /// The preprocessing product: q over train-graph vertices (∝ degree).
+  const std::vector<double>& importance() const { return q_; }
+
+ private:
+  const data::Dataset& ds_;
+  FastGcnConfig cfg_;
+
+  graph::CsrGraph train_graph_;
+  std::vector<graph::Vid> train_orig_;
+  tensor::Matrix train_features_;
+  tensor::Matrix train_labels_;
+  std::vector<double> q_;          // importance distribution
+  std::vector<double> q_cumsum_;   // for O(log n) inverse-CDF draws
+
+  std::unique_ptr<gcn::GcnModel> model_;
+  std::unique_ptr<gcn::Adam> opt_;
+  util::Xoshiro256 rng_;
+
+  tensor::Matrix eval_pred_;
+  tensor::Matrix subset_pred_;
+  tensor::Matrix subset_truth_;
+};
+
+}  // namespace gsgcn::baselines

@@ -1,0 +1,52 @@
+#pragma once
+// Full-batch GCN baseline (batched GCN of Kipf & Welling, [1] in the
+// paper, run at batch size = |V_train|): every iteration does one
+// forward/backward over the whole training graph. No sampling, no
+// neighbor explosion — but each gradient step costs a full epoch, which
+// is the slow-convergence regime Figure 2 demonstrates.
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "gcn/trainer.hpp"
+
+namespace gsgcn::baselines {
+
+struct FullBatchConfig {
+  std::size_t hidden_dim = 128;
+  int num_layers = 2;
+  float lr = 0.01f;
+  int epochs = 50;  // one weight update per epoch, so more epochs
+  int threads = 1;
+  std::uint64_t seed = 1;
+  bool eval_every_epoch = true;
+};
+
+class FullBatchTrainer {
+ public:
+  FullBatchTrainer(const data::Dataset& dataset, const FullBatchConfig& config);
+
+  gcn::TrainResult train();
+  double evaluate(const std::vector<graph::Vid>& subset);
+
+  gcn::GcnModel& model() { return *model_; }
+
+ private:
+  const data::Dataset& ds_;
+  FullBatchConfig cfg_;
+
+  graph::CsrGraph train_graph_;
+  std::vector<graph::Vid> train_orig_;
+  tensor::Matrix train_features_;
+  tensor::Matrix train_labels_;
+
+  std::unique_ptr<gcn::GcnModel> model_;
+  std::unique_ptr<gcn::Adam> opt_;
+
+  tensor::Matrix d_logits_;
+  tensor::Matrix eval_pred_;
+  tensor::Matrix subset_pred_;
+  tensor::Matrix subset_truth_;
+};
+
+}  // namespace gsgcn::baselines

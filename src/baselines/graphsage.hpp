@@ -1,0 +1,84 @@
+#pragma once
+// GraphSAGE-style layer-sampling baseline ([2] in the paper).
+//
+// Minibatch construction samples `fanout` neighbors (with replacement)
+// per node per layer, top-down: layer L holds the batch, layer ℓ−1 holds
+// layer ℓ's nodes plus their sampled neighbors. Node-set growth per layer
+// is the "neighbor explosion" the paper's complexity analysis targets —
+// O(fanout^L) work per batch vertex versus our O(L).
+//
+// The architecture (W_self ‖ W_neigh concat + ReLU + dense head) is
+// identical to the graph-sampling GCN, so weights live in a GcnModel and
+// full-graph inference/evaluation is shared; only the minibatch
+// forward/backward runs over bipartite blocks.
+
+#include <memory>
+
+#include "baselines/block.hpp"
+#include "data/dataset.hpp"
+#include "gcn/trainer.hpp"
+
+namespace gsgcn::baselines {
+
+struct SageConfig {
+  std::size_t hidden_dim = 128;
+  int num_layers = 2;
+  float lr = 0.01f;
+  int epochs = 10;
+  graph::Vid batch_size = 512;
+  graph::Vid fanout = 10;  // the paper's d_LS
+  int threads = 1;
+  std::uint64_t seed = 1;
+  bool eval_every_epoch = true;
+};
+
+/// One sampled minibatch: per-layer node lists (positions are into the
+/// *training graph*) and the blocks between them. nodes[L] is the batch;
+/// nodes[ℓ] is a prefix of nodes[ℓ-1].
+struct SageBatch {
+  std::vector<std::vector<graph::Vid>> nodes;  // size L+1, [0]=input layer
+  std::vector<BipartiteBlock> blocks;          // size L, [ℓ] maps ℓ→ℓ+1
+
+  /// Total nodes over all layers — the neighbor-explosion measurement the
+  /// complexity bench reports.
+  std::size_t total_nodes() const;
+};
+
+class GraphSageTrainer {
+ public:
+  GraphSageTrainer(const data::Dataset& dataset, const SageConfig& config);
+
+  gcn::TrainResult train();
+  double evaluate(const std::vector<graph::Vid>& subset);
+
+  /// Sample one minibatch rooted at `batch_vertices` (train-graph ids).
+  /// Exposed for the complexity bench and tests.
+  SageBatch sample_batch(const std::vector<graph::Vid>& batch_vertices,
+                         util::Xoshiro256& rng) const;
+
+  /// Minibatch forward+backward+step on a sampled batch; returns loss.
+  float train_step(const SageBatch& batch);
+
+  gcn::GcnModel& model() { return *model_; }
+  graph::Vid train_graph_size() const { return train_graph_.num_vertices(); }
+
+ private:
+  const data::Dataset& ds_;
+  SageConfig cfg_;
+
+  graph::CsrGraph train_graph_;
+  std::vector<graph::Vid> train_orig_;
+  tensor::Matrix train_features_;
+  tensor::Matrix train_labels_;
+
+  std::unique_ptr<gcn::GcnModel> model_;
+  std::unique_ptr<gcn::Adam> opt_;
+  util::Xoshiro256 rng_;
+
+  // Evaluation scratch (shared logic with gcn::Trainer::evaluate).
+  tensor::Matrix eval_pred_;
+  tensor::Matrix subset_pred_;
+  tensor::Matrix subset_truth_;
+};
+
+}  // namespace gsgcn::baselines

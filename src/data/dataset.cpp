@@ -1,0 +1,170 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace gsgcn::data {
+
+std::string Dataset::validate() const {
+  const graph::Vid n = graph.num_vertices();
+  if (features.rows() != n) return "features rows != |V|";
+  if (labels.rows() != n) return "labels rows != |V|";
+  const std::string g = graph.validate();
+  if (!g.empty()) return "graph: " + g;
+
+  std::vector<std::uint8_t> seen(n, 0);
+  auto check_split = [&](const std::vector<graph::Vid>& s,
+                         const char* what) -> std::string {
+    for (const graph::Vid v : s) {
+      if (v >= n) return std::string(what) + ": vertex out of range";
+      if (seen[v]) return std::string(what) + ": split overlap at vertex " +
+                          std::to_string(v);
+      seen[v] = 1;
+    }
+    return "";
+  };
+  for (const auto* r : {&train_vertices, &val_vertices, &test_vertices}) {
+    const char* what = r == &train_vertices ? "train"
+                       : r == &val_vertices ? "val"
+                                            : "test";
+    const std::string e = check_split(*r, what);
+    if (!e.empty()) return e;
+  }
+  if (train_vertices.empty()) return "empty training split";
+
+  for (graph::Vid v = 0; v < n; ++v) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < labels.cols(); ++c) {
+      const float y = labels(v, c);
+      if (y != 0.0f && y != 1.0f) return "labels must be 0/1";
+      row_sum += y;
+    }
+    if (mode == LabelMode::kSingle && row_sum != 1.0) {
+      return "single-label row not one-hot at vertex " + std::to_string(v);
+    }
+  }
+  return "";
+}
+
+void make_split(graph::Vid n, double train_frac, double val_frac,
+                util::Xoshiro256& rng, std::vector<graph::Vid>& train,
+                std::vector<graph::Vid>& val, std::vector<graph::Vid>& test) {
+  const auto perm = util::random_permutation(n, rng);
+  const auto n_train = static_cast<std::size_t>(std::floor(n * train_frac));
+  const auto n_val = static_cast<std::size_t>(std::floor(n * val_frac));
+  train.assign(perm.begin(), perm.begin() + n_train);
+  val.assign(perm.begin() + n_train, perm.begin() + n_train + n_val);
+  test.assign(perm.begin() + n_train + n_val, perm.end());
+}
+
+namespace {
+
+constexpr std::uint64_t kDatasetMagic = 0x6773676e64617431ULL;  // gsgndat1
+
+void write_ids(std::ostream& out, const std::vector<graph::Vid>& ids) {
+  const std::uint64_t n = ids.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(ids.data()),
+            static_cast<std::streamsize>(n * sizeof(graph::Vid)));
+}
+
+std::vector<graph::Vid> read_ids(std::istream& in) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) throw std::runtime_error("load_dataset: truncated split header");
+  std::vector<graph::Vid> ids(n);
+  in.read(reinterpret_cast<char*>(ids.data()),
+          static_cast<std::streamsize>(n * sizeof(graph::Vid)));
+  if (!in) throw std::runtime_error("load_dataset: truncated split");
+  return ids;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  const std::uint64_t n = s.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(s.data(), static_cast<std::streamsize>(n));
+}
+
+std::string read_string(std::istream& in) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in || n > (1u << 20)) throw std::runtime_error("load_dataset: bad string");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("load_dataset: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_dataset: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(&kDatasetMagic), sizeof(kDatasetMagic));
+  write_string(out, ds.name);
+  const std::uint8_t mode = ds.mode == LabelMode::kMulti ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&mode), sizeof(mode));
+
+  // Graph (inline CSR, same layout as graph::save_csr_binary's payload).
+  const std::uint64_t n = ds.graph.num_vertices();
+  const auto m = static_cast<std::uint64_t>(ds.graph.num_edges());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(ds.graph.offsets().data()),
+            static_cast<std::streamsize>(ds.graph.offsets().size() *
+                                         sizeof(graph::Eid)));
+  out.write(reinterpret_cast<const char*>(ds.graph.adjacency().data()),
+            static_cast<std::streamsize>(ds.graph.adjacency().size() *
+                                         sizeof(graph::Vid)));
+
+  tensor::write_matrix(out, ds.features);
+  tensor::write_matrix(out, ds.labels);
+  write_ids(out, ds.train_vertices);
+  write_ids(out, ds.val_vertices);
+  write_ids(out, ds.test_vertices);
+  if (!out) throw std::runtime_error("save_dataset: write failed: " + path);
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_dataset: cannot open " + path);
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kDatasetMagic) {
+    throw std::runtime_error("load_dataset: bad file: " + path);
+  }
+  Dataset ds;
+  ds.name = read_string(in);
+  std::uint8_t mode = 0;
+  in.read(reinterpret_cast<char*>(&mode), sizeof(mode));
+  ds.mode = mode == 1 ? LabelMode::kMulti : LabelMode::kSingle;
+
+  std::uint64_t n = 0, m = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!in) throw std::runtime_error("load_dataset: truncated graph header");
+  std::vector<graph::Eid> offsets(n + 1);
+  std::vector<graph::Vid> adj(m);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(graph::Eid)));
+  in.read(reinterpret_cast<char*>(adj.data()),
+          static_cast<std::streamsize>(adj.size() * sizeof(graph::Vid)));
+  if (!in) throw std::runtime_error("load_dataset: truncated graph");
+  ds.graph = graph::CsrGraph::from_csr(std::move(offsets), std::move(adj));
+
+  ds.features = tensor::read_matrix(in);
+  ds.labels = tensor::read_matrix(in);
+  ds.train_vertices = read_ids(in);
+  ds.val_vertices = read_ids(in);
+  ds.test_vertices = read_ids(in);
+
+  const std::string err = ds.validate();
+  if (!err.empty()) throw std::runtime_error("load_dataset: invalid: " + err);
+  return ds;
+}
+
+}  // namespace gsgcn::data

@@ -1,0 +1,50 @@
+#pragma once
+// Attributed, labeled graph dataset with train/val/test split — the unit
+// every trainer (ours and the baselines) consumes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gsgcn::data {
+
+/// Single-label (softmax/CE, like Reddit) vs multi-label (sigmoid/BCE,
+/// like PPI/Yelp/Amazon) — Table I's (S)/(M) column.
+enum class LabelMode { kSingle, kMulti };
+
+struct Dataset {
+  std::string name;
+  graph::CsrGraph graph;
+  tensor::Matrix features;  // |V| x f, row-normalized
+  tensor::Matrix labels;    // |V| x C, entries in {0, 1}
+  LabelMode mode = LabelMode::kSingle;
+
+  std::vector<graph::Vid> train_vertices;
+  std::vector<graph::Vid> val_vertices;
+  std::vector<graph::Vid> test_vertices;
+
+  graph::Vid num_vertices() const { return graph.num_vertices(); }
+  std::size_t feature_dim() const { return features.cols(); }
+  std::size_t num_classes() const { return labels.cols(); }
+
+  /// Structural consistency (sizes line up, splits disjoint and in range,
+  /// single-label rows one-hot). Empty string when valid.
+  std::string validate() const;
+};
+
+/// Random disjoint split of {0..n-1} into train/val/test by the given
+/// fractions (must sum to ≤ 1; remainder goes to test).
+void make_split(graph::Vid n, double train_frac, double val_frac,
+                util::Xoshiro256& rng, std::vector<graph::Vid>& train,
+                std::vector<graph::Vid>& val, std::vector<graph::Vid>& test);
+
+/// Binary persistence of a full dataset (graph + features + labels +
+/// splits + mode). The bench harness caches generated datasets with this;
+/// a downstream user ships preprocessed data in the same format.
+void save_dataset(const Dataset& ds, const std::string& path);
+Dataset load_dataset(const std::string& path);
+
+}  // namespace gsgcn::data

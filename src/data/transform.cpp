@@ -1,0 +1,75 @@
+#include "data/transform.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/eigen.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace gsgcn::data {
+
+void standardize_columns(tensor::Matrix& features) {
+  const std::size_t n = features.rows(), f = features.cols();
+  if (n == 0 || f == 0) return;
+  std::vector<double> mean(f, 0.0), var(f, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = features.row(i);
+    for (std::size_t j = 0; j < f; ++j) mean[j] += row[j];
+  }
+  for (std::size_t j = 0; j < f; ++j) mean[j] /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = features.row(i);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double d = row[j] - mean[j];
+      var[j] += d * d;
+    }
+  }
+  for (std::size_t j = 0; j < f; ++j) var[j] /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = features.row(i);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double scale = var[j] > 1e-12 ? 1.0 / std::sqrt(var[j]) : 1.0;
+      row[j] = static_cast<float>((row[j] - mean[j]) * scale);
+    }
+  }
+}
+
+tensor::Matrix pca_compress(const tensor::Matrix& features, std::size_t k,
+                            double* explained) {
+  const std::size_t f = features.cols();
+  if (k == 0 || k > f) {
+    throw std::invalid_argument("pca_compress: k must be in [1, width]");
+  }
+  const tensor::Matrix cov = tensor::covariance(features);
+  const tensor::EigenResult eig = tensor::jacobi_eigen_symmetric(cov);
+
+  if (explained != nullptr) {
+    double total = 0.0, kept = 0.0;
+    for (std::size_t j = 0; j < f; ++j) {
+      const double v = std::max(0.0f, eig.values[j]);
+      total += v;
+      if (j < k) kept += v;
+    }
+    *explained = total > 0.0 ? kept / total : 0.0;
+  }
+
+  // Projection matrix: top-k eigenvector columns.
+  tensor::Matrix proj(f, k);
+  for (std::size_t i = 0; i < f; ++i) {
+    for (std::size_t j = 0; j < k; ++j) proj(i, j) = eig.vectors(i, j);
+  }
+  tensor::Matrix out(features.rows(), k);
+  tensor::gemm_nn(features, proj, out);
+  return out;
+}
+
+void compress_dataset_features(Dataset& ds, std::size_t k) {
+  tensor::Matrix features = ds.features;  // work on a copy until success
+  standardize_columns(features);
+  tensor::Matrix compressed = pca_compress(features, k);
+  tensor::l2_normalize_rows(compressed);
+  ds.features = std::move(compressed);
+}
+
+}  // namespace gsgcn::data

@@ -1,0 +1,28 @@
+#pragma once
+// Feature preprocessing: standardization and PCA compression.
+//
+// Mirrors the paper's dataset pipelines — Amazon's vertex attributes are
+// an SVD compression of bag-of-words text, Yelp's are Word2Vec vectors
+// (Table I). A downstream user bringing raw high-dimensional attributes
+// runs them through these transforms before training.
+
+#include "data/dataset.hpp"
+
+namespace gsgcn::data {
+
+/// Center each column to mean 0 and scale to unit variance (columns with
+/// ~zero variance are centered only). In-place.
+void standardize_columns(tensor::Matrix& features);
+
+/// PCA-compress features to `k` dimensions via the covariance
+/// eigendecomposition (equivalent to truncated SVD on centered data).
+/// Returns the n×k projected features; `explained` (optional out) gets
+/// the fraction of variance captured. k must be ≤ current width.
+tensor::Matrix pca_compress(const tensor::Matrix& features, std::size_t k,
+                            double* explained = nullptr);
+
+/// Convenience: standardize, compress to k, then L2-normalize rows —
+/// the full Amazon-style attribute pipeline. Replaces ds.features.
+void compress_dataset_features(Dataset& ds, std::size_t k);
+
+}  // namespace gsgcn::data

@@ -1,0 +1,57 @@
+#include "gcn/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gsgcn::gcn {
+
+std::size_t Adam::add_param(std::size_t rows, std::size_t cols) {
+  m_.emplace_back(rows, cols);
+  v_.emplace_back(rows, cols);
+  return m_.size() - 1;
+}
+
+void Adam::begin_step() { ++t_; }
+
+void Adam::update(std::size_t slot, tensor::Matrix& param,
+                  const tensor::Matrix& grad) {
+  if (slot >= m_.size()) throw std::out_of_range("Adam: unknown slot");
+  if (t_ == 0) throw std::logic_error("Adam: update before begin_step");
+  tensor::Matrix& m = m_[slot];
+  tensor::Matrix& v = v_[slot];
+  if (param.rows() != m.rows() || param.cols() != m.cols() ||
+      grad.rows() != m.rows() || grad.cols() != m.cols()) {
+    throw std::invalid_argument("Adam: shape mismatch for slot");
+  }
+  const float b1 = cfg_.beta1, b2 = cfg_.beta2;
+  const double bc1 = 1.0 - std::pow(static_cast<double>(b1), static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(static_cast<double>(b2), static_cast<double>(t_));
+  const float step = static_cast<float>(cfg_.lr / bc1);
+  const float inv_bc2 = static_cast<float>(1.0 / bc2);
+
+  float* p = param.data();
+  float* mp = m.data();
+  float* vp = v.data();
+  const float* g = grad.data();
+  const std::size_t sz = param.size();
+  // Per-tensor gradient clipping by L2 norm.
+  float clip_scale = 1.0f;
+  if (cfg_.grad_clip > 0.0f) {
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < sz; ++i) {
+      norm_sq += static_cast<double>(g[i]) * g[i];
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > cfg_.grad_clip) {
+      clip_scale = static_cast<float>(cfg_.grad_clip / norm);
+    }
+  }
+  for (std::size_t i = 0; i < sz; ++i) {
+    const float gi = clip_scale * g[i] + cfg_.weight_decay * p[i];
+    mp[i] = b1 * mp[i] + (1.0f - b1) * gi;
+    vp[i] = b2 * vp[i] + (1.0f - b2) * gi * gi;
+    p[i] -= step * mp[i] / (std::sqrt(vp[i] * inv_bc2) + cfg_.epsilon);
+  }
+}
+
+}  // namespace gsgcn::gcn

@@ -1,0 +1,50 @@
+#pragma once
+// Adam optimizer (paper Algorithm 1, line 13). One AdamState per weight
+// tensor; the shared step counter lives in the Adam object so bias
+// correction is consistent across parameters.
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace gsgcn::gcn {
+
+struct AdamConfig {
+  float lr = 0.01f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;  // L2 coefficient added to gradients
+  float grad_clip = 0.0f;     // per-tensor L2 clip (0 = off)
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamConfig config = {}) : cfg_(config) {}
+
+  /// Register a parameter; returns its slot id. Shapes are fixed from
+  /// registration on.
+  std::size_t add_param(std::size_t rows, std::size_t cols);
+
+  /// Begin an update step (advances the bias-correction counter).
+  void begin_step();
+
+  /// Apply grad to param for a registered slot. Must be called between
+  /// begin_step() boundaries, once per slot per step.
+  void update(std::size_t slot, tensor::Matrix& param,
+              const tensor::Matrix& grad);
+
+  const AdamConfig& config() const { return cfg_; }
+  std::int64_t steps() const { return t_; }
+
+  /// Adjust the learning rate between steps (LR schedules).
+  void set_lr(float lr) { cfg_.lr = lr; }
+
+ private:
+  AdamConfig cfg_;
+  std::int64_t t_ = 0;
+  std::vector<tensor::Matrix> m_;  // first moments
+  std::vector<tensor::Matrix> v_;  // second moments
+};
+
+}  // namespace gsgcn::gcn

@@ -1,0 +1,55 @@
+#include "gcn/inference.hpp"
+
+#include <stdexcept>
+
+#include "propagation/feature_partitioned.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace gsgcn::gcn {
+
+const tensor::Matrix& infer_logits(const GcnModel& model,
+                                   const graph::CsrGraph& g,
+                                   const tensor::Matrix& x,
+                                   InferenceScratch& scratch, int threads) {
+  const auto& layers = model.layers();
+  if (layers.empty()) throw std::invalid_argument("infer_logits: no layers");
+  if (x.rows() != g.num_vertices() || x.cols() != layers.front().in_dim()) {
+    throw std::invalid_argument("infer_logits: input shape " + x.shape_str());
+  }
+  const std::size_t n = x.rows();
+
+  const tensor::Matrix* h = &x;
+  tensor::Matrix* next = &scratch.h_a;
+  tensor::Matrix* spare = &scratch.h_b;
+  for (const auto& layer : layers) {
+    const std::size_t fo = layer.out_dim();
+    ensure_shape(scratch.agg, n, layer.in_dim());
+    ensure_shape(scratch.self_out, n, fo);
+    ensure_shape(scratch.neigh_out, n, fo);
+    ensure_shape(*next, n, 2 * fo);
+
+    propagation::FeaturePartitionOptions opts;
+    opts.threads = threads;
+    opts.aggregator = layer.aggregator();
+    propagation::propagate_feature_partitioned(g, *h, scratch.agg, opts);
+
+    tensor::gemm_nn(*h, layer.w_self(), scratch.self_out, 1.0f, 0.0f, threads);
+    tensor::gemm_nn(scratch.agg, layer.w_neigh(), scratch.neigh_out, 1.0f,
+                    0.0f, threads);
+    tensor::concat_cols(scratch.self_out, scratch.neigh_out, *next, threads);
+    if (layer.has_relu()) tensor::relu_forward(*next, *next, threads);
+
+    h = next;
+    std::swap(next, spare);
+  }
+
+  ensure_shape(scratch.logits, n, model.w_cls().cols());
+  tensor::gemm_nn(*h, model.w_cls(), scratch.logits, 1.0f, 0.0f, threads);
+  tensor::add_bias_rows(scratch.logits,
+                        {model.bias_cls().data(), model.bias_cls().cols()},
+                        threads);
+  return scratch.logits;
+}
+
+}  // namespace gsgcn::gcn

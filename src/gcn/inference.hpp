@@ -1,0 +1,34 @@
+#pragma once
+// Full-graph inference without training caches.
+//
+// GcnModel::forward keeps per-layer activations for backward — at
+// |V|·2·hidden floats per layer that is fine for sampled subgraphs but
+// wasteful for full-graph evaluation on large inputs. This path computes
+// layers with two ping-pong buffers and no cached state, using the same
+// weights, and is what the Trainer's evaluate() runs.
+
+#include "gcn/model.hpp"
+
+namespace gsgcn::gcn {
+
+/// Scratch buffers reusable across inference calls (avoids reallocating
+/// |V|-sized matrices every evaluation epoch).
+struct InferenceScratch {
+  tensor::Matrix h_a;
+  tensor::Matrix h_b;
+  tensor::Matrix agg;
+  tensor::Matrix self_out;
+  tensor::Matrix neigh_out;
+  tensor::Matrix logits;
+};
+
+/// Logits for every vertex of g. Numerically identical to
+/// model.forward(g, x) in eval mode (no dropout), but leaves the model's
+/// training caches untouched and allocates only the scratch.
+const tensor::Matrix& infer_logits(const GcnModel& model,
+                                   const graph::CsrGraph& g,
+                                   const tensor::Matrix& x,
+                                   InferenceScratch& scratch,
+                                   int threads = 0);
+
+}  // namespace gsgcn::gcn

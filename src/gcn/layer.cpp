@@ -1,0 +1,157 @@
+#include "gcn/layer.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace gsgcn::gcn {
+
+void ensure_shape(tensor::Matrix& m, std::size_t rows, std::size_t cols) {
+  if (m.rows() != rows || m.cols() != cols) {
+    m = tensor::Matrix(rows, cols);
+  }
+}
+
+GraphConvLayer::GraphConvLayer(std::size_t in_dim, std::size_t out_dim,
+                               bool relu, util::Xoshiro256& rng,
+                               propagation::AggregatorKind aggregator)
+    : relu_(relu),
+      aggregator_(aggregator),
+      dropout_rng_(rng()),
+      w_self_(tensor::Matrix::glorot(in_dim, out_dim, rng)),
+      w_neigh_(tensor::Matrix::glorot(in_dim, out_dim, rng)),
+      d_w_self_(in_dim, out_dim),
+      d_w_neigh_(in_dim, out_dim) {
+  if (in_dim == 0 || out_dim == 0) {
+    throw std::invalid_argument("GraphConvLayer: zero dimension");
+  }
+}
+
+void GraphConvLayer::set_dropout(float rate) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("set_dropout: rate must be in [0, 1)");
+  }
+  dropout_rate_ = rate;
+}
+
+const tensor::Matrix& GraphConvLayer::forward(const graph::CsrGraph& g,
+                                              const tensor::Matrix& h_in_raw,
+                                              int threads, PhaseClock* clock,
+                                              bool training) {
+  if (h_in_raw.cols() != in_dim() || h_in_raw.rows() != g.num_vertices()) {
+    throw std::invalid_argument("GraphConvLayer::forward: input shape " +
+                                h_in_raw.shape_str());
+  }
+  const std::size_t n = h_in_raw.rows();
+  const std::size_t fo = out_dim();
+
+  // Inverted dropout on the input: keep with probability 1-p, scale by
+  // 1/(1-p) so eval needs no rescaling.
+  used_dropout_ = training && dropout_rate_ > 0.0f;
+  if (used_dropout_) {
+    ensure_shape(dropout_mask_, n, in_dim());
+    ensure_shape(h_dropped_, n, in_dim());
+    const float keep = 1.0f - dropout_rate_;
+    const float scale = 1.0f / keep;
+    for (std::size_t i = 0; i < dropout_mask_.size(); ++i) {
+      dropout_mask_.data()[i] = dropout_rng_.uniformf() < keep ? scale : 0.0f;
+      h_dropped_.data()[i] = dropout_mask_.data()[i] * h_in_raw.data()[i];
+    }
+  }
+  const tensor::Matrix& h_in = used_dropout_ ? h_dropped_ : h_in_raw;
+  h_in_ = &h_in;
+  ensure_shape(h_agg_, n, in_dim());
+  ensure_shape(pre_act_, n, 2 * fo);
+  ensure_shape(h_out_, n, 2 * fo);
+
+  // Feature aggregation — the paper's partitioned kernel (Section V-B).
+  {
+    propagation::FeaturePartitionOptions opts;
+    opts.threads = threads;
+    opts.aggregator = aggregator_;
+    if (clock != nullptr) {
+      util::ScopedPhase p(clock->feature_prop);
+      propagation::propagate_feature_partitioned(g, h_in, h_agg_, opts);
+    } else {
+      propagation::propagate_feature_partitioned(g, h_in, h_agg_, opts);
+    }
+  }
+
+  // Weight application — dense GEMMs into the two concat halves.
+  {
+    std::unique_ptr<util::ScopedPhase> p;
+    if (clock != nullptr) p = std::make_unique<util::ScopedPhase>(clock->weight_apply);
+    ensure_shape(d_self_, n, fo);   // reuse scratch as GEMM outputs
+    ensure_shape(d_neigh_, n, fo);
+    tensor::gemm_nn(h_in, w_self_, d_self_, 1.0f, 0.0f, threads);
+    tensor::gemm_nn(h_agg_, w_neigh_, d_neigh_, 1.0f, 0.0f, threads);
+    tensor::concat_cols(d_self_, d_neigh_, pre_act_, threads);
+  }
+
+  if (relu_) {
+    tensor::relu_forward(pre_act_, h_out_, threads);
+  } else {
+    h_out_ = pre_act_;
+  }
+  return h_out_;
+}
+
+const tensor::Matrix& GraphConvLayer::backward(const graph::CsrGraph& g,
+                                               const tensor::Matrix& d_out,
+                                               int threads, PhaseClock* clock) {
+  if (h_in_ == nullptr) {
+    throw std::logic_error("GraphConvLayer::backward before forward");
+  }
+  const tensor::Matrix& h_in = *h_in_;
+  const std::size_t n = h_in.rows();
+  const std::size_t fo = out_dim();
+  if (d_out.rows() != n || d_out.cols() != 2 * fo) {
+    throw std::invalid_argument("GraphConvLayer::backward: grad shape " +
+                                d_out.shape_str());
+  }
+  ensure_shape(d_pre_, n, 2 * fo);
+  ensure_shape(d_self_, n, fo);
+  ensure_shape(d_neigh_, n, fo);
+  ensure_shape(d_agg_, n, in_dim());
+  ensure_shape(d_in_, n, in_dim());
+
+  if (relu_) {
+    tensor::relu_backward(pre_act_, d_out, d_pre_, threads);
+  } else {
+    d_pre_ = d_out;
+  }
+  tensor::split_cols(d_pre_, d_self_, d_neigh_, threads);
+
+  {
+    std::unique_ptr<util::ScopedPhase> p;
+    if (clock != nullptr) p = std::make_unique<util::ScopedPhase>(clock->weight_apply);
+    // Weight gradients.
+    tensor::gemm_tn(h_in, d_self_, d_w_self_, 1.0f, 0.0f, threads);
+    tensor::gemm_tn(h_agg_, d_neigh_, d_w_neigh_, 1.0f, 0.0f, threads);
+    // Input gradient, dense parts: d_in = d_self·W_selfᵀ; d_agg = d_neigh·W_neighᵀ.
+    tensor::gemm_nt(d_self_, w_self_, d_in_, 1.0f, 0.0f, threads);
+    tensor::gemm_nt(d_neigh_, w_neigh_, d_agg_, 1.0f, 0.0f, threads);
+  }
+
+  // Sparse part: push d_agg back through the mean aggregation.
+  {
+    propagation::FeaturePartitionOptions opts;
+    opts.threads = threads;
+    opts.aggregator = aggregator_;
+    std::unique_ptr<util::ScopedPhase> p;
+    if (clock != nullptr) p = std::make_unique<util::ScopedPhase>(clock->feature_prop);
+    // Reuse h_agg_ as scratch for the propagated gradient, then add.
+    propagation::propagate_feature_partitioned_backward(g, d_agg_, h_agg_, opts);
+  }
+  tensor::add_scaled(d_in_, h_agg_, 1.0f, threads);
+  // Undo the input dropout: gradients flow only through kept entries.
+  if (used_dropout_) {
+    for (std::size_t i = 0; i < d_in_.size(); ++i) {
+      d_in_.data()[i] *= dropout_mask_.data()[i];
+    }
+  }
+  return d_in_;
+}
+
+}  // namespace gsgcn::gcn

@@ -1,0 +1,106 @@
+#pragma once
+// One GCN layer (paper Algorithm 1, lines 7-9):
+//
+//   H_neigh = (A_GS)ᵀ · H_in · W_neigh      (mean aggregation + weights)
+//   H_self  = H_in · W_self
+//   H_out   = σ( H_self ‖ H_neigh )          (concat, then ReLU)
+//
+// Output width is therefore 2·out_dim. The feature aggregation runs
+// through the feature-partitioned propagation kernel (Section V-B); the
+// weight applications are GEMMs (Section V-A). Backward is hand-derived
+// and validated against numerical differentiation in the tests.
+
+#include "graph/csr.hpp"
+#include "propagation/feature_partitioned.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/matrix.hpp"
+#include "util/timer.hpp"
+
+namespace gsgcn::gcn {
+
+/// Per-phase timing shared by layers of one model — the Figure-3D
+/// breakdown (feature propagation vs. weight application).
+struct PhaseClock {
+  util::PhaseTimer feature_prop;
+  util::PhaseTimer weight_apply;
+  void reset() {
+    feature_prop.reset();
+    weight_apply.reset();
+  }
+};
+
+class GraphConvLayer {
+ public:
+  /// in_dim → 2·out_dim (self ‖ neigh). `relu` is off for pre-logit use.
+  /// `aggregator` selects the neighbor-aggregation semantics (the paper
+  /// uses the mean; sum and symmetric-GCN normalization are provided for
+  /// the aggregator ablation).
+  GraphConvLayer(std::size_t in_dim, std::size_t out_dim, bool relu,
+                 util::Xoshiro256& rng,
+                 propagation::AggregatorKind aggregator =
+                     propagation::AggregatorKind::kMean);
+
+  /// Inverted dropout on the layer input while training (0 = disabled).
+  void set_dropout(float rate);
+  float dropout() const { return dropout_rate_; }
+
+  /// Forward over the (sub)graph g. Keeps the activations needed by
+  /// backward. `h_in` must stay alive until backward() returns. With
+  /// `training` set, input dropout is applied (if configured).
+  const tensor::Matrix& forward(const graph::CsrGraph& g,
+                                const tensor::Matrix& h_in, int threads,
+                                PhaseClock* clock = nullptr,
+                                bool training = false);
+
+  /// Backward: consumes d(H_out), fills the weight gradients and returns
+  /// d(H_in). Must follow a forward() on the same graph/input.
+  const tensor::Matrix& backward(const graph::CsrGraph& g,
+                                 const tensor::Matrix& d_out, int threads,
+                                 PhaseClock* clock = nullptr);
+
+  std::size_t in_dim() const { return w_self_.rows(); }
+  std::size_t out_dim() const { return w_self_.cols(); }     // per branch
+  std::size_t output_width() const { return 2 * out_dim(); }  // concat
+
+  tensor::Matrix& w_self() { return w_self_; }
+  tensor::Matrix& w_neigh() { return w_neigh_; }
+  tensor::Matrix& grad_w_self() { return d_w_self_; }
+  tensor::Matrix& grad_w_neigh() { return d_w_neigh_; }
+  const tensor::Matrix& w_self() const { return w_self_; }
+  const tensor::Matrix& w_neigh() const { return w_neigh_; }
+
+  bool has_relu() const { return relu_; }
+  propagation::AggregatorKind aggregator() const { return aggregator_; }
+
+ private:
+  bool relu_;
+  propagation::AggregatorKind aggregator_;
+  float dropout_rate_ = 0.0f;
+  util::Xoshiro256 dropout_rng_{0x5eedu};
+  tensor::Matrix dropout_mask_;  // scaled keep-mask of the last forward
+  tensor::Matrix h_dropped_;     // input after dropout (training only)
+  bool used_dropout_ = false;
+  tensor::Matrix w_self_;    // in_dim x out_dim
+  tensor::Matrix w_neigh_;   // in_dim x out_dim
+  tensor::Matrix d_w_self_;
+  tensor::Matrix d_w_neigh_;
+
+  // Cached activations (batch-sized; resized on demand).
+  const tensor::Matrix* h_in_ = nullptr;
+  tensor::Matrix h_agg_;     // A·H_in
+  tensor::Matrix pre_act_;   // [H_self | H_neigh] before ReLU
+  tensor::Matrix h_out_;
+
+  // Backward scratch.
+  tensor::Matrix d_pre_;
+  tensor::Matrix d_self_;
+  tensor::Matrix d_neigh_;
+  tensor::Matrix d_agg_;
+  tensor::Matrix d_in_;
+};
+
+/// Resize helper: (re)allocate only when the shape changes, so steady-state
+/// training does no allocation.
+void ensure_shape(tensor::Matrix& m, std::size_t rows, std::size_t cols);
+
+}  // namespace gsgcn::gcn

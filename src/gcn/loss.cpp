@@ -1,0 +1,165 @@
+#include "gcn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gsgcn::gcn {
+
+namespace {
+void check_shapes(const tensor::Matrix& a, const tensor::Matrix& b,
+                  const tensor::Matrix& c, const char* what) {
+  if (a.rows() != b.rows() || a.cols() != b.cols() || a.rows() != c.rows() ||
+      a.cols() != c.cols()) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch");
+  }
+  if (a.rows() == 0 || a.cols() == 0) {
+    throw std::invalid_argument(std::string(what) + ": empty input");
+  }
+}
+}  // namespace
+
+float sigmoid_bce_loss(const tensor::Matrix& logits,
+                       const tensor::Matrix& labels,
+                       tensor::Matrix& d_logits) {
+  check_shapes(logits, labels, d_logits, "sigmoid_bce_loss");
+  const std::size_t n = logits.rows(), c = logits.cols();
+  const double inv = 1.0 / static_cast<double>(n * c);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* z = logits.row(i);
+    const float* y = labels.row(i);
+    float* dz = d_logits.row(i);
+    for (std::size_t j = 0; j < c; ++j) {
+      // Stable BCE-with-logits: max(z,0) - z·y + log(1 + e^{-|z|}).
+      const double zj = z[j];
+      const double yj = y[j];
+      total += std::max(zj, 0.0) - zj * yj + std::log1p(std::exp(-std::abs(zj)));
+      const double sig = 1.0 / (1.0 + std::exp(-zj));
+      dz[j] = static_cast<float>((sig - yj) * inv);
+    }
+  }
+  return static_cast<float>(total * inv);
+}
+
+float softmax_ce_loss(const tensor::Matrix& logits,
+                      const tensor::Matrix& labels, tensor::Matrix& d_logits) {
+  check_shapes(logits, labels, d_logits, "softmax_ce_loss");
+  const std::size_t n = logits.rows(), c = logits.cols();
+  const double inv = 1.0 / static_cast<double>(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* z = logits.row(i);
+    const float* y = labels.row(i);
+    float* dz = d_logits.row(i);
+    double zmax = z[0];
+    for (std::size_t j = 1; j < c; ++j) zmax = std::max(zmax, static_cast<double>(z[j]));
+    double sum = 0.0;
+    for (std::size_t j = 0; j < c; ++j) sum += std::exp(z[j] - zmax);
+    const double log_sum = std::log(sum) + zmax;
+    for (std::size_t j = 0; j < c; ++j) {
+      const double p = std::exp(z[j] - log_sum);
+      dz[j] = static_cast<float>((p - y[j]) * inv);
+      if (y[j] != 0.0f) total += y[j] * (log_sum - z[j]);
+    }
+  }
+  return static_cast<float>(total * inv);
+}
+
+float classification_loss(data::LabelMode mode, const tensor::Matrix& logits,
+                          const tensor::Matrix& labels,
+                          tensor::Matrix& d_logits) {
+  return mode == data::LabelMode::kMulti
+             ? sigmoid_bce_loss(logits, labels, d_logits)
+             : softmax_ce_loss(logits, labels, d_logits);
+}
+
+float sigmoid_bce_loss_weighted(const tensor::Matrix& logits,
+                                const tensor::Matrix& labels,
+                                std::span<const float> row_weights,
+                                tensor::Matrix& d_logits) {
+  check_shapes(logits, labels, d_logits, "sigmoid_bce_loss_weighted");
+  if (row_weights.size() != logits.rows()) {
+    throw std::invalid_argument("sigmoid_bce_loss_weighted: weights length");
+  }
+  const std::size_t n = logits.rows(), c = logits.cols();
+  const double inv = 1.0 / static_cast<double>(n * c);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* z = logits.row(i);
+    const float* y = labels.row(i);
+    float* dz = d_logits.row(i);
+    const double wi = row_weights[i];
+    for (std::size_t j = 0; j < c; ++j) {
+      const double zj = z[j];
+      const double yj = y[j];
+      total += wi * (std::max(zj, 0.0) - zj * yj +
+                     std::log1p(std::exp(-std::abs(zj))));
+      const double sig = 1.0 / (1.0 + std::exp(-zj));
+      dz[j] = static_cast<float>(wi * (sig - yj) * inv);
+    }
+  }
+  return static_cast<float>(total * inv);
+}
+
+float softmax_ce_loss_weighted(const tensor::Matrix& logits,
+                               const tensor::Matrix& labels,
+                               std::span<const float> row_weights,
+                               tensor::Matrix& d_logits) {
+  check_shapes(logits, labels, d_logits, "softmax_ce_loss_weighted");
+  if (row_weights.size() != logits.rows()) {
+    throw std::invalid_argument("softmax_ce_loss_weighted: weights length");
+  }
+  const std::size_t n = logits.rows(), c = logits.cols();
+  const double inv = 1.0 / static_cast<double>(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* z = logits.row(i);
+    const float* y = labels.row(i);
+    float* dz = d_logits.row(i);
+    const double wi = row_weights[i];
+    double zmax = z[0];
+    for (std::size_t j = 1; j < c; ++j) zmax = std::max(zmax, static_cast<double>(z[j]));
+    double sum = 0.0;
+    for (std::size_t j = 0; j < c; ++j) sum += std::exp(z[j] - zmax);
+    const double log_sum = std::log(sum) + zmax;
+    for (std::size_t j = 0; j < c; ++j) {
+      const double p = std::exp(z[j] - log_sum);
+      dz[j] = static_cast<float>(wi * (p - y[j]) * inv);
+      if (y[j] != 0.0f) total += wi * y[j] * (log_sum - z[j]);
+    }
+  }
+  return static_cast<float>(total * inv);
+}
+
+float classification_loss_weighted(data::LabelMode mode,
+                                   const tensor::Matrix& logits,
+                                   const tensor::Matrix& labels,
+                                   std::span<const float> row_weights,
+                                   tensor::Matrix& d_logits) {
+  return mode == data::LabelMode::kMulti
+             ? sigmoid_bce_loss_weighted(logits, labels, row_weights, d_logits)
+             : softmax_ce_loss_weighted(logits, labels, row_weights, d_logits);
+}
+
+void predict(data::LabelMode mode, const tensor::Matrix& logits,
+             tensor::Matrix& pred) {
+  if (pred.rows() != logits.rows() || pred.cols() != logits.cols()) {
+    throw std::invalid_argument("predict: shape mismatch");
+  }
+  const std::size_t n = logits.rows(), c = logits.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* z = logits.row(i);
+    float* p = pred.row(i);
+    if (mode == data::LabelMode::kMulti) {
+      for (std::size_t j = 0; j < c; ++j) p[j] = z[j] > 0.0f ? 1.0f : 0.0f;
+    } else {
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < c; ++j) {
+        if (z[j] > z[best]) best = j;
+      }
+      for (std::size_t j = 0; j < c; ++j) p[j] = j == best ? 1.0f : 0.0f;
+    }
+  }
+}
+
+}  // namespace gsgcn::gcn

@@ -1,0 +1,124 @@
+#include "gcn/metrics.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace gsgcn::gcn {
+
+namespace {
+void check(const tensor::Matrix& a, const tensor::Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols() || a.rows() == 0) {
+    throw std::invalid_argument("metrics: shape mismatch or empty");
+  }
+}
+}  // namespace
+
+double f1_micro(const tensor::Matrix& pred, const tensor::Matrix& truth) {
+  check(pred, truth);
+  std::int64_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const bool p = pred.data()[i] != 0.0f;
+    const bool t = truth.data()[i] != 0.0f;
+    tp += (p && t);
+    fp += (p && !t);
+    fn += (!p && t);
+  }
+  const double denom = 2.0 * tp + fp + fn;
+  return denom == 0.0 ? 1.0 : 2.0 * tp / denom;
+}
+
+double f1_macro(const tensor::Matrix& pred, const tensor::Matrix& truth) {
+  check(pred, truth);
+  const std::size_t c = pred.cols();
+  std::vector<std::int64_t> tp(c, 0), fp(c, 0), fn(c, 0);
+  for (std::size_t i = 0; i < pred.rows(); ++i) {
+    const float* p = pred.row(i);
+    const float* t = truth.row(i);
+    for (std::size_t j = 0; j < c; ++j) {
+      const bool pj = p[j] != 0.0f;
+      const bool tj = t[j] != 0.0f;
+      tp[j] += (pj && tj);
+      fp[j] += (pj && !tj);
+      fn[j] += (!pj && tj);
+    }
+  }
+  double total = 0.0;
+  for (std::size_t j = 0; j < c; ++j) {
+    const double denom = 2.0 * tp[j] + fp[j] + fn[j];
+    total += denom == 0.0 ? 0.0 : 2.0 * tp[j] / denom;
+  }
+  return total / static_cast<double>(c);
+}
+
+double subset_accuracy(const tensor::Matrix& pred, const tensor::Matrix& truth) {
+  check(pred, truth);
+  std::int64_t exact = 0;
+  for (std::size_t i = 0; i < pred.rows(); ++i) {
+    const float* p = pred.row(i);
+    const float* t = truth.row(i);
+    bool ok = true;
+    for (std::size_t j = 0; j < pred.cols(); ++j) {
+      if ((p[j] != 0.0f) != (t[j] != 0.0f)) {
+        ok = false;
+        break;
+      }
+    }
+    exact += ok;
+  }
+  return static_cast<double>(exact) / static_cast<double>(pred.rows());
+}
+
+ClassificationReport classification_report(const tensor::Matrix& pred,
+                                           const tensor::Matrix& truth) {
+  check(pred, truth);
+  const std::size_t c = pred.cols();
+  std::vector<std::int64_t> tp(c, 0), fp(c, 0), fn(c, 0);
+  for (std::size_t i = 0; i < pred.rows(); ++i) {
+    const float* p = pred.row(i);
+    const float* t = truth.row(i);
+    for (std::size_t j = 0; j < c; ++j) {
+      const bool pj = p[j] != 0.0f;
+      const bool tj = t[j] != 0.0f;
+      tp[j] += (pj && tj);
+      fp[j] += (pj && !tj);
+      fn[j] += (!pj && tj);
+    }
+  }
+  ClassificationReport report;
+  report.per_class.resize(c);
+  for (std::size_t j = 0; j < c; ++j) {
+    ClassMetrics& m = report.per_class[j];
+    const double pd = tp[j] + fp[j];
+    const double td = tp[j] + fn[j];
+    m.precision = pd == 0.0 ? 0.0 : tp[j] / pd;
+    m.recall = td == 0.0 ? 0.0 : tp[j] / td;
+    const double denom = m.precision + m.recall;
+    m.f1 = denom == 0.0 ? 0.0 : 2.0 * m.precision * m.recall / denom;
+    m.support = tp[j] + fn[j];
+  }
+  report.micro_f1 = f1_micro(pred, truth);
+  report.macro_f1 = f1_macro(pred, truth);
+  report.subset_accuracy = subset_accuracy(pred, truth);
+  return report;
+}
+
+std::string format_report(const ClassificationReport& report) {
+  std::string out =
+      "class  precision  recall  f1      support\n";
+  char buf[96];
+  for (std::size_t j = 0; j < report.per_class.size(); ++j) {
+    const ClassMetrics& m = report.per_class[j];
+    std::snprintf(buf, sizeof(buf), "%-5zu  %-9.4f  %-6.4f  %-6.4f  %lld\n", j,
+                  m.precision, m.recall, m.f1,
+                  static_cast<long long>(m.support));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "micro-F1 %.4f  macro-F1 %.4f  subset-acc %.4f\n",
+                report.micro_f1, report.macro_f1, report.subset_accuracy);
+  out += buf;
+  return out;
+}
+
+}  // namespace gsgcn::gcn

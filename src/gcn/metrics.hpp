@@ -1,0 +1,45 @@
+#pragma once
+// Evaluation metrics. The paper reports F1-micro ("Accuracy (F1 Mic)" in
+// Figure 2); F1-macro and subset accuracy are included for completeness.
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace gsgcn::gcn {
+
+/// Micro-averaged F1 over all (row, class) cells of two 0/1 matrices.
+/// For single-label one-hot predictions this equals plain accuracy.
+double f1_micro(const tensor::Matrix& pred, const tensor::Matrix& truth);
+
+/// Macro-averaged F1 (mean of per-class F1; classes with no positives in
+/// either matrix contribute 0 and are counted, matching sklearn).
+double f1_macro(const tensor::Matrix& pred, const tensor::Matrix& truth);
+
+/// Fraction of rows predicted exactly (subset accuracy).
+double subset_accuracy(const tensor::Matrix& pred, const tensor::Matrix& truth);
+
+/// Per-class precision/recall/F1 with supports, plus the aggregates —
+/// what a downstream user prints after training.
+struct ClassMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::int64_t support = 0;  // positives in truth
+};
+
+struct ClassificationReport {
+  std::vector<ClassMetrics> per_class;
+  double micro_f1 = 0.0;
+  double macro_f1 = 0.0;
+  double subset_accuracy = 0.0;
+};
+
+ClassificationReport classification_report(const tensor::Matrix& pred,
+                                           const tensor::Matrix& truth);
+
+/// Render the report as an aligned text table (one row per class).
+std::string format_report(const ClassificationReport& report);
+
+}  // namespace gsgcn::gcn

@@ -1,0 +1,215 @@
+#include "gcn/trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gcn/inference.hpp"
+#include "gcn/loss.hpp"
+#include "gcn/metrics.hpp"
+#include "graph/subgraph.hpp"
+#include "sampling/frontier_dashboard.hpp"
+#include "sampling/samplers.hpp"
+#include "tensor/ops.hpp"
+#include "util/timer.hpp"
+
+namespace gsgcn::gcn {
+
+const char* sampler_kind_name(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kFrontierDashboard: return "frontier-dashboard";
+    case SamplerKind::kFrontierNaive: return "frontier-naive";
+    case SamplerKind::kUniformNode: return "uniform-node";
+    case SamplerKind::kRandomEdge: return "random-edge";
+    case SamplerKind::kRandomWalk: return "random-walk";
+    case SamplerKind::kForestFire: return "forest-fire";
+    case SamplerKind::kSnowball: return "snowball";
+  }
+  return "?";
+}
+
+Trainer::Trainer(const data::Dataset& dataset, const TrainerConfig& config)
+    : ds_(dataset), cfg_(config) {
+  const std::string err = ds_.validate();
+  if (!err.empty()) throw std::invalid_argument("Trainer: bad dataset: " + err);
+
+  // Build the training graph once (inductive setup).
+  graph::Inducer inducer(ds_.graph);
+  auto sub = inducer.induce(ds_.train_vertices, std::max(1, cfg_.threads));
+  train_graph_ = std::move(sub.graph);
+  train_orig_ = std::move(sub.orig_ids);
+
+  train_features_ = tensor::Matrix(train_orig_.size(), ds_.feature_dim());
+  train_labels_ = tensor::Matrix(train_orig_.size(), ds_.num_classes());
+  tensor::gather_rows(ds_.features, train_orig_, train_features_);
+  tensor::gather_rows(ds_.labels, train_orig_, train_labels_);
+
+  // Clamp sampler parameters to the training-graph size: budget at most
+  // |V_train|, frontier below budget.
+  const graph::Vid n_train = train_graph_.num_vertices();
+  budget_ = std::min<graph::Vid>(cfg_.budget, std::max<graph::Vid>(n_train / 2, 2));
+  frontier_ = std::min<graph::Vid>(cfg_.frontier_size,
+                                   std::max<graph::Vid>(budget_ / 4, 1));
+  if (frontier_ >= budget_) frontier_ = budget_ - 1;
+
+  ModelConfig mc;
+  mc.in_dim = ds_.feature_dim();
+  mc.hidden_dim = cfg_.hidden_dim;
+  mc.num_classes = ds_.num_classes();
+  mc.num_layers = cfg_.num_layers;
+  mc.seed = cfg_.seed;
+  mc.aggregator = cfg_.aggregator;
+  mc.dropout = cfg_.dropout;
+  model_ = std::make_unique<GcnModel>(mc);
+
+  AdamConfig ac;
+  ac.lr = cfg_.lr;
+  ac.grad_clip = cfg_.grad_clip;
+  opt_ = std::make_unique<Adam>(ac);
+  model_->attach(*opt_);
+
+  pool_ = std::make_unique<sampling::SubgraphPool>(
+      train_graph_, [this](int i) { return make_sampler(i); },
+      std::max(1, cfg_.p_inter), cfg_.seed);
+
+  if (cfg_.saint_loss_norm) {
+    saint_ = std::make_unique<SaintNormalizer>(train_graph_.num_vertices());
+    // A dedicated sampler instance + RNG stream keeps the training-time
+    // sample sequence identical with/without normalization.
+    auto probe = make_sampler(-1);
+    util::Xoshiro256 rng = util::Xoshiro256::stream(cfg_.seed, 0x5a17);
+    saint_->estimate(*probe, rng, cfg_.saint_presamples);
+  }
+}
+
+std::unique_ptr<sampling::VertexSampler> Trainer::make_sampler(
+    int /*instance*/) const {
+  sampling::FrontierParams fp;
+  fp.frontier_size = frontier_;
+  fp.budget = budget_;
+  fp.eta = cfg_.eta;
+  fp.degree_cap = cfg_.degree_cap;
+  switch (cfg_.sampler) {
+    case SamplerKind::kFrontierDashboard:
+      return std::make_unique<sampling::DashboardFrontierSampler>(train_graph_,
+                                                                  fp, cfg_.intra);
+    case SamplerKind::kFrontierNaive:
+      return std::make_unique<sampling::NaiveFrontierSampler>(train_graph_, fp);
+    case SamplerKind::kUniformNode:
+      return std::make_unique<sampling::UniformNodeSampler>(train_graph_, budget_);
+    case SamplerKind::kRandomEdge:
+      return std::make_unique<sampling::RandomEdgeSampler>(train_graph_, budget_);
+    case SamplerKind::kRandomWalk: {
+      // roots·(len+1) ≈ budget with GraphSAINT-ish walk length 4.
+      const graph::Vid len = 4;
+      const graph::Vid roots = std::max<graph::Vid>(1, budget_ / (len + 1));
+      return std::make_unique<sampling::RandomWalkSampler>(train_graph_, roots, len);
+    }
+    case SamplerKind::kForestFire:
+      return std::make_unique<sampling::ForestFireSampler>(train_graph_, budget_);
+    case SamplerKind::kSnowball:
+      return std::make_unique<sampling::SnowballSampler>(train_graph_, budget_);
+  }
+  throw std::logic_error("unknown sampler kind");
+}
+
+TrainResult Trainer::train() {
+  TrainResult result;
+  PhaseClock clock;
+  pool_->reset_timer();
+
+  const std::int64_t iters_per_epoch = std::max<std::int64_t>(
+      1, train_graph_.num_vertices() / std::max<graph::Vid>(budget_, 1));
+
+  const bool eval_epochs = cfg_.eval_every_epoch ||
+                           cfg_.early_stop_patience > 0 || cfg_.restore_best;
+  double best_val = -1.0;
+  std::vector<tensor::Matrix> best_weights;
+  int stale_epochs = 0;
+  double train_time = 0.0;
+  float lr = cfg_.lr;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    util::Timer epoch_timer;
+    double loss_sum = 0.0;
+    for (std::int64_t it = 0; it < iters_per_epoch; ++it) {
+      graph::Subgraph sub = pool_->pop();
+      const graph::Vid n_sub = sub.num_vertices();
+
+      ensure_shape(batch_features_, n_sub, ds_.feature_dim());
+      ensure_shape(batch_labels_, n_sub, ds_.num_classes());
+      tensor::gather_rows(train_features_, sub.orig_ids, batch_features_,
+                          cfg_.threads);
+      tensor::gather_rows(train_labels_, sub.orig_ids, batch_labels_,
+                          cfg_.threads);
+
+      const tensor::Matrix& logits = model_->forward(
+          sub.graph, batch_features_, cfg_.threads, &clock, /*training=*/true);
+      ensure_shape(d_logits_, n_sub, ds_.num_classes());
+      if (saint_ != nullptr) {
+        const std::vector<float> w = saint_->batch_weights(sub.orig_ids);
+        loss_sum += classification_loss_weighted(ds_.mode, logits,
+                                                 batch_labels_, w, d_logits_);
+      } else {
+        loss_sum +=
+            classification_loss(ds_.mode, logits, batch_labels_, d_logits_);
+      }
+      model_->backward(sub.graph, d_logits_, cfg_.threads, &clock);
+      model_->apply_gradients(*opt_);
+      ++result.iterations;
+    }
+    train_time += epoch_timer.seconds();
+
+    EpochRecord rec;
+    rec.epoch = epoch;
+    rec.train_loss = loss_sum / static_cast<double>(iters_per_epoch);
+    rec.train_seconds = train_time;
+    if (eval_epochs) rec.val_f1 = evaluate(ds_.val_vertices);
+    result.history.push_back(rec);
+
+    // Per-epoch learning-rate decay.
+    if (cfg_.lr_decay != 1.0f) {
+      lr *= cfg_.lr_decay;
+      opt_->set_lr(lr);
+    }
+    // Early stopping / best-weights tracking on validation F1.
+    if (cfg_.early_stop_patience > 0 || cfg_.restore_best) {
+      if (rec.val_f1 > best_val + 1e-9) {
+        best_val = rec.val_f1;
+        stale_epochs = 0;
+        if (cfg_.restore_best) best_weights = model_->snapshot_weights();
+      } else if (cfg_.early_stop_patience > 0 &&
+                 ++stale_epochs >= cfg_.early_stop_patience) {
+        result.early_stopped = true;
+        break;
+      }
+    }
+  }
+  if (cfg_.restore_best && !best_weights.empty()) {
+    model_->restore_weights(best_weights);
+  }
+
+  result.train_seconds = train_time;
+  result.sample_seconds = pool_->sampling_seconds();
+  result.featprop_seconds = clock.feature_prop.total_seconds();
+  result.weight_seconds = clock.weight_apply.total_seconds();
+  result.final_val_f1 = evaluate(ds_.val_vertices);
+  result.final_test_f1 = evaluate(ds_.test_vertices);
+  return result;
+}
+
+double Trainer::evaluate(const std::vector<graph::Vid>& subset) {
+  if (subset.empty()) return 0.0;
+  // Cache-free full-graph inference: identical numerics to model forward
+  // in eval mode, but it does not disturb the training buffers.
+  const tensor::Matrix& logits =
+      infer_logits(*model_, ds_.graph, ds_.features, infer_scratch_,
+                   cfg_.threads);
+  ensure_shape(eval_pred_, logits.rows(), logits.cols());
+  predict(ds_.mode, logits, eval_pred_);
+  ensure_shape(subset_pred_, subset.size(), logits.cols());
+  ensure_shape(subset_truth_, subset.size(), logits.cols());
+  tensor::gather_rows(eval_pred_, subset, subset_pred_, cfg_.threads);
+  tensor::gather_rows(ds_.labels, subset, subset_truth_, cfg_.threads);
+  return f1_micro(subset_pred_, subset_truth_);
+}
+
+}  // namespace gsgcn::gcn

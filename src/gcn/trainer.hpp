@@ -1,0 +1,147 @@
+#pragma once
+// Minibatch trainer implementing the paper's Algorithm 5:
+//
+//   while not done:
+//     if pool empty: sample p_inter subgraphs in parallel
+//     G_sub ← pool.pop()
+//     complete-GCN forward/backward on G_sub; Adam step
+//
+// Training happens on the *training graph* (the subgraph of the dataset
+// induced on the training split, as in GraphSAGE's inductive setup), so
+// every sampled vertex carries a supervised label. Validation/test use
+// full-graph inference.
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "gcn/model.hpp"
+#include "gcn/inference.hpp"
+#include "gcn/saint_norm.hpp"
+#include "sampling/dashboard.hpp"
+#include "sampling/frontier_naive.hpp"
+#include "sampling/pool.hpp"
+
+namespace gsgcn::gcn {
+
+enum class SamplerKind {
+  kFrontierDashboard,  // the paper's sampler
+  kFrontierNaive,      // O(m·n) baseline, same distribution
+  kUniformNode,
+  kRandomEdge,
+  kRandomWalk,
+  kForestFire,
+  kSnowball,
+};
+
+const char* sampler_kind_name(SamplerKind kind);
+
+struct TrainerConfig {
+  // Model.
+  std::size_t hidden_dim = 128;
+  int num_layers = 2;
+  float lr = 0.01f;
+  propagation::AggregatorKind aggregator =
+      propagation::AggregatorKind::kMean;
+  float dropout = 0.0f;
+  float grad_clip = 0.0f;  // per-tensor L2 gradient clip (0 = off)
+
+  // Schedule.
+  int epochs = 10;
+  float lr_decay = 1.0f;          // multiplicative per epoch
+  int early_stop_patience = 0;    // epochs without val-F1 improvement
+                                  // before stopping (0 = off; forces
+                                  // per-epoch evaluation)
+  bool restore_best = false;      // keep the best-val-F1 weights (forces
+                                  // per-epoch evaluation)
+
+  // Sampler (paper defaults m=1000, n=8000 scaled to dataset size at
+  // construction: both are clamped against the training-graph size).
+  SamplerKind sampler = SamplerKind::kFrontierDashboard;
+  graph::Vid frontier_size = 1000;
+  graph::Vid budget = 8000;
+  double eta = 2.0;
+  graph::Eid degree_cap = 0;
+  sampling::IntraMode intra = sampling::IntraMode::kAuto;
+
+  // Parallelism (paper's p_inter; `threads` drives propagation + GEMM).
+  int p_inter = 1;
+  int threads = 1;
+
+  std::uint64_t seed = 1;
+  bool eval_every_epoch = true;
+
+  // GraphSAINT-style loss normalization (the paper's future-work
+  // direction): pre-sample `saint_presamples` subgraphs to estimate each
+  // vertex's inclusion probability, then weight minibatch losses by its
+  // inverse so the sampled loss is unbiased despite the sampler's degree
+  // bias.
+  bool saint_loss_norm = false;
+  int saint_presamples = 64;
+};
+
+struct EpochRecord {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_f1 = 0.0;
+  double train_seconds = 0.0;  // cumulative training time, eval excluded
+};
+
+struct TrainResult {
+  std::vector<EpochRecord> history;
+  bool early_stopped = false;
+  double train_seconds = 0.0;     // total training wall time (no eval)
+  double sample_seconds = 0.0;    // Figure-3D "Sampling"
+  double featprop_seconds = 0.0;  // Figure-3D "Feat Propagation"
+  double weight_seconds = 0.0;    // Figure-3D "Weight Application"
+  double final_val_f1 = 0.0;
+  double final_test_f1 = 0.0;
+  std::int64_t iterations = 0;
+};
+
+class Trainer {
+ public:
+  Trainer(const data::Dataset& dataset, const TrainerConfig& config);
+
+  TrainResult train();
+
+  /// F1-micro of full-graph inference restricted to `subset` rows.
+  double evaluate(const std::vector<graph::Vid>& subset);
+
+  GcnModel& model() { return *model_; }
+  const TrainerConfig& config() const { return cfg_; }
+
+  /// Effective (clamped) sampler parameters — exposed for the benches.
+  graph::Vid effective_budget() const { return budget_; }
+  graph::Vid effective_frontier() const { return frontier_; }
+  graph::Vid train_graph_size() const { return train_graph_.num_vertices(); }
+
+ private:
+  std::unique_ptr<sampling::VertexSampler> make_sampler(int instance) const;
+
+  const data::Dataset& ds_;
+  TrainerConfig cfg_;
+  graph::Vid frontier_ = 0;
+  graph::Vid budget_ = 0;
+
+  graph::CsrGraph train_graph_;          // induced on the training split
+  std::vector<graph::Vid> train_orig_;   // train-graph local → dataset id
+  tensor::Matrix train_features_;        // gathered once
+  tensor::Matrix train_labels_;
+
+  std::unique_ptr<GcnModel> model_;
+  std::unique_ptr<Adam> opt_;
+  std::unique_ptr<sampling::SubgraphPool> pool_;
+  std::unique_ptr<SaintNormalizer> saint_;
+
+  // Batch scratch.
+  tensor::Matrix batch_features_;
+  tensor::Matrix batch_labels_;
+  tensor::Matrix d_logits_;
+  tensor::Matrix eval_pred_;
+  tensor::Matrix subset_pred_;
+  tensor::Matrix subset_truth_;
+  InferenceScratch infer_scratch_;
+};
+
+}  // namespace gsgcn::gcn

@@ -1,0 +1,199 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace gsgcn::graph {
+
+std::vector<Vid> connected_components(const CsrGraph& g) {
+  const Vid n = g.num_vertices();
+  constexpr Vid kUnseen = 0xFFFFFFFFu;
+  std::vector<Vid> comp(n, kUnseen);
+  std::vector<Vid> stack;
+  Vid next_id = 0;
+  for (Vid root = 0; root < n; ++root) {
+    if (comp[root] != kUnseen) continue;
+    comp[root] = next_id;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const Vid u = stack.back();
+      stack.pop_back();
+      for (const Vid v : g.neighbors(u)) {
+        if (comp[v] == kUnseen) {
+          comp[v] = next_id;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return comp;
+}
+
+Vid num_components(const CsrGraph& g) {
+  const auto comp = connected_components(g);
+  Vid best = 0;
+  for (const Vid c : comp) best = std::max(best, c + 1);
+  return g.num_vertices() == 0 ? 0 : best;
+}
+
+Vid largest_component_size(const CsrGraph& g) {
+  const auto comp = connected_components(g);
+  if (comp.empty()) return 0;
+  std::vector<Vid> sizes;
+  for (const Vid c : comp) {
+    if (c >= sizes.size()) sizes.resize(c + 1, 0);
+    ++sizes[c];
+  }
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+namespace {
+
+/// Counts triangles and wedges. Triangle counting via sorted-adjacency
+/// intersection of the two lower-id endpoints of each edge.
+void count_triangles_wedges(const CsrGraph& g, double& triangles,
+                            double& wedges) {
+  triangles = 0.0;
+  wedges = 0.0;
+  const Vid n = g.num_vertices();
+  for (Vid u = 0; u < n; ++u) {
+    const double d = static_cast<double>(g.degree(u));
+    wedges += d * (d - 1.0) / 2.0;
+    const auto nu = g.neighbors(u);
+    for (const Vid v : nu) {
+      if (v <= u) continue;  // each edge once
+      const auto nv = g.neighbors(v);
+      // Count common neighbors w > v to get each triangle exactly once.
+      std::size_t i = 0, j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        if (nu[i] < nv[j]) {
+          ++i;
+        } else if (nu[i] > nv[j]) {
+          ++j;
+        } else {
+          if (nu[i] > v) triangles += 1.0;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double global_clustering_coefficient(const CsrGraph& g) {
+  double triangles = 0.0, wedges = 0.0;
+  count_triangles_wedges(g, triangles, wedges);
+  return wedges == 0.0 ? 0.0 : 3.0 * triangles / wedges;
+}
+
+double average_local_clustering(const CsrGraph& g) {
+  const Vid n = g.num_vertices();
+  double total = 0.0;
+  Vid counted = 0;
+  for (Vid u = 0; u < n; ++u) {
+    const auto nu = g.neighbors(u);
+    if (nu.size() < 2) continue;
+    // Count edges among neighbors.
+    double links = 0.0;
+    for (std::size_t a = 0; a < nu.size(); ++a) {
+      const auto na = g.neighbors(nu[a]);
+      for (std::size_t b = a + 1; b < nu.size(); ++b) {
+        if (std::binary_search(na.begin(), na.end(), nu[b])) links += 1.0;
+      }
+    }
+    const double d = static_cast<double>(nu.size());
+    total += 2.0 * links / (d * (d - 1.0));
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / counted;
+}
+
+std::vector<double> degree_histogram_log2(const CsrGraph& g) {
+  std::vector<double> hist;
+  const Vid n = g.num_vertices();
+  if (n == 0) return hist;
+  for (Vid v = 0; v < n; ++v) {
+    const auto d = static_cast<std::uint64_t>(g.degree(v));
+    std::size_t bucket = 0;
+    for (std::uint64_t x = d; x > 1; x >>= 1) ++bucket;
+    if (bucket >= hist.size()) hist.resize(bucket + 1, 0.0);
+    hist[bucket] += 1.0;
+  }
+  for (double& h : hist) h /= static_cast<double>(n);
+  return hist;
+}
+
+double degree_distribution_distance(const CsrGraph& a, const CsrGraph& b) {
+  auto ha = degree_histogram_log2(a);
+  auto hb = degree_histogram_log2(b);
+  const std::size_t buckets = std::max(ha.size(), hb.size());
+  ha.resize(buckets, 0.0);
+  hb.resize(buckets, 0.0);
+  double tv = 0.0;
+  for (std::size_t i = 0; i < buckets; ++i) tv += std::abs(ha[i] - hb[i]);
+  return 0.5 * tv;
+}
+
+double degree_assortativity(const CsrGraph& g) {
+  // Pearson correlation of (deg(u), deg(v)) over directed edges.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  double count = 0.0;
+  for (Vid u = 0; u < g.num_vertices(); ++u) {
+    const double du = static_cast<double>(g.degree(u));
+    for (const Vid v : g.neighbors(u)) {
+      const double dv = static_cast<double>(g.degree(v));
+      sx += du;
+      sy += dv;
+      sxx += du * du;
+      syy += dv * dv;
+      sxy += du * dv;
+      count += 1.0;
+    }
+  }
+  if (count == 0.0) return 0.0;
+  const double cov = sxy / count - (sx / count) * (sy / count);
+  const double vx = sxx / count - (sx / count) * (sx / count);
+  const double vy = syy / count - (sy / count) * (sy / count);
+  const double denom = std::sqrt(vx * vy);
+  return denom < 1e-12 ? 0.0 : cov / denom;
+}
+
+double estimated_average_distance(const CsrGraph& g, int samples,
+                                  util::Xoshiro256& rng) {
+  const Vid n = g.num_vertices();
+  if (n < 2 || samples <= 0) return 0.0;
+  constexpr Vid kUnseen = 0xFFFFFFFFu;
+  std::vector<Vid> dist(n);
+  double total = 0.0;
+  double pairs = 0.0;
+  std::vector<Vid> frontier, next;
+  for (int s = 0; s < samples; ++s) {
+    const Vid root = rng.below(n);
+    std::fill(dist.begin(), dist.end(), kUnseen);
+    dist[root] = 0;
+    frontier.assign(1, root);
+    Vid level = 0;
+    while (!frontier.empty()) {
+      ++level;
+      next.clear();
+      for (const Vid u : frontier) {
+        for (const Vid v : g.neighbors(u)) {
+          if (dist[v] == kUnseen) {
+            dist[v] = level;
+            next.push_back(v);
+            total += level;
+            pairs += 1.0;
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+  }
+  return pairs == 0.0 ? 0.0 : total / pairs;
+}
+
+}  // namespace gsgcn::graph

@@ -1,0 +1,53 @@
+#pragma once
+// Graph connectivity / similarity measures.
+//
+// Section III-C of the paper argues the frontier sampler is the right
+// choice because (citing Ribeiro & Towsley) its subgraphs "approximate the
+// original graph with respect to multiple connectivity measures". These
+// are those measures, used by the sampler-quality bench and tests:
+// component structure, clustering coefficient, degree-distribution
+// distance, and assortativity.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace gsgcn::graph {
+
+/// Connected components via BFS. Returns component id per vertex
+/// (ids are dense, ordered by first-seen vertex).
+std::vector<Vid> connected_components(const CsrGraph& g);
+
+/// Number of connected components (0 for the empty graph).
+Vid num_components(const CsrGraph& g);
+
+/// Size of the largest connected component.
+Vid largest_component_size(const CsrGraph& g);
+
+/// Global clustering coefficient: 3·triangles / open wedges, exact.
+/// O(Σ deg²) — fine at sampled-subgraph scale.
+double global_clustering_coefficient(const CsrGraph& g);
+
+/// Average local clustering coefficient over vertices with degree ≥ 2.
+double average_local_clustering(const CsrGraph& g);
+
+/// Normalized degree histogram: bucket `i` holds the fraction of vertices
+/// with degree in [2^i, 2^{i+1}) (bucket 0 holds degree 0 and 1).
+std::vector<double> degree_histogram_log2(const CsrGraph& g);
+
+/// Total-variation distance between two graphs' log2 degree histograms
+/// (in [0, 1]; 0 = identical shape). The sampler-quality metric.
+double degree_distribution_distance(const CsrGraph& a, const CsrGraph& b);
+
+/// Pearson degree assortativity over edges (in [-1, 1]; NaN-free: returns
+/// 0 for degenerate graphs).
+double degree_assortativity(const CsrGraph& g);
+
+/// Harmonic-mean estimate of characteristic path length from `samples`
+/// BFS sources (∞ distances between components are skipped). Returns 0
+/// for graphs with < 2 vertices.
+double estimated_average_distance(const CsrGraph& g, int samples,
+                                  util::Xoshiro256& rng);
+
+}  // namespace gsgcn::graph

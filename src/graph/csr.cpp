@@ -1,0 +1,112 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace gsgcn::graph {
+
+CsrGraph CsrGraph::from_edges(Vid num_vertices, std::span<const Edge> edges) {
+  // Pass 1: count per-vertex degree (both directions), skipping self loops.
+  std::vector<Eid> counts(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      throw std::out_of_range("edge endpoint out of range");
+    }
+    if (e.src == e.dst) continue;
+    ++counts[e.src + 1];
+    ++counts[e.dst + 1];
+  }
+  for (Vid v = 0; v < num_vertices; ++v) counts[v + 1] += counts[v];
+
+  // Pass 2: scatter.
+  std::vector<Vid> adj(static_cast<std::size_t>(counts[num_vertices]));
+  std::vector<Eid> cursor(counts.begin(), counts.end() - 1);
+  for (const Edge& e : edges) {
+    if (e.src == e.dst) continue;
+    adj[static_cast<std::size_t>(cursor[e.src]++)] = e.dst;
+    adj[static_cast<std::size_t>(cursor[e.dst]++)] = e.src;
+  }
+
+  // Pass 3: sort rows and dedup in place, then compact.
+  std::vector<Eid> offsets(static_cast<std::size_t>(num_vertices) + 1, 0);
+  std::size_t write = 0;
+  for (Vid v = 0; v < num_vertices; ++v) {
+    auto* begin = adj.data() + counts[v];
+    auto* end = adj.data() + counts[v + 1];
+    std::sort(begin, end);
+    auto* last = std::unique(begin, end);
+    offsets[v] = static_cast<Eid>(write);
+    for (auto* p = begin; p != last; ++p) adj[write++] = *p;
+  }
+  offsets[num_vertices] = static_cast<Eid>(write);
+  adj.resize(write);
+  adj.shrink_to_fit();
+
+  CsrGraph g;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  return g;
+}
+
+CsrGraph CsrGraph::from_csr(std::vector<Eid> offsets, std::vector<Vid> adj) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != static_cast<Eid>(adj.size())) {
+    throw std::invalid_argument("from_csr: malformed offsets");
+  }
+  CsrGraph g;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  return g;
+}
+
+Eid CsrGraph::max_degree() const {
+  Eid best = 0;
+  for (Vid v = 0; v < num_vertices(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+std::string CsrGraph::validate() const {
+  if (offsets_.empty()) return adj_.empty() ? "" : "adjacency without offsets";
+  if (offsets_.front() != 0) return "offsets[0] != 0";
+  if (offsets_.back() != static_cast<Eid>(adj_.size())) {
+    return "offsets back mismatch with adjacency size";
+  }
+  const Vid n = num_vertices();
+  for (Vid v = 0; v < n; ++v) {
+    if (offsets_[v + 1] < offsets_[v]) {
+      return "non-monotone offsets at vertex " + std::to_string(v);
+    }
+    auto row = neighbors(v);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] >= n) return "neighbor id out of range at vertex " + std::to_string(v);
+      if (row[i] == v) return "self loop at vertex " + std::to_string(v);
+      if (i > 0 && row[i] <= row[i - 1]) {
+        return "row not sorted/deduped at vertex " + std::to_string(v);
+      }
+    }
+  }
+  return "";
+}
+
+DegreeStats degree_stats(const CsrGraph& g) {
+  DegreeStats s;
+  const Vid n = g.num_vertices();
+  if (n == 0) return s;
+  std::vector<double> degs(n);
+  s.min_degree = g.degree(0);
+  for (Vid v = 0; v < n; ++v) {
+    const Eid d = g.degree(v);
+    degs[v] = static_cast<double>(d);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.isolated_vertices;
+  }
+  s.mean_degree = util::mean(degs);
+  s.median_degree = util::median(std::move(degs));
+  return s;
+}
+
+}  // namespace gsgcn::graph

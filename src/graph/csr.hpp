@@ -1,0 +1,93 @@
+#pragma once
+// Immutable CSR (compressed sparse row) graph.
+//
+// This is the substrate every other subsystem builds on: the frontier
+// sampler reads degrees and neighbor lists, the inducer builds per-batch
+// subgraph CSRs, and feature propagation streams CSR rows (the paper's
+// Section V performance model assumes exactly this streaming access).
+//
+// Vertex ids are uint32 (the paper's graphs top out at 1.6M vertices);
+// edge offsets are int64 so edge counts past 2^31 are representable.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gsgcn::graph {
+
+using Vid = std::uint32_t;   // vertex id
+using Eid = std::int64_t;    // edge offset / count
+
+struct Edge {
+  Vid src;
+  Vid dst;
+};
+
+/// Immutable undirected graph in CSR form. Neighbor lists are sorted and
+/// deduplicated; self-loops are dropped at construction (the GCN adds its
+/// own self-connection explicitly, per GraphSAGE's design which the paper
+/// follows).
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Build from an edge list. Edges are treated as undirected: each {u,v}
+  /// contributes to both adjacency rows. Duplicate edges and self-loops
+  /// are removed. Vertex ids must be < num_vertices.
+  static CsrGraph from_edges(Vid num_vertices, std::span<const Edge> edges);
+
+  /// Convenience overload so call sites can pass a braced edge list.
+  static CsrGraph from_edges(Vid num_vertices,
+                             std::initializer_list<Edge> edges) {
+    return from_edges(num_vertices,
+                      std::span<const Edge>(edges.begin(), edges.size()));
+  }
+
+  /// Build directly from pre-validated CSR arrays (used by the subgraph
+  /// inducer which constructs rows in place). offsets.size() must equal
+  /// num_vertices + 1 and adjacency rows must be sorted.
+  static CsrGraph from_csr(std::vector<Eid> offsets, std::vector<Vid> adj);
+
+  Vid num_vertices() const { return static_cast<Vid>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+  Eid num_edges() const { return adj_.empty() ? 0 : static_cast<Eid>(adj_.size()); }  // directed count (2x undirected)
+
+  Eid degree(Vid v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  std::span<const Vid> neighbors(Vid v) const {
+    return {adj_.data() + offsets_[v],
+            static_cast<std::size_t>(degree(v))};
+  }
+
+  const std::vector<Eid>& offsets() const { return offsets_; }
+  const std::vector<Vid>& adjacency() const { return adj_; }
+
+  double average_degree() const {
+    const Vid n = num_vertices();
+    return n == 0 ? 0.0 : static_cast<double>(num_edges()) / n;
+  }
+
+  Eid max_degree() const;
+
+  /// Structural invariants: monotone offsets, sorted+deduped rows,
+  /// neighbor ids in range, no self loops. Returns an empty string when
+  /// valid, else a description of the first violation (used by tests and
+  /// by the generators' own self-checks).
+  std::string validate() const;
+
+ private:
+  std::vector<Eid> offsets_;  // size n+1
+  std::vector<Vid> adj_;      // size num_edges (directed)
+};
+
+/// Degree distribution summary, printed by the Table-I bench.
+struct DegreeStats {
+  Eid min_degree = 0;
+  Eid max_degree = 0;
+  double mean_degree = 0.0;
+  double median_degree = 0.0;
+  Vid isolated_vertices = 0;  // degree-0 count
+};
+DegreeStats degree_stats(const CsrGraph& g);
+
+}  // namespace gsgcn::graph

@@ -1,0 +1,161 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace gsgcn::graph {
+
+CsrGraph erdos_renyi(Vid n, Eid m, util::Xoshiro256& rng) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi: need n >= 2");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (Eid i = 0; i < m; ++i) {
+    const Vid u = rng.below(n);
+    Vid v = rng.below(n - 1);
+    if (v >= u) ++v;  // uniform over pairs u != v
+    edges.push_back({u, v});
+  }
+  return CsrGraph::from_edges(n, edges);
+}
+
+CsrGraph barabasi_albert(Vid n, Vid epv, util::Xoshiro256& rng) {
+  if (epv == 0 || n <= epv) {
+    throw std::invalid_argument("barabasi_albert: need n > edges_per_vertex > 0");
+  }
+  // Repeated-endpoints trick: sampling uniformly from the list of all edge
+  // endpoints so far is equivalent to degree-proportional selection.
+  std::vector<Vid> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(2) * n * epv);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * epv);
+
+  // Seed clique over the first epv+1 vertices keeps early degrees nonzero.
+  for (Vid u = 0; u <= epv; ++u) {
+    for (Vid v = u + 1; v <= epv; ++v) {
+      edges.push_back({u, v});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (Vid u = epv + 1; u < n; ++u) {
+    for (Vid j = 0; j < epv; ++j) {
+      const Vid target =
+          endpoints[rng.below(static_cast<std::uint32_t>(endpoints.size()))];
+      edges.push_back({u, target});
+      endpoints.push_back(u);
+      endpoints.push_back(target);
+    }
+  }
+  return CsrGraph::from_edges(n, edges);
+}
+
+CsrGraph rmat(const RmatParams& p, util::Xoshiro256& rng) {
+  if (p.scale < 1 || p.scale > 30) throw std::invalid_argument("rmat: bad scale");
+  const double d = 1.0 - p.a - p.b - p.c;
+  if (d < 0.0) throw std::invalid_argument("rmat: a+b+c > 1");
+  const Vid n = Vid{1} << p.scale;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(p.edges));
+  for (Eid i = 0; i < p.edges; ++i) {
+    Vid u = 0, v = 0;
+    for (int bit = 0; bit < p.scale; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < p.a) {
+        // top-left quadrant: no bits set
+      } else if (r < p.a + p.b) {
+        v |= 1;
+      } else if (r < p.a + p.b + p.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    edges.push_back({u, v});
+  }
+  return CsrGraph::from_edges(n, edges);
+}
+
+CsrGraph watts_strogatz(Vid n, Vid k, double beta, util::Xoshiro256& rng) {
+  if (n < 2 * k + 2 || k == 0) {
+    throw std::invalid_argument("watts_strogatz: need n > 2k + 1, k > 0");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k);
+  for (Vid u = 0; u < n; ++u) {
+    for (Vid j = 1; j <= k; ++j) {
+      Vid v = (u + j) % n;
+      if (rng.uniform() < beta) {
+        // Rewire to a uniform random non-self target.
+        v = rng.below(n - 1);
+        if (v >= u) ++v;
+      }
+      edges.push_back({u, v});
+    }
+  }
+  return CsrGraph::from_edges(n, edges);
+}
+
+SbmResult stochastic_block_model(const std::vector<Vid>& blocks, double p_in,
+                                 double p_out, util::Xoshiro256& rng) {
+  if (blocks.empty()) throw std::invalid_argument("sbm: no blocks");
+  if (p_in < 0 || p_in > 1 || p_out < 0 || p_out > 1) {
+    throw std::invalid_argument("sbm: probabilities must be in [0,1]");
+  }
+  const std::size_t k = blocks.size();
+  std::vector<Vid> start(k + 1, 0);
+  for (std::size_t i = 0; i < k; ++i) start[i + 1] = start[i] + blocks[i];
+  const Vid n = start[k];
+
+  std::vector<Edge> edges;
+  for (std::size_t bi = 0; bi < k; ++bi) {
+    for (std::size_t bj = bi; bj < k; ++bj) {
+      const double p = bi == bj ? p_in : p_out;
+      if (p <= 0.0) continue;
+      const double pairs =
+          bi == bj ? 0.5 * static_cast<double>(blocks[bi]) * (blocks[bi] - 1)
+                   : static_cast<double>(blocks[bi]) * blocks[bj];
+      // Expected-count ball dropping: draw ~Binomial(pairs, p) edges with
+      // uniformly random endpoints inside the block pair. A Poisson draw
+      // approximates the binomial for the sparse regimes used here; for
+      // small means we round the expectation stochastically.
+      const double lambda = pairs * p;
+      std::int64_t count;
+      if (lambda < 32.0) {
+        // Knuth Poisson sampling.
+        const double limit = std::exp(-lambda);
+        double prod = rng.uniform();
+        count = 0;
+        while (prod > limit) {
+          prod *= rng.uniform();
+          ++count;
+        }
+      } else {
+        // Normal approximation, clamped at 0.
+        const double draw = lambda + std::sqrt(lambda) * rng.normal();
+        count = std::max<std::int64_t>(0, std::llround(draw));
+      }
+      for (std::int64_t e = 0; e < count; ++e) {
+        const Vid u = start[bi] + rng.below(blocks[bi]);
+        const Vid v = start[bj] + rng.below(blocks[bj]);
+        edges.push_back({u, v});
+      }
+    }
+  }
+
+  SbmResult out;
+  out.graph = CsrGraph::from_edges(n, edges);
+  out.block_of.resize(n);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (Vid v = start[i]; v < start[i + 1]; ++v) {
+      out.block_of[v] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace gsgcn::graph

@@ -1,0 +1,56 @@
+#pragma once
+// Synthetic graph generators.
+//
+// The paper evaluates on PPI / Reddit / Yelp / Amazon, which are not
+// redistributable here; these generators produce graphs with the
+// *properties the experiments depend on*: community structure for the
+// accuracy experiments (SBM), heavy-tailed degree skew for the sampler's
+// degree-cap path (Barabási–Albert, R-MAT), and tunable size/density for
+// the scaling sweeps (all of them).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace gsgcn::graph {
+
+/// Erdős–Rényi G(n, m): m undirected edges drawn uniformly (duplicates and
+/// self loops removed by CSR construction, so the realized edge count can
+/// be slightly below m).
+CsrGraph erdos_renyi(Vid n, Eid m, util::Xoshiro256& rng);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen ∝ degree. Produces the
+/// power-law skew that triggers the paper's degree-cap mitigation.
+CsrGraph barabasi_albert(Vid n, Vid edges_per_vertex, util::Xoshiro256& rng);
+
+/// R-MAT (recursive matrix) generator with quadrant probabilities
+/// (a, b, c, d), a+b+c+d = 1. scale = log2(#vertices). Skewed, scale-free
+/// like the Amazon co-purchase graph.
+struct RmatParams {
+  int scale = 14;         // n = 2^scale
+  Eid edges = 1 << 18;    // undirected edge draws
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+};
+CsrGraph rmat(const RmatParams& params, util::Xoshiro256& rng);
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per side,
+/// each edge rewired with probability beta.
+CsrGraph watts_strogatz(Vid n, Vid k, double beta, util::Xoshiro256& rng);
+
+/// Stochastic block model: `blocks[i]` vertices in community i; an edge
+/// between u, v exists with probability p_in (same block) or p_out
+/// (different blocks). Sampled by expected-count "ball dropping" per block
+/// pair so the cost is O(edges), not O(n^2). Returns the graph and the
+/// block assignment of each vertex (the data layer turns these into
+/// labels).
+struct SbmResult {
+  CsrGraph graph;
+  std::vector<std::uint32_t> block_of;  // size n
+};
+SbmResult stochastic_block_model(const std::vector<Vid>& blocks, double p_in,
+                                 double p_out, util::Xoshiro256& rng);
+
+}  // namespace gsgcn::graph

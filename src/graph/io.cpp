@@ -1,0 +1,89 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gsgcn::graph {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x6773676e63737231ULL;  // "gsgncsr1"
+}  // namespace
+
+CsrGraph load_edgelist_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<Edge> edges;
+  Vid max_id = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u, v;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": expected 'src dst'");
+    }
+    if (u > 0xFFFFFFFEULL || v > 0xFFFFFFFEULL) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": vertex id exceeds uint32 range");
+    }
+    edges.push_back({static_cast<Vid>(u), static_cast<Vid>(v)});
+    max_id = std::max({max_id, static_cast<Vid>(u), static_cast<Vid>(v)});
+  }
+  const Vid n = edges.empty() ? 0 : max_id + 1;
+  return CsrGraph::from_edges(n, edges);
+}
+
+void save_edgelist_text(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for write");
+  out << "# gsgcn edge list: " << g.num_vertices() << " vertices, "
+      << g.num_edges() / 2 << " undirected edges\n";
+  for (Vid u = 0; u < g.num_vertices(); ++u) {
+    for (const Vid v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void save_csr_binary(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for write");
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = static_cast<std::uint64_t>(g.num_edges());
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() * sizeof(Eid)));
+  out.write(reinterpret_cast<const char*>(g.adjacency().data()),
+            static_cast<std::streamsize>(g.adjacency().size() * sizeof(Vid)));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+CsrGraph load_csr_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::uint64_t magic = 0, n = 0, m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!in || magic != kMagic) throw std::runtime_error("bad csr binary: " + path);
+  std::vector<Eid> offsets(n + 1);
+  std::vector<Vid> adj(m);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(Eid)));
+  in.read(reinterpret_cast<char*>(adj.data()),
+          static_cast<std::streamsize>(adj.size() * sizeof(Vid)));
+  if (!in) throw std::runtime_error("truncated csr binary: " + path);
+  return CsrGraph::from_csr(std::move(offsets), std::move(adj));
+}
+
+}  // namespace gsgcn::graph

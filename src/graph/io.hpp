@@ -1,0 +1,25 @@
+#pragma once
+// Edge-list persistence: plain text ("u v" per line, '#' comments, the
+// SNAP convention the paper's datasets ship in) and a compact binary form
+// for the bench harness to cache generated graphs across runs.
+
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace gsgcn::graph {
+
+/// Parse a SNAP-style text edge list. Lines starting with '#' or '%' are
+/// comments; each data line is "src dst" with arbitrary whitespace.
+/// num_vertices is 1 + max id seen. Throws std::runtime_error on parse
+/// failure or unopenable file.
+CsrGraph load_edgelist_text(const std::string& path);
+
+/// Write "src dst" per undirected edge (each edge once, src < dst).
+void save_edgelist_text(const CsrGraph& g, const std::string& path);
+
+/// Binary CSR round trip (little-endian host format, magic-checked).
+void save_csr_binary(const CsrGraph& g, const std::string& path);
+CsrGraph load_csr_binary(const std::string& path);
+
+}  // namespace gsgcn::graph

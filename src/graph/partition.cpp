@@ -1,0 +1,68 @@
+#include "graph/partition.hpp"
+
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace gsgcn::graph {
+
+Partition partition_range(Vid n, std::uint32_t num_parts) {
+  if (num_parts == 0) throw std::invalid_argument("partition: num_parts == 0");
+  Partition p;
+  p.part_of.resize(n);
+  p.parts.resize(num_parts);
+  for (std::uint32_t i = 0; i < num_parts; ++i) {
+    const auto r = util::split_range(n, static_cast<int>(num_parts),
+                                     static_cast<int>(i));
+    p.parts[i].reserve(static_cast<std::size_t>(r.end - r.begin));
+    for (auto v = r.begin; v < r.end; ++v) {
+      p.part_of[static_cast<std::size_t>(v)] = i;
+      p.parts[i].push_back(static_cast<Vid>(v));
+    }
+  }
+  return p;
+}
+
+Partition partition_hash(Vid n, std::uint32_t num_parts) {
+  if (num_parts == 0) throw std::invalid_argument("partition: num_parts == 0");
+  Partition p;
+  p.part_of.resize(n);
+  p.parts.resize(num_parts);
+  for (Vid v = 0; v < n; ++v) {
+    const std::uint64_t h = (static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL) >> 32;
+    const std::uint32_t i = static_cast<std::uint32_t>(h % num_parts);
+    p.part_of[v] = i;
+    p.parts[i].push_back(v);
+  }
+  return p;
+}
+
+double gamma_of_part(const CsrGraph& g, const Partition& p, std::uint32_t i) {
+  const Vid n = g.num_vertices();
+  if (n == 0) return 0.0;
+  std::vector<bool> is_src(n, false);
+  std::size_t count = 0;
+  for (const Vid v : p.parts[i]) {
+    if (!is_src[v]) {  // self connection
+      is_src[v] = true;
+      ++count;
+    }
+    for (const Vid u : g.neighbors(v)) {
+      if (!is_src[u]) {
+        is_src[u] = true;
+        ++count;
+      }
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(n);
+}
+
+double gamma_mean(const CsrGraph& g, const Partition& p) {
+  double s = 0.0;
+  for (std::uint32_t i = 0; i < p.num_parts(); ++i) {
+    s += gamma_of_part(g, p, i);
+  }
+  return p.num_parts() == 0 ? 0.0 : s / p.num_parts();
+}
+
+}  // namespace gsgcn::graph

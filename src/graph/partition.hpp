@@ -1,0 +1,40 @@
+#pragma once
+// Vertex partitioners for the Theorem-2 ablation.
+//
+// The paper's propagation scheme deliberately does NOT partition the graph
+// (P = 1); these partitioners exist so the ablation bench can measure what
+// 2-D (graph × feature) partitioning would cost: γ_P = |V_src^(i)| / |V|
+// depends on the partitioner, and the comm model consumes it.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gsgcn::graph {
+
+/// part_of[v] in [0, P); parts are the inverse lists.
+struct Partition {
+  std::vector<std::uint32_t> part_of;
+  std::vector<std::vector<Vid>> parts;
+
+  std::uint32_t num_parts() const {
+    return static_cast<std::uint32_t>(parts.size());
+  }
+};
+
+/// Contiguous ranges of vertex ids (good locality when ids are clustered,
+/// e.g. the SBM generator emits blocks contiguously).
+Partition partition_range(Vid n, std::uint32_t num_parts);
+
+/// Multiplicative-hash scatter (worst-case locality baseline).
+Partition partition_hash(Vid n, std::uint32_t num_parts);
+
+/// γ_P of the paper's model for partition i: the fraction of all vertices
+/// that send features into part i, i.e. |{u : (u,v) ∈ E, v ∈ V_i} ∪ V_i|/|V|
+/// (self connections included, as in the paper).
+double gamma_of_part(const CsrGraph& g, const Partition& p, std::uint32_t i);
+
+/// Mean γ_P over parts — the value plugged into g_comm(P, Q).
+double gamma_mean(const CsrGraph& g, const Partition& p);
+
+}  // namespace gsgcn::graph

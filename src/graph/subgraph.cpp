@@ -1,0 +1,62 @@
+#include "graph/subgraph.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cassert>
+
+namespace gsgcn::graph {
+
+Inducer::Inducer(const CsrGraph& graph)
+    : g_(graph),
+      stamp_(graph.num_vertices(), 0),
+      local_of_(graph.num_vertices(), 0) {}
+
+Subgraph Inducer::induce(const std::vector<Vid>& vertices, int threads) {
+  ++epoch_;
+  if (epoch_ == 0) {  // stamp wraparound: invalidate everything once
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+
+  // Map original → local, first occurrence wins.
+  Subgraph out;
+  out.orig_ids.reserve(vertices.size());
+  for (const Vid v : vertices) {
+    assert(v < g_.num_vertices());
+    if (stamp_[v] == epoch_) continue;
+    stamp_[v] = epoch_;
+    local_of_[v] = static_cast<Vid>(out.orig_ids.size());
+    out.orig_ids.push_back(v);
+  }
+  const Vid n_sub = static_cast<Vid>(out.orig_ids.size());
+
+  // Pass 1: per-vertex induced degree.
+  std::vector<Eid> offsets(static_cast<std::size_t>(n_sub) + 1, 0);
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (Vid lv = 0; lv < n_sub; ++lv) {
+    Eid deg = 0;
+    for (const Vid nb : g_.neighbors(out.orig_ids[lv])) {
+      if (stamp_[nb] == epoch_) ++deg;
+    }
+    offsets[lv + 1] = deg;
+  }
+  for (Vid lv = 0; lv < n_sub; ++lv) offsets[lv + 1] += offsets[lv];
+
+  // Pass 2: fill rows. Original rows are sorted by original id, which is
+  // not local order, so each induced row is sorted afterwards.
+  std::vector<Vid> adj(static_cast<std::size_t>(offsets[n_sub]));
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (Vid lv = 0; lv < n_sub; ++lv) {
+    Eid w = offsets[lv];
+    for (const Vid nb : g_.neighbors(out.orig_ids[lv])) {
+      if (stamp_[nb] == epoch_) adj[static_cast<std::size_t>(w++)] = local_of_[nb];
+    }
+    std::sort(adj.begin() + offsets[lv], adj.begin() + w);
+  }
+
+  out.graph = CsrGraph::from_csr(std::move(offsets), std::move(adj));
+  return out;
+}
+
+}  // namespace gsgcn::graph

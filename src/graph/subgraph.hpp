@@ -1,0 +1,44 @@
+#pragma once
+// Induced subgraph extraction (line 8 of the paper's Algorithm 2:
+// "Gsub ← Subgraph of G induced by Vsub").
+//
+// Runs once per minibatch, so it must be cheap: the Inducer keeps an
+// epoch-stamped original→local id map that is reused across calls without
+// O(|V|) clearing, and the fill pass parallelizes over subgraph vertices.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gsgcn::graph {
+
+/// A sampled subgraph: local CSR plus the mapping back to original ids.
+/// orig_ids[local] = original vertex id. Local ids are dense [0, n_sub).
+struct Subgraph {
+  CsrGraph graph;
+  std::vector<Vid> orig_ids;
+
+  Vid num_vertices() const { return graph.num_vertices(); }
+};
+
+/// Reusable induced-subgraph extractor over a fixed original graph.
+/// Thread-safe only across *distinct* Inducer instances (each sampler
+/// thread owns one); a single induce() call parallelizes internally when
+/// invoked with threads > 1.
+class Inducer {
+ public:
+  explicit Inducer(const CsrGraph& graph);
+
+  /// Induce the subgraph on `vertices` (original ids; duplicates ignored).
+  /// Vertex order in the result follows first occurrence in `vertices`.
+  Subgraph induce(const std::vector<Vid>& vertices, int threads = 1);
+
+ private:
+  const CsrGraph& g_;
+  std::vector<std::uint32_t> stamp_;  // epoch when orig id was last mapped
+  std::vector<Vid> local_of_;         // valid iff stamp matches epoch
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace gsgcn::graph

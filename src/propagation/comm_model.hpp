@@ -1,0 +1,48 @@
+#pragma once
+// Communication-cost model of paper Section V-B / Theorem 2.
+//
+// After partitioning the subgraph into P vertex parts and each feature
+// vector into Q slices, one propagation pass moves
+//   g_comm(P, Q) = idx_bytes·Q·n·d  +  elem_bytes·P·n·f·γ_P   bytes
+// between DRAM and cache (first term: the CSR neighbor lists streamed once
+// per feature slice; second term: the source-feature working sets loaded
+// once per vertex part). Theorem 2: with P = 1 and
+// Q* = max{C, elem_bytes·n·f / S_cache}, g_comm ≤ 2 · min g_comm whenever
+// C ≤ (elem_bytes/idx_bytes)·f/d and idx_bytes·n·d ≤ S_cache.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gsgcn::propagation {
+
+struct CommModelParams {
+  std::int64_t n = 0;          // subgraph vertices
+  double d = 0.0;              // subgraph average degree
+  std::int64_t f = 0;          // feature length
+  std::size_t elem_bytes = 8;  // paper: DOUBLE features
+  std::size_t idx_bytes = 2;   // paper: INT16 subgraph vertex indices
+  std::size_t cache_bytes = 256 * 1024;  // private L2 per core
+  int processors = 1;          // C
+};
+
+/// Total compute work n·d·f (independent of the partitioning — the model's
+/// g_comp).
+double g_comp(const CommModelParams& m);
+
+/// Modeled communication volume in bytes for a (P, Q) partitioning with
+/// source-set expansion ratio gamma_p (γ_P ∈ [1/P, 1]).
+double g_comm(const CommModelParams& m, int p, int q, double gamma_p);
+
+/// The paper's feature-only choice Q* = max{C, elem_bytes·n·f/S_cache},
+/// rounded up to a multiple of C so every round uses all processors.
+int choose_feature_partitions(const CommModelParams& m);
+
+/// Lower bound elem_bytes·n·f on g_comm over all (P, Q, γ) — the quantity
+/// Theorem 2's 2-approximation is measured against.
+double g_comm_lower_bound(const CommModelParams& m);
+
+/// True iff Theorem 2's preconditions hold: C ≤ (elem/idx)·f/(2d)·…  —
+/// in the paper's constants (elem=8, idx=2): C ≤ 4f/d and 2nd ≤ S_cache.
+bool theorem2_preconditions(const CommModelParams& m);
+
+}  // namespace gsgcn::propagation

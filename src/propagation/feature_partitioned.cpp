@@ -1,0 +1,167 @@
+#include "propagation/feature_partitioned.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace gsgcn::propagation {
+
+namespace {
+
+int resolve(int threads) { return threads > 0 ? threads : omp_get_max_threads(); }
+
+struct Slice {
+  std::size_t begin;
+  std::size_t end;
+};
+
+Slice feature_slice(std::size_t f, int q, int i) {
+  const std::size_t base = f / static_cast<std::size_t>(q);
+  const std::size_t rem = f % static_cast<std::size_t>(q);
+  const std::size_t b = static_cast<std::size_t>(i) * base +
+                        std::min<std::size_t>(static_cast<std::size_t>(i), rem);
+  const std::size_t len = base + (static_cast<std::size_t>(i) < rem ? 1 : 0);
+  return {b, b + len};
+}
+
+int pick_q(const graph::CsrGraph& g, std::size_t f,
+           const FeaturePartitionOptions& opts, int threads) {
+  if (opts.force_q > 0) return std::min<int>(opts.force_q, static_cast<int>(f));
+  CommModelParams m;
+  m.n = g.num_vertices();
+  m.d = g.average_degree();
+  m.f = static_cast<std::int64_t>(f);
+  m.elem_bytes = sizeof(float);
+  m.idx_bytes = sizeof(graph::Vid);
+  m.cache_bytes =
+      opts.cache_bytes != 0 ? opts.cache_bytes : util::private_cache_bytes();
+  m.processors = threads;
+  return choose_feature_partitions(m);
+}
+
+/// Forward aggregation over one feature slice for all vertices.
+void forward_slice(const graph::CsrGraph& g, AggregatorKind kind,
+                   const tensor::Matrix& in, tensor::Matrix& out, Slice s) {
+  const std::size_t len = s.end - s.begin;
+  for (graph::Vid v = 0; v < g.num_vertices(); ++v) {
+    float* dst = out.row(v) + s.begin;
+    std::memset(dst, 0, len * sizeof(float));
+    const auto nbrs = g.neighbors(v);
+    if (nbrs.empty()) continue;
+    if (kind == AggregatorKind::kSymmetric) {
+      const float inv_sqrt_dv =
+          1.0f / std::sqrt(static_cast<float>(nbrs.size()));
+      for (const graph::Vid u : nbrs) {
+        const float w =
+            inv_sqrt_dv / std::sqrt(static_cast<float>(g.degree(u)));
+        const float* src = in.row(u) + s.begin;
+        for (std::size_t j = 0; j < len; ++j) dst[j] += w * src[j];
+      }
+    } else {
+      for (const graph::Vid u : nbrs) {
+        const float* src = in.row(u) + s.begin;
+        for (std::size_t j = 0; j < len; ++j) dst[j] += src[j];
+      }
+      if (kind == AggregatorKind::kMean) {
+        const float inv = 1.0f / static_cast<float>(nbrs.size());
+        for (std::size_t j = 0; j < len; ++j) dst[j] *= inv;
+      }
+    }
+  }
+}
+
+void backward_slice(const graph::CsrGraph& g, AggregatorKind kind,
+                    const tensor::Matrix& d_out, tensor::Matrix& d_in,
+                    Slice s) {
+  if (kind != AggregatorKind::kMean) {
+    // Sum and symmetric normalization are self-adjoint on an undirected
+    // graph: the gradient is the forward operator applied to d_out.
+    forward_slice(g, kind, d_out, d_in, s);
+    return;
+  }
+  const std::size_t len = s.end - s.begin;
+  for (graph::Vid u = 0; u < g.num_vertices(); ++u) {
+    float* dst = d_in.row(u) + s.begin;
+    std::memset(dst, 0, len * sizeof(float));
+    for (const graph::Vid v : g.neighbors(u)) {
+      const float w = 1.0f / static_cast<float>(g.degree(v));
+      const float* src = d_out.row(v) + s.begin;
+      for (std::size_t j = 0; j < len; ++j) dst[j] += w * src[j];
+    }
+  }
+}
+
+void check(const graph::CsrGraph& g, const tensor::Matrix& a,
+           const tensor::Matrix& b) {
+  if (a.rows() != g.num_vertices() || b.rows() != g.num_vertices() ||
+      a.cols() != b.cols() || a.data() == b.data()) {
+    throw std::invalid_argument("feature_partitioned: bad shapes/aliasing");
+  }
+}
+
+}  // namespace
+
+int propagate_feature_partitioned(const graph::CsrGraph& g,
+                                  const tensor::Matrix& in, tensor::Matrix& out,
+                                  const FeaturePartitionOptions& opts) {
+  check(g, in, out);
+  const int c = resolve(opts.threads);
+  const int q = pick_q(g, in.cols(), opts, c);
+  // Q/C rounds of C concurrent slices (Algorithm 6 lines 4-6). A single
+  // collapsed parallel-for gives the same schedule with less fork/join.
+#pragma omp parallel for num_threads(c) schedule(static)
+  for (int i = 0; i < q; ++i) {
+    forward_slice(g, opts.aggregator, in, out, feature_slice(in.cols(), q, i));
+  }
+  return q;
+}
+
+int propagate_feature_partitioned_backward(const graph::CsrGraph& g,
+                                           const tensor::Matrix& d_out,
+                                           tensor::Matrix& d_in,
+                                           const FeaturePartitionOptions& opts) {
+  check(g, d_out, d_in);
+  const int c = resolve(opts.threads);
+  const int q = pick_q(g, d_out.cols(), opts, c);
+#pragma omp parallel for num_threads(c) schedule(static)
+  for (int i = 0; i < q; ++i) {
+    backward_slice(g, opts.aggregator, d_out, d_in,
+                   feature_slice(d_out.cols(), q, i));
+  }
+  return q;
+}
+
+void propagate_2d(const graph::CsrGraph& g, const graph::Partition& parts,
+                  int q, const tensor::Matrix& in, tensor::Matrix& out,
+                  int threads) {
+  check(g, in, out);
+  if (q < 1) throw std::invalid_argument("propagate_2d: q >= 1");
+  const int c = resolve(threads);
+  const int p = static_cast<int>(parts.num_parts());
+  const int total = p * q;
+#pragma omp parallel for num_threads(c) schedule(dynamic)
+  for (int t = 0; t < total; ++t) {
+    const int pi = t / q;
+    const int qi = t % q;
+    const Slice s = feature_slice(in.cols(), q, qi);
+    const std::size_t len = s.end - s.begin;
+    for (const graph::Vid v : parts.parts[static_cast<std::size_t>(pi)]) {
+      float* dst = out.row(v) + s.begin;
+      std::memset(dst, 0, len * sizeof(float));
+      const auto nbrs = g.neighbors(v);
+      if (nbrs.empty()) continue;
+      for (const graph::Vid u : nbrs) {
+        const float* src = in.row(u) + s.begin;
+        for (std::size_t j = 0; j < len; ++j) dst[j] += src[j];
+      }
+      const float inv = 1.0f / static_cast<float>(nbrs.size());
+      for (std::size_t j = 0; j < len; ++j) dst[j] *= inv;
+    }
+  }
+}
+
+}  // namespace gsgcn::propagation

@@ -1,0 +1,275 @@
+#include "propagation/spmm.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+#ifdef GSGCN_AVX2
+#include <immintrin.h>
+#endif
+
+namespace gsgcn::propagation {
+
+namespace {
+
+int resolve(int threads) { return threads > 0 ? threads : omp_get_max_threads(); }
+
+void check_shapes(const graph::CsrGraph& g, const tensor::Matrix& a,
+                  const tensor::Matrix& b, const char* what) {
+  if (a.rows() != g.num_vertices() || b.rows() != g.num_vertices() ||
+      a.cols() != b.cols()) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch");
+  }
+  if (a.data() == b.data()) {
+    throw std::invalid_argument(std::string(what) + ": in/out must not alias");
+  }
+}
+
+/// dst[0..f) += s * src[0..f)
+inline void axpy_row(float* dst, const float* src, std::size_t f, float s) {
+#ifdef GSGCN_AVX2
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t j = 0;
+  for (; j + 8 <= f; j += 8) {
+    _mm256_storeu_ps(dst + j, _mm256_fmadd_ps(vs, _mm256_loadu_ps(src + j),
+                                              _mm256_loadu_ps(dst + j)));
+  }
+  for (; j < f; ++j) dst[j] += s * src[j];
+#else
+  for (std::size_t j = 0; j < f; ++j) dst[j] += s * src[j];
+#endif
+}
+
+inline void add_row(float* dst, const float* src, std::size_t f) {
+#ifdef GSGCN_AVX2
+  std::size_t j = 0;
+  for (; j + 8 <= f; j += 8) {
+    _mm256_storeu_ps(dst + j, _mm256_add_ps(_mm256_loadu_ps(dst + j),
+                                            _mm256_loadu_ps(src + j)));
+  }
+  for (; j < f; ++j) dst[j] += src[j];
+#else
+  for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
+#endif
+}
+
+inline void scale_row(float* dst, std::size_t f, float s) {
+  for (std::size_t j = 0; j < f; ++j) dst[j] *= s;
+}
+
+}  // namespace
+
+const char* aggregator_name(AggregatorKind kind) {
+  switch (kind) {
+    case AggregatorKind::kMean: return "mean";
+    case AggregatorKind::kSum: return "sum";
+    case AggregatorKind::kSymmetric: return "symmetric";
+  }
+  return "?";
+}
+
+void aggregate_forward(const graph::CsrGraph& g, AggregatorKind kind,
+                       const tensor::Matrix& in, tensor::Matrix& out,
+                       int threads) {
+  if (kind == AggregatorKind::kMean) {
+    aggregate_mean_forward(g, in, out, threads);
+    return;
+  }
+  check_shapes(g, in, out, "aggregate_forward");
+  const graph::Vid n = g.num_vertices();
+  const std::size_t f = in.cols();
+  const bool symmetric = kind == AggregatorKind::kSymmetric;
+#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
+  for (graph::Vid v = 0; v < n; ++v) {
+    float* dst = out.row(v);
+    std::memset(dst, 0, f * sizeof(float));
+    const auto nbrs = g.neighbors(v);
+    if (nbrs.empty()) continue;
+    if (symmetric) {
+      const float inv_sqrt_dv =
+          1.0f / std::sqrt(static_cast<float>(nbrs.size()));
+      for (const graph::Vid u : nbrs) {
+        const float w =
+            inv_sqrt_dv / std::sqrt(static_cast<float>(g.degree(u)));
+        axpy_row(dst, in.row(u), f, w);
+      }
+    } else {  // kSum
+      for (const graph::Vid u : nbrs) add_row(dst, in.row(u), f);
+    }
+  }
+}
+
+void aggregate_backward(const graph::CsrGraph& g, AggregatorKind kind,
+                        const tensor::Matrix& d_out, tensor::Matrix& d_in,
+                        int threads) {
+  switch (kind) {
+    case AggregatorKind::kMean:
+      aggregate_mean_backward(g, d_out, d_in, threads);
+      return;
+    case AggregatorKind::kSum:
+      // Sum over an undirected graph is self-adjoint.
+      aggregate_forward(g, AggregatorKind::kSum, d_out, d_in, threads);
+      return;
+    case AggregatorKind::kSymmetric:
+      // Symmetric normalization is self-adjoint by construction.
+      aggregate_forward(g, AggregatorKind::kSymmetric, d_out, d_in, threads);
+      return;
+  }
+}
+
+void aggregate_forward_edge_centric(const graph::CsrGraph& g,
+                                    AggregatorKind kind,
+                                    const tensor::Matrix& in,
+                                    tensor::Matrix& out, int threads) {
+  check_shapes(g, in, out, "aggregate_forward_edge_centric");
+  const graph::Vid n = g.num_vertices();
+  const std::size_t f = in.cols();
+  const int p = resolve(threads);
+  out.set_zero();
+#pragma omp parallel num_threads(p)
+  {
+    const int tid = omp_get_thread_num();
+    const int nt = omp_get_num_threads();
+    const auto range = util::split_range(n, nt, tid);
+    // Stream all edges; scatter only those whose destination falls in
+    // this thread's range (no write races, full edge scan per thread).
+    for (graph::Vid src = 0; src < n; ++src) {
+      const float* src_row = in.row(src);
+      for (const graph::Vid dst : g.neighbors(src)) {
+        if (dst < range.begin || dst >= static_cast<graph::Vid>(range.end)) {
+          continue;
+        }
+        float w = 1.0f;
+        if (kind == AggregatorKind::kMean) {
+          w = 1.0f / static_cast<float>(g.degree(dst));
+        } else if (kind == AggregatorKind::kSymmetric) {
+          w = 1.0f / std::sqrt(static_cast<float>(g.degree(dst)) *
+                               static_cast<float>(g.degree(src)));
+        }
+        axpy_row(out.row(dst), src_row, f, w);
+      }
+    }
+  }
+}
+
+void aggregate_mean_forward(const graph::CsrGraph& g, const tensor::Matrix& in,
+                            tensor::Matrix& out, int threads) {
+  check_shapes(g, in, out, "aggregate_mean_forward");
+  const graph::Vid n = g.num_vertices();
+  const std::size_t f = in.cols();
+#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
+  for (graph::Vid v = 0; v < n; ++v) {
+    float* dst = out.row(v);
+    std::memset(dst, 0, f * sizeof(float));
+    const auto nbrs = g.neighbors(v);
+    if (nbrs.empty()) continue;
+    for (const graph::Vid u : nbrs) add_row(dst, in.row(u), f);
+    scale_row(dst, f, 1.0f / static_cast<float>(nbrs.size()));
+  }
+}
+
+void aggregate_mean_backward(const graph::CsrGraph& g,
+                             const tensor::Matrix& d_out, tensor::Matrix& d_in,
+                             int threads) {
+  check_shapes(g, d_out, d_in, "aggregate_mean_backward");
+  const graph::Vid n = g.num_vertices();
+  const std::size_t f = d_out.cols();
+  // Parallel over u (gradient destinations): the graph is undirected, so
+  // N(u) gives exactly the v's whose forward aggregation read u.
+#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
+  for (graph::Vid u = 0; u < n; ++u) {
+    float* dst = d_in.row(u);
+    std::memset(dst, 0, f * sizeof(float));
+    for (const graph::Vid v : g.neighbors(u)) {
+      const float s = 1.0f / static_cast<float>(g.degree(v));
+      axpy_row(dst, d_out.row(v), f, s);
+    }
+  }
+}
+
+namespace reference {
+
+void aggregate_mean_forward(const graph::CsrGraph& g, const tensor::Matrix& in,
+                            tensor::Matrix& out) {
+  check_shapes(g, in, out, "reference::aggregate_mean_forward");
+  const std::size_t f = in.cols();
+  for (graph::Vid v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t j = 0; j < f; ++j) {
+      double s = 0.0;
+      for (const graph::Vid u : nbrs) s += in(u, j);
+      out(v, j) = nbrs.empty()
+                      ? 0.0f
+                      : static_cast<float>(s / static_cast<double>(nbrs.size()));
+    }
+  }
+}
+
+void aggregate_mean_backward(const graph::CsrGraph& g,
+                             const tensor::Matrix& d_out,
+                             tensor::Matrix& d_in) {
+  check_shapes(g, d_out, d_in, "reference::aggregate_mean_backward");
+  const std::size_t f = d_out.cols();
+  for (graph::Vid u = 0; u < g.num_vertices(); ++u) {
+    for (std::size_t j = 0; j < f; ++j) {
+      double s = 0.0;
+      for (const graph::Vid v : g.neighbors(u)) {
+        s += static_cast<double>(d_out(v, j)) / static_cast<double>(g.degree(v));
+      }
+      d_in(u, j) = static_cast<float>(s);
+    }
+  }
+}
+
+void aggregate_forward(const graph::CsrGraph& g, AggregatorKind kind,
+                       const tensor::Matrix& in, tensor::Matrix& out) {
+  check_shapes(g, in, out, "reference::aggregate_forward");
+  const std::size_t f = in.cols();
+  for (graph::Vid v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t j = 0; j < f; ++j) {
+      double s = 0.0;
+      for (const graph::Vid u : nbrs) {
+        double w = 1.0;
+        if (kind == AggregatorKind::kMean) {
+          w = 1.0 / static_cast<double>(nbrs.size());
+        } else if (kind == AggregatorKind::kSymmetric) {
+          w = 1.0 / std::sqrt(static_cast<double>(nbrs.size()) *
+                              static_cast<double>(g.degree(u)));
+        }
+        s += w * in(u, j);
+      }
+      out(v, j) = static_cast<float>(s);
+    }
+  }
+}
+
+void aggregate_backward(const graph::CsrGraph& g, AggregatorKind kind,
+                        const tensor::Matrix& d_out, tensor::Matrix& d_in) {
+  check_shapes(g, d_out, d_in, "reference::aggregate_backward");
+  const std::size_t f = d_out.cols();
+  for (graph::Vid u = 0; u < g.num_vertices(); ++u) {
+    for (std::size_t j = 0; j < f; ++j) {
+      double s = 0.0;
+      for (const graph::Vid v : g.neighbors(u)) {
+        double w = 1.0;
+        if (kind == AggregatorKind::kMean) {
+          w = 1.0 / static_cast<double>(g.degree(v));
+        } else if (kind == AggregatorKind::kSymmetric) {
+          w = 1.0 / std::sqrt(static_cast<double>(g.degree(v)) *
+                              static_cast<double>(g.degree(u)));
+        }
+        s += w * d_out(v, j);
+      }
+      d_in(u, j) = static_cast<float>(s);
+    }
+  }
+}
+
+}  // namespace reference
+
+}  // namespace gsgcn::propagation

@@ -1,0 +1,328 @@
+#include "sampling/dashboard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#ifdef GSGCN_AVX2
+#include <immintrin.h>
+#endif
+
+namespace gsgcn::sampling {
+
+namespace {
+bool avx_enabled(IntraMode mode) {
+#ifdef GSGCN_AVX2
+  return mode != IntraMode::kScalar;
+#else
+  (void)mode;
+  return false;
+#endif
+}
+
+// The kScalar mode exists to measure the paper's Figure-4B "AVX vs
+// otherwise" comparison, i.e. a build without vector instructions. At -O3
+// GCC auto-vectorizes trivial fill loops, which would make the comparison
+// meaningless — so the scalar reference kernels explicitly opt out.
+#if defined(__GNUC__) && !defined(__clang__)
+#define GSGCN_NOVEC \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define GSGCN_NOVEC
+#endif
+
+GSGCN_NOVEC void scalar_write_entries(std::int32_t* vertex, std::int32_t* offset,
+                                      std::int32_t* order, std::size_t start,
+                                      std::size_t count, std::int32_t v,
+                                      std::int32_t ord) {
+  for (std::size_t i = 0; i < count; ++i) {
+    vertex[start + i] = v;
+    order[start + i] = ord;
+    if (i != 0) offset[start + i] = static_cast<std::int32_t>(i);
+  }
+}
+
+GSGCN_NOVEC void scalar_invalidate(std::int32_t* vertex, std::size_t start,
+                                   std::size_t count, std::int32_t inv) {
+  for (std::size_t i = 0; i < count; ++i) vertex[start + i] = inv;
+}
+
+#undef GSGCN_NOVEC
+}  // namespace
+
+Dashboard::Dashboard(std::size_t capacity_entries, IntraMode mode)
+    : capacity_(std::max<std::size_t>(capacity_entries, 8)), mode_(mode) {
+  vertex_.assign(capacity_, kInvalid);
+  offset_.assign(capacity_, 0);
+  order_.assign(capacity_, 0);
+  // The IA can hold at most one record per DB entry plus one (paper sizes
+  // it η·m·d̄ + 1).
+  ia_start_.reserve(64);
+  ia_count_.reserve(64);
+  ia_vertex_.reserve(64);
+  ia_alive_.reserve(64);
+}
+
+bool Dashboard::using_avx() const { return avx_enabled(mode_); }
+
+void Dashboard::clear() {
+  std::fill(vertex_.begin(), vertex_.begin() + static_cast<std::ptrdiff_t>(used_),
+            kInvalid);
+  ia_start_.clear();
+  ia_count_.clear();
+  ia_vertex_.clear();
+  ia_alive_.clear();
+  used_ = valid_ = live_vertices_ = 0;
+}
+
+std::size_t Dashboard::entries_for_degree(graph::Eid degree) const {
+  if (degree <= 0) return 0;
+  if (degree_cap_ > 0 && degree > degree_cap_) degree = degree_cap_;
+  return static_cast<std::size_t>(degree);
+}
+
+bool Dashboard::needs_cleanup(graph::Eid degree) const {
+  return entries_for_degree(degree) > capacity_ - used_;
+}
+
+void Dashboard::add(graph::Vid v, graph::Eid degree) {
+  const std::size_t count = entries_for_degree(degree);
+  if (count > capacity_ - used_) {
+    throw std::logic_error("Dashboard::add without cleanup — caller bug");
+  }
+  const auto order = static_cast<std::int32_t>(ia_vertex_.size());
+  ia_start_.push_back(static_cast<std::int32_t>(used_));
+  ia_count_.push_back(static_cast<std::int32_t>(count));
+  ia_vertex_.push_back(v);
+  ia_alive_.push_back(1);
+  if (count > 0) {
+    write_entries(v, used_, count, order);
+    used_ += count;
+    valid_ += count;
+  }
+  ++live_vertices_;
+}
+
+graph::Vid Dashboard::pop(util::Xoshiro256& rng) {
+  if (valid_ == 0) return kNoVertex;
+  const std::size_t idx =
+      avx_enabled(mode_) ? probe_avx2(rng) : probe_scalar(rng);
+  return pop_at(idx);
+}
+
+graph::Vid Dashboard::pop_at(std::size_t e) {
+  assert(vertex_[e] != kInvalid);
+  // offset slot: negative count at the first entry, +distance otherwise.
+  const std::int32_t off = offset_[e];
+  const std::size_t start = off >= 0 ? e - static_cast<std::size_t>(off) : e;
+  const auto count = static_cast<std::size_t>(-offset_[start]);
+  const auto v = static_cast<graph::Vid>(vertex_[e]);
+  const std::int32_t k = order_[e];
+
+  invalidate_entries(start, count);
+  valid_ -= count;
+  ia_alive_[static_cast<std::size_t>(k)] = 0;
+  --live_vertices_;
+  return v;
+}
+
+std::size_t Dashboard::probe_scalar(util::Xoshiro256& rng) {
+  for (;;) {
+    ++probe_count_;
+    const std::size_t e = rng.below(static_cast<std::uint32_t>(used_));
+    if (vertex_[e] != kInvalid) return e;
+  }
+}
+
+std::size_t Dashboard::probe_avx2(util::Xoshiro256& rng) {
+#ifdef GSGCN_AVX2
+  // 8 probes per round, mirroring the paper's p_intra = 8 AVX2 lanes: one
+  // SIMD xorshift32 step produces 8 candidate entries, a gather reads
+  // their vertex slots, and the first valid lane wins. The whole round is
+  // a handful of vector ops — this is where the AVX probing gain over the
+  // scalar path comes from.
+  // Hybrid probing: when the table is mostly valid (fresh entries at the
+  // tail keep the hit rate near 1/η ≥ 1/2), a couple of scalar probes are
+  // cheaper than a gather; fall through to SIMD batch rounds only when
+  // they miss (sparse table after many pops before a cleanup).
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    ++probe_count_;
+    const std::size_t e = rng.below(static_cast<std::uint32_t>(used_));
+    if (vertex_[e] != kInvalid) return e;
+  }
+  if (!lanes_seeded_) {
+    for (auto& s : lane_state_) {
+      std::uint64_t seed = rng();
+      std::uint32_t v = static_cast<std::uint32_t>(util::splitmix64(seed));
+      s = v != 0 ? v : 0x9e3779b9u;  // xorshift32 must not start at 0
+    }
+    lanes_seeded_ = true;
+  }
+  __m256i state =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(lane_state_));
+  const __m256i inv = _mm256_set1_epi32(kInvalid);
+  const __m256i bound = _mm256_set1_epi32(static_cast<int>(used_));
+  alignas(32) std::int32_t idx[8];
+  for (;;) {
+    probe_count_ += 8;
+    // xorshift32 per lane: x ^= x<<13; x ^= x>>17; x ^= x<<5.
+    state = _mm256_xor_si256(state, _mm256_slli_epi32(state, 13));
+    state = _mm256_xor_si256(state, _mm256_srli_epi32(state, 17));
+    state = _mm256_xor_si256(state, _mm256_slli_epi32(state, 5));
+    // Map to [0, used): (uint64(x) * used) >> 32, done on even/odd lanes.
+    const __m256i even = _mm256_srli_epi64(
+        _mm256_mul_epu32(state, bound), 32);  // results in even 32-bit lanes
+    const __m256i odd = _mm256_mul_epu32(_mm256_srli_epi64(state, 32), bound);
+    // even: value in lanes {0,2,4,6}; odd: value<<32 in 64-bit lanes →
+    // blend odd's high halves into the odd 32-bit lanes.
+    const __m256i vidx = _mm256_blend_epi16(
+        even, _mm256_and_si256(odd, _mm256_set1_epi64x(~0xFFFFFFFFll)), 0xCC);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idx), vidx);
+    const __m256i slots =
+        _mm256_i32gather_epi32(vertex_.data(), vidx, sizeof(std::int32_t));
+    const int miss = _mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(slots, inv)));
+    const int hit = (~miss) & 0xFF;
+    if (hit != 0) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lane_state_), state);
+      return static_cast<std::size_t>(
+          idx[__builtin_ctz(static_cast<unsigned>(hit))]);
+    }
+  }
+#else
+  return probe_scalar(rng);
+#endif
+}
+
+void Dashboard::write_entries(graph::Vid v, std::size_t start,
+                              std::size_t count, std::int32_t order) {
+  const auto vi = static_cast<std::int32_t>(v);
+  offset_[start] = -static_cast<std::int32_t>(count);
+#ifdef GSGCN_AVX2
+  if (avx_enabled(mode_)) {
+    const __m256i vv = _mm256_set1_epi32(vi);
+    const __m256i vo = _mm256_set1_epi32(order);
+    const __m256i ramp = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    std::size_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(vertex_.data() + start + i), vv);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(order_.data() + start + i), vo);
+      if (i != 0) {
+        const __m256i offs = _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(i)), ramp);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(offset_.data() + start + i), offs);
+      } else {
+        // First lane of the first block holds -count; lanes 1..7 hold 1..7.
+        for (std::size_t j = 1; j < 8 && j < count; ++j) {
+          offset_[start + j] = static_cast<std::int32_t>(j);
+        }
+      }
+    }
+    for (; i < count; ++i) {
+      vertex_[start + i] = vi;
+      order_[start + i] = order;
+      if (i != 0) offset_[start + i] = static_cast<std::int32_t>(i);
+    }
+    return;
+  }
+#endif
+  scalar_write_entries(vertex_.data(), offset_.data(), order_.data(), start,
+                       count, vi, order);
+}
+
+void Dashboard::invalidate_entries(std::size_t start, std::size_t count) {
+#ifdef GSGCN_AVX2
+  if (avx_enabled(mode_)) {
+    const __m256i inv = _mm256_set1_epi32(kInvalid);
+    std::size_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(vertex_.data() + start + i), inv);
+    }
+    for (; i < count; ++i) vertex_[start + i] = kInvalid;
+    return;
+  }
+#endif
+  scalar_invalidate(vertex_.data(), start, count, kInvalid);
+}
+
+void Dashboard::cleanup() {
+  ++cleanup_count_;
+  // Compact live vertices to the front, preserving insertion order —
+  // the paper's cumulative-sum-over-IA relocation, done in one pass.
+  std::size_t write = 0;
+  std::size_t ia_write = 0;
+  const std::size_t ia_n = ia_vertex_.size();
+  for (std::size_t k = 0; k < ia_n; ++k) {
+    if (!ia_alive_[k]) continue;
+    const auto start = static_cast<std::size_t>(ia_start_[k]);
+    const auto count = static_cast<std::size_t>(ia_count_[k]);
+    if (count > 0 && start != write) {
+      write_entries(ia_vertex_[k], write, count,
+                    static_cast<std::int32_t>(ia_write));
+    } else if (count > 0) {
+      // Already in place; only the order slot may need updating.
+      for (std::size_t i = 0; i < count; ++i) {
+        order_[write + i] = static_cast<std::int32_t>(ia_write);
+      }
+    }
+    ia_start_[ia_write] = static_cast<std::int32_t>(write);
+    ia_count_[ia_write] = static_cast<std::int32_t>(count);
+    ia_vertex_[ia_write] = ia_vertex_[k];
+    ia_alive_[ia_write] = 1;
+    write += count;
+    ++ia_write;
+  }
+  // Invalidate the tail left behind by compaction.
+  if (write < used_) invalidate_entries(write, used_ - write);
+  ia_start_.resize(ia_write);
+  ia_count_.resize(ia_write);
+  ia_vertex_.resize(ia_write);
+  ia_alive_.resize(ia_write);
+  used_ = write;
+  valid_ = write;
+  live_vertices_ = ia_write;
+}
+
+void Dashboard::grow_to_fit(graph::Eid degree) {
+  const std::size_t need = entries_for_degree(degree);
+  std::size_t cap = capacity_;
+  while (need > cap - used_) cap *= 2;
+  if (cap == capacity_) return;
+  vertex_.resize(cap, kInvalid);
+  offset_.resize(cap, 0);
+  order_.resize(cap, 0);
+  capacity_ = cap;
+}
+
+std::string Dashboard::check_invariants() const {
+  std::size_t live_count = 0, live_entries = 0;
+  for (std::size_t k = 0; k < ia_vertex_.size(); ++k) {
+    if (!ia_alive_[k]) continue;
+    ++live_count;
+    const auto start = static_cast<std::size_t>(ia_start_[k]);
+    const auto count = static_cast<std::size_t>(ia_count_[k]);
+    live_entries += count;
+    if (start + count > used_) return "IA range exceeds used region";
+    for (std::size_t i = 0; i < count; ++i) {
+      if (vertex_[start + i] != static_cast<std::int32_t>(ia_vertex_[k])) {
+        return "live entry does not match IA vertex";
+      }
+      const std::int32_t expect =
+          i == 0 ? -static_cast<std::int32_t>(count)
+                 : static_cast<std::int32_t>(i);
+      if (offset_[start + i] != expect) return "offset slot corrupt";
+    }
+  }
+  if (live_count != live_vertices_) return "live vertex count mismatch";
+  if (live_entries != valid_) return "valid entry count mismatch";
+  std::size_t scan_valid = 0;
+  for (std::size_t e = 0; e < used_; ++e) {
+    if (vertex_[e] != kInvalid) ++scan_valid;
+  }
+  if (scan_valid != valid_) return "DB scan disagrees with valid counter";
+  for (std::size_t e = used_; e < capacity_; ++e) {
+    if (vertex_[e] != kInvalid) return "entry beyond used region";
+  }
+  return "";
+}
+
+}  // namespace gsgcn::sampling

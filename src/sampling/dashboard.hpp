@@ -1,0 +1,132 @@
+#pragma once
+// The Dashboard data structure (paper Section IV-B).
+//
+// Frontier sampling pops vertices with probability proportional to their
+// degree from a set whose membership changes every step. The Dashboard
+// turns that dynamic weighted draw into uniform probing: each frontier
+// vertex v owns deg(v) consecutive entries, so a uniformly random *entry*
+// lands on v with probability deg(v)/Σdeg. Pops invalidate entries in
+// place and adds append at the tail; an enlargement factor η > 1 bounds
+// how often the table fills and must be compacted (the "cleanup" whose
+// amortized cost Section IV-C analyzes).
+//
+// Layout (structure-of-arrays; paper packs slots 2/3 as INT16, we keep
+// int32 so graphs beyond 65k vertices work — the capacity formula is
+// unchanged):
+//   vertex_[e]  id of the frontier vertex owning entry e, or kInvalid
+//   offset_[e]  -count at a vertex's first entry, +distance otherwise
+//               (lets a probe find the first entry and the entry count)
+//   order_[e]   insertion index of the owner (position in the IA arrays)
+// Index array (paper's IA):
+//   ia_start_[k] first DB entry of the k-th vertex added since cleanup
+//   ia_vertex_[k] its id          ia_alive_[k] popped yet?
+//
+// Degree cap: for heavily skewed graphs the paper limits any vertex to at
+// most 30 entries so hubs cannot dominate every subgraph (Section VI-C2);
+// `degree_cap` generalizes that constant (0 = uncapped).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace gsgcn::sampling {
+
+/// How a single sampler parallelizes its inner loops (the paper's
+/// p_intra): AVX2 batch probing + vectorized entry writes, or scalar.
+enum class IntraMode { kAuto, kScalar, kAvx2 };
+
+class Dashboard {
+ public:
+  static constexpr std::int32_t kInvalid = -1;
+
+  /// capacity_entries = η·m·d̄ in the paper; the caller computes it.
+  Dashboard(std::size_t capacity_entries, IntraMode mode = IntraMode::kAuto);
+
+  /// Empty the table (start of a new subgraph sample).
+  void clear();
+
+  /// Number of entries a vertex of this degree occupies:
+  /// min(deg, degree_cap) (uncapped when degree_cap == 0). A degree-0
+  /// vertex occupies no entries — its selection probability is zero.
+  std::size_t entries_for_degree(graph::Eid degree) const;
+
+  /// True if adding a vertex with this degree would overflow — caller
+  /// must cleanup() first (paper Algorithm 3 line 20).
+  bool needs_cleanup(graph::Eid degree) const;
+
+  /// Append a frontier vertex occupying entries_for_degree(degree) slots.
+  /// Pre: !needs_cleanup(degree). A degree-0 vertex is recorded in the IA
+  /// but owns no entries (it can never be popped, matching its zero
+  /// selection probability).
+  void add(graph::Vid v, graph::Eid degree);
+
+  /// Pop one vertex with probability ∝ its entry count: probe uniformly
+  /// random entries until one is valid, then invalidate all of the owner's
+  /// entries (paper's para_POP_FRONTIER). Returns kNoVertex if no valid
+  /// entries exist (all-degree-0 frontier) — caller reseeds.
+  static constexpr graph::Vid kNoVertex = 0xFFFFFFFFu;
+  graph::Vid pop(util::Xoshiro256& rng);
+
+  /// Compact live vertices to the front (paper's para_CLEANUP).
+  void cleanup();
+
+  /// Enlarge capacity (doubling) until a vertex of `degree` fits. Only
+  /// needed when η·m·d̄ was undersized for a skewed, uncapped graph; the
+  /// paper avoids this case with the degree cap, but the library must not
+  /// crash without one.
+  void grow_to_fit(graph::Eid degree);
+
+  // --- introspection (tests + the ablation bench) ---
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used_entries() const { return used_; }       // incl. dead
+  std::size_t valid_entries() const { return valid_; }     // live only
+  std::size_t live_vertices() const { return live_vertices_; }
+  std::size_t cleanups() const { return cleanup_count_; }
+  std::size_t probes() const { return probe_count_; }      // total probes
+  void set_degree_cap(graph::Eid cap) { degree_cap_ = cap; }
+  graph::Eid degree_cap() const { return degree_cap_; }
+  bool using_avx() const;
+
+  /// Invariant check for tests: entry bookkeeping consistent with IA.
+  /// Empty string when consistent.
+  std::string check_invariants() const;
+
+ private:
+  graph::Vid pop_at(std::size_t entry_idx);
+  std::size_t probe_scalar(util::Xoshiro256& rng);
+  std::size_t probe_avx2(util::Xoshiro256& rng);
+  void write_entries(graph::Vid v, std::size_t start, std::size_t count,
+                     std::int32_t order);
+  void invalidate_entries(std::size_t start, std::size_t count);
+
+  std::size_t capacity_;
+  IntraMode mode_;
+  graph::Eid degree_cap_ = 0;
+
+  // Lane states for the SIMD xorshift32 used by AVX2 probing (one PRNG
+  // step yields 8 candidate indices). Lazily seeded from the caller's RNG
+  // on first use so runs stay reproducible per (seed, mode).
+  alignas(32) std::uint32_t lane_state_[8] = {};
+  bool lanes_seeded_ = false;
+
+  // DB slots (SoA).
+  std::vector<std::int32_t> vertex_;
+  std::vector<std::int32_t> offset_;
+  std::vector<std::int32_t> order_;
+
+  // IA.
+  std::vector<std::int32_t> ia_start_;
+  std::vector<std::int32_t> ia_count_;
+  std::vector<graph::Vid> ia_vertex_;
+  std::vector<std::uint8_t> ia_alive_;
+
+  std::size_t used_ = 0;           // tail position in DB
+  std::size_t valid_ = 0;          // live entries
+  std::size_t live_vertices_ = 0;  // live IA records
+  std::size_t cleanup_count_ = 0;
+  std::size_t probe_count_ = 0;
+};
+
+}  // namespace gsgcn::sampling

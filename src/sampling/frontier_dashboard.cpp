@@ -1,0 +1,95 @@
+#include "sampling/frontier_dashboard.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gsgcn::sampling {
+
+namespace {
+/// Paper's DB sizing: η · m · d̄ entries, where d̄ is the mean degree of
+/// the training graph (capped degrees when a cap is set).
+std::size_t dashboard_capacity(const graph::CsrGraph& g,
+                               const FrontierParams& p) {
+  double dbar = g.average_degree();
+  if (p.degree_cap > 0) dbar = std::min(dbar, static_cast<double>(p.degree_cap));
+  dbar = std::max(dbar, 1.0);
+  return static_cast<std::size_t>(
+      std::ceil(p.eta * static_cast<double>(p.frontier_size) * dbar));
+}
+}  // namespace
+
+DashboardFrontierSampler::DashboardFrontierSampler(const graph::CsrGraph& g,
+                                                   const FrontierParams& params,
+                                                   IntraMode intra)
+    : g_(g), p_(params), db_(dashboard_capacity(g, params), intra) {
+  if (p_.frontier_size == 0 || p_.budget <= p_.frontier_size) {
+    throw std::invalid_argument("frontier sampler: need budget > m > 0");
+  }
+  if (g_.num_vertices() < p_.frontier_size) {
+    throw std::invalid_argument("frontier sampler: m exceeds |V|");
+  }
+  if (p_.eta <= 1.0) {
+    throw std::invalid_argument("frontier sampler: eta must exceed 1");
+  }
+  db_.set_degree_cap(p_.degree_cap);
+}
+
+std::vector<graph::Vid> DashboardFrontierSampler::sample_vertices(
+    util::Xoshiro256& rng) {
+  const graph::Vid m = p_.frontier_size;
+  const std::size_t probes0 = db_.probes();
+  const std::size_t cleanups0 = db_.cleanups();
+
+  db_.clear();
+  std::vector<graph::Vid> seed =
+      util::sample_without_replacement(g_.num_vertices(), m, rng);
+  std::vector<graph::Vid> sampled(seed);
+  sampled.reserve(p_.budget);
+
+  // Initialize DB + IA from the seed frontier (Algorithm 3, lines 7-15).
+  for (const graph::Vid v : seed) {
+    const graph::Eid d = g_.degree(v);
+    if (db_.needs_cleanup(d)) {
+      db_.cleanup();
+      if (db_.needs_cleanup(d)) db_.grow_to_fit(d);
+    }
+    db_.add(v, d);
+  }
+
+  // Main loop (Algorithm 3, lines 17-25).
+  for (graph::Vid i = m; i < p_.budget; ++i) {
+    graph::Vid vpop = db_.pop(rng);
+    if (vpop == Dashboard::kNoVertex) {
+      // All frontier vertices have degree 0 — reseed (mirrors the naive
+      // sampler's degenerate-case handling).
+      db_.clear();
+      seed = util::sample_without_replacement(g_.num_vertices(), m, rng);
+      bool any_edges = false;
+      for (const graph::Vid v : seed) {
+        const graph::Eid d = g_.degree(v);
+        if (d > 0) any_edges = true;
+        if (db_.needs_cleanup(d)) db_.cleanup();
+        db_.add(v, d);
+      }
+      if (!any_edges) break;  // edgeless graph
+      vpop = db_.pop(rng);
+    }
+    const auto nbrs = g_.neighbors(vpop);
+    const graph::Vid vnew =
+        nbrs[rng.below(static_cast<std::uint32_t>(nbrs.size()))];
+
+    const graph::Eid d = g_.degree(vnew);
+    if (db_.needs_cleanup(d)) {  // line 20
+      db_.cleanup();
+      if (db_.needs_cleanup(d)) db_.grow_to_fit(d);
+    }
+    db_.add(vnew, d);
+    sampled.push_back(vpop);  // Algorithm 2 line 7: Vsub ← Vsub ∪ {u}
+  }
+
+  last_probes_ = db_.probes() - probes0;
+  last_cleanups_ = db_.cleanups() - cleanups0;
+  return sampled;
+}
+
+}  // namespace gsgcn::sampling

@@ -1,0 +1,66 @@
+#include "sampling/frontier_naive.hpp"
+
+#include <stdexcept>
+
+namespace gsgcn::sampling {
+
+NaiveFrontierSampler::NaiveFrontierSampler(const graph::CsrGraph& g,
+                                           const FrontierParams& params)
+    : g_(g), p_(params) {
+  if (p_.frontier_size == 0 || p_.budget <= p_.frontier_size) {
+    throw std::invalid_argument("frontier sampler: need budget > m > 0");
+  }
+  if (g_.num_vertices() < p_.frontier_size) {
+    throw std::invalid_argument("frontier sampler: m exceeds |V|");
+  }
+}
+
+graph::Eid NaiveFrontierSampler::weight(graph::Vid v) const {
+  const graph::Eid d = g_.degree(v);
+  return p_.degree_cap > 0 ? std::min(d, p_.degree_cap) : d;
+}
+
+std::vector<graph::Vid> NaiveFrontierSampler::sample_vertices(
+    util::Xoshiro256& rng) {
+  const graph::Vid m = p_.frontier_size;
+  std::vector<graph::Vid> frontier =
+      util::sample_without_replacement(g_.num_vertices(), m, rng);
+  std::vector<graph::Vid> sampled(frontier);  // line 2: Vsub ← FS
+  sampled.reserve(p_.budget);
+
+  graph::Eid total = 0;
+  for (const graph::Vid v : frontier) total += weight(v);
+
+  for (graph::Vid i = m; i < p_.budget; ++i) {
+    if (total <= 0) {
+      // Degenerate all-degree-0 frontier: reseed uniformly (keeps the
+      // sampler total; only reachable on graphs with isolated vertices).
+      frontier = util::sample_without_replacement(g_.num_vertices(), m, rng);
+      total = 0;
+      for (const graph::Vid v : frontier) total += weight(v);
+      if (total <= 0) break;  // graph has no edges at all
+    }
+    // Linear cumulative scan — the O(m) pop.
+    const double r = rng.uniform() * static_cast<double>(total);
+    double acc = 0.0;
+    std::size_t pos = frontier.size() - 1;
+    for (std::size_t j = 0; j < frontier.size(); ++j) {
+      acc += static_cast<double>(weight(frontier[j]));
+      if (r < acc) {
+        pos = j;
+        break;
+      }
+    }
+    const graph::Vid vpop = frontier[pos];
+    const auto nbrs = g_.neighbors(vpop);
+    const graph::Vid vnew =
+        nbrs[rng.below(static_cast<std::uint32_t>(nbrs.size()))];
+
+    total += weight(vnew) - weight(vpop);
+    frontier[pos] = vnew;       // line 6: FS ← (FS \ {u}) ∪ {u'}
+    sampled.push_back(vpop);    // line 7: Vsub ← Vsub ∪ {u}
+  }
+  return sampled;
+}
+
+}  // namespace gsgcn::sampling

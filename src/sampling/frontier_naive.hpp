@@ -1,0 +1,35 @@
+#pragma once
+// Straightforward frontier sampler (paper Algorithm 2, implemented the
+// obvious way): the frontier is an array of m vertices; each pop draws a
+// threshold in [0, Σdeg) and linearly scans the cumulative degrees.
+// O(m) per pop ⇒ O(m·n) per subgraph — the serial baseline the Dashboard
+// is measured against (with m = 1000 this is the "expensive" cost the
+// paper quotes in Section IV-A).
+
+#include "sampling/sampler.hpp"
+
+namespace gsgcn::sampling {
+
+struct FrontierParams {
+  graph::Vid frontier_size = 1000;  // m
+  graph::Vid budget = 8000;         // n (sampled vertex draws incl. frontier)
+  double eta = 2.0;                 // dashboard enlargement factor (unused here)
+  graph::Eid degree_cap = 0;        // cap on selection weight (0 = none)
+};
+
+class NaiveFrontierSampler final : public VertexSampler {
+ public:
+  NaiveFrontierSampler(const graph::CsrGraph& g, const FrontierParams& params);
+
+  std::vector<graph::Vid> sample_vertices(util::Xoshiro256& rng) override;
+
+  std::string name() const override { return "frontier-naive"; }
+
+ private:
+  graph::Eid weight(graph::Vid v) const;
+
+  const graph::CsrGraph& g_;
+  FrontierParams p_;
+};
+
+}  // namespace gsgcn::sampling

@@ -1,0 +1,49 @@
+#include "sampling/pool.hpp"
+
+#include <omp.h>
+
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace gsgcn::sampling {
+
+SubgraphPool::SubgraphPool(const graph::CsrGraph& g, SamplerFactory factory,
+                           int p_inter, std::uint64_t seed, bool pin_threads)
+    : g_(g), pin_threads_(pin_threads) {
+  if (p_inter <= 0) throw std::invalid_argument("SubgraphPool: p_inter <= 0");
+  samplers_.reserve(static_cast<std::size_t>(p_inter));
+  inducers_.reserve(static_cast<std::size_t>(p_inter));
+  rngs_.reserve(static_cast<std::size_t>(p_inter));
+  for (int i = 0; i < p_inter; ++i) {
+    samplers_.push_back(factory(i));
+    inducers_.push_back(std::make_unique<graph::Inducer>(g_));
+    rngs_.push_back(util::Xoshiro256::stream(seed, static_cast<std::uint64_t>(i)));
+  }
+}
+
+void SubgraphPool::refill() {
+  util::ScopedPhase phase(sample_time_);
+  const int p = p_inter();
+  const std::size_t base = queue_.size();
+  queue_.resize(base + static_cast<std::size_t>(p));
+#pragma omp parallel for num_threads(p) schedule(static)
+  for (int i = 0; i < p; ++i) {
+    if (pin_threads_) (void)util::pin_current_thread_to_cpu(i);
+    const auto vertices = samplers_[static_cast<std::size_t>(i)]->sample_vertices(
+        rngs_[static_cast<std::size_t>(i)]);
+    // Induction stays single-threaded here: the parallelism budget is
+    // already spent across instances (paper: p_intra is vector lanes).
+    queue_[base + static_cast<std::size_t>(i)] =
+        inducers_[static_cast<std::size_t>(i)]->induce(vertices, 1);
+  }
+}
+
+graph::Subgraph SubgraphPool::pop() {
+  if (queue_.empty()) refill();
+  graph::Subgraph out = std::move(queue_.back());
+  queue_.pop_back();
+  return out;
+}
+
+}  // namespace gsgcn::sampling

@@ -1,0 +1,62 @@
+#pragma once
+// Subgraph pool — the training scheduler of paper Algorithm 5.
+//
+// Sampling and GCN computation have no dependency across iterations (the
+// training graph is fixed), so the scheduler keeps a pool { G_i } of
+// pre-sampled subgraphs: when the pool runs dry it launches p_inter
+// sampler instances in parallel (inter-subgraph parallelism), each of
+// which parallelizes internally with AVX2 (intra-subgraph parallelism).
+// The trainer pops one subgraph per weight update.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/subgraph.hpp"
+#include "sampling/sampler.hpp"
+#include "util/timer.hpp"
+
+namespace gsgcn::sampling {
+
+/// Builds the sampler for instance i (each parallel instance owns its own
+/// sampler so there is no shared mutable state between them).
+using SamplerFactory =
+    std::function<std::unique_ptr<VertexSampler>(int instance)>;
+
+class SubgraphPool {
+ public:
+  /// p_inter = number of concurrent sampler instances (paper's p_inter).
+  /// Each instance i gets RNG stream (seed, i) — runs are reproducible for
+  /// a fixed (seed, p_inter) regardless of OS scheduling.
+  /// With `pin_threads` (default on), each sampler thread is bound to a
+  /// core during refill, as the paper prescribes, so its Dashboard stays
+  /// resident in that core's private cache. Pinning failures (e.g. inside
+  /// restrictive containers) are silently tolerated.
+  SubgraphPool(const graph::CsrGraph& g, SamplerFactory factory, int p_inter,
+               std::uint64_t seed, bool pin_threads = true);
+
+  /// Pop one subgraph, refilling the pool first if it is empty.
+  graph::Subgraph pop();
+
+  /// Sample p_inter subgraphs in parallel and append them to the pool.
+  void refill();
+
+  std::size_t available() const { return queue_.size(); }
+  int p_inter() const { return static_cast<int>(samplers_.size()); }
+
+  /// Total wall time spent inside refill() — the "Sampling" slice of the
+  /// Figure-3D execution breakdown.
+  double sampling_seconds() const { return sample_time_.total_seconds(); }
+  void reset_timer() { sample_time_.reset(); }
+
+ private:
+  const graph::CsrGraph& g_;
+  std::vector<std::unique_ptr<VertexSampler>> samplers_;
+  std::vector<std::unique_ptr<graph::Inducer>> inducers_;
+  std::vector<util::Xoshiro256> rngs_;
+  std::vector<graph::Subgraph> queue_;
+  util::PhaseTimer sample_time_;
+  bool pin_threads_;
+};
+
+}  // namespace gsgcn::sampling

@@ -1,0 +1,29 @@
+#pragma once
+// Vertex-sampler interface.
+//
+// A sampler draws a multiset of vertices from the fixed training graph;
+// the caller (SubgraphPool / Trainer) induces the subgraph. Samplers are
+// stateful scratch-holders but logically pure given the RNG: two calls
+// with equal RNG state produce equal output — the reproducibility tests
+// rely on this.
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace gsgcn::sampling {
+
+class VertexSampler {
+ public:
+  virtual ~VertexSampler() = default;
+
+  /// Draw one batch of vertex ids (may contain duplicates; the inducer
+  /// dedups). Size is governed by the sampler's own budget parameter.
+  virtual std::vector<graph::Vid> sample_vertices(util::Xoshiro256& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace gsgcn::sampling

@@ -1,0 +1,262 @@
+#include "sampling/samplers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gsgcn::sampling {
+
+UniformNodeSampler::UniformNodeSampler(const graph::CsrGraph& g,
+                                       graph::Vid budget)
+    : g_(g), budget_(budget) {
+  if (budget == 0 || budget > g.num_vertices()) {
+    throw std::invalid_argument("uniform-node: bad budget");
+  }
+}
+
+std::vector<graph::Vid> UniformNodeSampler::sample_vertices(
+    util::Xoshiro256& rng) {
+  return util::sample_without_replacement(g_.num_vertices(), budget_, rng);
+}
+
+RandomEdgeSampler::RandomEdgeSampler(const graph::CsrGraph& g,
+                                     graph::Vid budget)
+    : g_(g), budget_(budget) {
+  if (budget < 2) throw std::invalid_argument("random-edge: bad budget");
+  if (g.num_edges() == 0) throw std::invalid_argument("random-edge: empty graph");
+}
+
+std::vector<graph::Vid> RandomEdgeSampler::sample_vertices(
+    util::Xoshiro256& rng) {
+  std::vector<graph::Vid> out;
+  out.reserve(budget_);
+  const auto& adj = g_.adjacency();
+  const auto& offsets = g_.offsets();
+  while (out.size() + 1 < budget_) {
+    // Uniform directed edge = uniform adjacency slot; recover the source
+    // by binary search over offsets.
+    const auto slot = static_cast<graph::Eid>(
+        rng.below(static_cast<std::uint32_t>(adj.size())));
+    const auto it =
+        std::upper_bound(offsets.begin(), offsets.end(), slot) - 1;
+    const auto src = static_cast<graph::Vid>(it - offsets.begin());
+    out.push_back(src);
+    out.push_back(adj[static_cast<std::size_t>(slot)]);
+  }
+  return out;
+}
+
+RandomWalkSampler::RandomWalkSampler(const graph::CsrGraph& g,
+                                     graph::Vid num_roots,
+                                     graph::Vid walk_length)
+    : g_(g), num_roots_(num_roots), walk_length_(walk_length) {
+  if (num_roots == 0 || num_roots > g.num_vertices() || walk_length == 0) {
+    throw std::invalid_argument("random-walk: bad params");
+  }
+}
+
+std::vector<graph::Vid> RandomWalkSampler::sample_vertices(
+    util::Xoshiro256& rng) {
+  std::vector<graph::Vid> out;
+  out.reserve(static_cast<std::size_t>(num_roots_) * (walk_length_ + 1));
+  const auto roots =
+      util::sample_without_replacement(g_.num_vertices(), num_roots_, rng);
+  for (graph::Vid root : roots) {
+    out.push_back(root);
+    graph::Vid cur = root;
+    for (graph::Vid step = 0; step < walk_length_; ++step) {
+      const auto nbrs = g_.neighbors(cur);
+      if (nbrs.empty()) break;  // dead end: truncate this walk
+      cur = nbrs[rng.below(static_cast<std::uint32_t>(nbrs.size()))];
+      out.push_back(cur);
+    }
+  }
+  return out;
+}
+
+ForestFireSampler::ForestFireSampler(const graph::CsrGraph& g,
+                                     graph::Vid budget, double forward_prob)
+    : g_(g),
+      budget_(budget),
+      p_(forward_prob),
+      burned_stamp_(g.num_vertices(), 0) {
+  if (budget == 0 || budget > g.num_vertices()) {
+    throw std::invalid_argument("forest-fire: bad budget");
+  }
+  if (forward_prob <= 0.0 || forward_prob >= 1.0) {
+    throw std::invalid_argument("forest-fire: forward_prob must be in (0,1)");
+  }
+}
+
+std::vector<graph::Vid> ForestFireSampler::sample_vertices(
+    util::Xoshiro256& rng) {
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(burned_stamp_.begin(), burned_stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  std::vector<graph::Vid> burned;
+  burned.reserve(budget_);
+  std::vector<graph::Vid> frontier;
+  auto burn = [&](graph::Vid v) {
+    if (burned_stamp_[v] == epoch_) return false;
+    burned_stamp_[v] = epoch_;
+    burned.push_back(v);
+    frontier.push_back(v);
+    return true;
+  };
+  while (burned.size() < budget_) {
+    if (frontier.empty()) {
+      // (Re)ignite at an unburned random vertex.
+      graph::Vid seed;
+      do {
+        seed = rng.below(g_.num_vertices());
+      } while (burned_stamp_[seed] == epoch_);
+      burn(seed);
+    }
+    const graph::Vid u = frontier.back();
+    frontier.pop_back();
+    // Geometric(1-p) burn count: number of successes before failure.
+    graph::Vid want = 0;
+    while (rng.uniform() < p_) ++want;
+    if (want == 0) continue;
+    // Burn up to `want` unburned neighbors, chosen from a random rotation
+    // of the neighbor list so selection is unbiased without a shuffle.
+    const auto nbrs = g_.neighbors(u);
+    if (nbrs.empty()) continue;
+    const std::size_t start = rng.below(static_cast<std::uint32_t>(nbrs.size()));
+    graph::Vid lit = 0;
+    for (std::size_t i = 0; i < nbrs.size() && lit < want &&
+                            burned.size() < budget_;
+         ++i) {
+      const graph::Vid v = nbrs[(start + i) % nbrs.size()];
+      if (burn(v)) ++lit;
+    }
+  }
+  return burned;
+}
+
+Node2VecSampler::Node2VecSampler(const graph::CsrGraph& g,
+                                 graph::Vid num_roots, graph::Vid walk_length,
+                                 double return_p, double in_out_q)
+    : g_(g),
+      num_roots_(num_roots),
+      walk_length_(walk_length),
+      p_(return_p),
+      q_(in_out_q) {
+  if (num_roots == 0 || num_roots > g.num_vertices() || walk_length == 0) {
+    throw std::invalid_argument("node2vec: bad params");
+  }
+  if (return_p <= 0.0 || in_out_q <= 0.0) {
+    throw std::invalid_argument("node2vec: p, q must be positive");
+  }
+}
+
+std::vector<graph::Vid> Node2VecSampler::sample_vertices(
+    util::Xoshiro256& rng) {
+  std::vector<graph::Vid> out;
+  out.reserve(static_cast<std::size_t>(num_roots_) * (walk_length_ + 1));
+  // Rejection sampling: propose a uniform neighbor of cur, accept with
+  // probability w/w_max where w ∈ {1/p (back to prev), 1 (neighbor of
+  // prev), 1/q (explore)} — unbiased without per-vertex alias tables.
+  const double w_max = std::max({1.0 / p_, 1.0, 1.0 / q_});
+  const auto roots =
+      util::sample_without_replacement(g_.num_vertices(), num_roots_, rng);
+  for (const graph::Vid root : roots) {
+    out.push_back(root);
+    graph::Vid prev = root;
+    graph::Vid cur = root;
+    for (graph::Vid step = 0; step < walk_length_; ++step) {
+      const auto nbrs = g_.neighbors(cur);
+      if (nbrs.empty()) break;
+      graph::Vid next = cur;
+      for (int attempt = 0; attempt < 64; ++attempt) {  // bounded rejection
+        const graph::Vid cand =
+            nbrs[rng.below(static_cast<std::uint32_t>(nbrs.size()))];
+        double w;
+        if (cand == prev) {
+          w = 1.0 / p_;
+        } else {
+          const auto prev_nbrs = g_.neighbors(prev);
+          const bool local = std::binary_search(prev_nbrs.begin(),
+                                                prev_nbrs.end(), cand);
+          w = local ? 1.0 : 1.0 / q_;
+        }
+        if (rng.uniform() * w_max < w) {
+          next = cand;
+          break;
+        }
+      }
+      if (next == cur) break;  // rejection budget exhausted: truncate walk
+      prev = cur;
+      cur = next;
+      out.push_back(cur);
+    }
+  }
+  return out;
+}
+
+SnowballSampler::SnowballSampler(const graph::CsrGraph& g, graph::Vid budget,
+                                 graph::Vid num_seeds,
+                                 graph::Vid max_per_vertex)
+    : g_(g),
+      budget_(budget),
+      num_seeds_(num_seeds),
+      max_per_vertex_(max_per_vertex),
+      seen_stamp_(g.num_vertices(), 0) {
+  if (budget == 0 || budget > g.num_vertices() || num_seeds == 0 ||
+      num_seeds > budget || max_per_vertex == 0) {
+    throw std::invalid_argument("snowball: bad params");
+  }
+}
+
+std::vector<graph::Vid> SnowballSampler::sample_vertices(
+    util::Xoshiro256& rng) {
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  std::vector<graph::Vid> sampled;
+  sampled.reserve(budget_);
+  std::vector<graph::Vid> frontier, next;
+  for (const graph::Vid s :
+       util::sample_without_replacement(g_.num_vertices(), num_seeds_, rng)) {
+    seen_stamp_[s] = epoch_;
+    sampled.push_back(s);
+    frontier.push_back(s);
+  }
+  while (sampled.size() < budget_ && !frontier.empty()) {
+    next.clear();
+    for (const graph::Vid u : frontier) {
+      const auto nbrs = g_.neighbors(u);
+      if (nbrs.empty()) continue;
+      const std::size_t start =
+          rng.below(static_cast<std::uint32_t>(nbrs.size()));
+      graph::Vid taken = 0;
+      for (std::size_t i = 0;
+           i < nbrs.size() && taken < max_per_vertex_ &&
+           sampled.size() < budget_;
+           ++i) {
+        const graph::Vid v = nbrs[(start + i) % nbrs.size()];
+        if (seen_stamp_[v] == epoch_) continue;
+        seen_stamp_[v] = epoch_;
+        sampled.push_back(v);
+        next.push_back(v);
+        ++taken;
+      }
+      if (sampled.size() >= budget_) break;
+    }
+    frontier.swap(next);
+  }
+  // If BFS exhausted its components short of budget, top up with fresh
+  // uniform vertices so the batch size stays predictable.
+  while (sampled.size() < budget_) {
+    const graph::Vid v = rng.below(g_.num_vertices());
+    if (seen_stamp_[v] == epoch_) continue;
+    seen_stamp_[v] = epoch_;
+    sampled.push_back(v);
+  }
+  return sampled;
+}
+
+}  // namespace gsgcn::sampling

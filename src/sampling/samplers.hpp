@@ -1,0 +1,115 @@
+#pragma once
+// The "wider class of sampling algorithms" the paper's conclusion promises
+// to support: uniform node, random edge, and multi-start random walk
+// samplers. All satisfy the graph-sampling GCN's requirement #2 (every
+// vertex has non-negligible sampling probability); frontier sampling
+// remains the default because it additionally preserves connectivity
+// (requirement #1), which the accuracy comparison bench demonstrates.
+
+#include "sampling/sampler.hpp"
+
+namespace gsgcn::sampling {
+
+/// Uniform vertex draws without replacement.
+class UniformNodeSampler final : public VertexSampler {
+ public:
+  UniformNodeSampler(const graph::CsrGraph& g, graph::Vid budget);
+  std::vector<graph::Vid> sample_vertices(util::Xoshiro256& rng) override;
+  std::string name() const override { return "uniform-node"; }
+
+ private:
+  const graph::CsrGraph& g_;
+  graph::Vid budget_;
+};
+
+/// Uniform edge draws; both endpoints join the sample. Biases the sample
+/// toward high-degree vertices (∝ degree), like frontier sampling, but
+/// with no connectivity preservation between draws.
+class RandomEdgeSampler final : public VertexSampler {
+ public:
+  RandomEdgeSampler(const graph::CsrGraph& g, graph::Vid budget);
+  std::vector<graph::Vid> sample_vertices(util::Xoshiro256& rng) override;
+  std::string name() const override { return "random-edge"; }
+
+ private:
+  const graph::CsrGraph& g_;
+  graph::Vid budget_;
+};
+
+/// `num_roots` uniform roots, each walked `walk_length` steps; every
+/// visited vertex joins the sample. GraphSAINT's RW sampler is this.
+class RandomWalkSampler final : public VertexSampler {
+ public:
+  RandomWalkSampler(const graph::CsrGraph& g, graph::Vid num_roots,
+                    graph::Vid walk_length);
+  std::vector<graph::Vid> sample_vertices(util::Xoshiro256& rng) override;
+  std::string name() const override { return "random-walk"; }
+
+ private:
+  const graph::CsrGraph& g_;
+  graph::Vid num_roots_;
+  graph::Vid walk_length_;
+};
+
+/// Forest-fire sampling (Leskovec & Faloutsos): from a random seed,
+/// recursively "burn" a geometrically-distributed number of unburned
+/// neighbors (mean p/(1-p)); reignite at a fresh seed when the fire dies
+/// out, until `budget` vertices burned. Preserves community structure and
+/// degree skew — a middle ground between frontier and random walks.
+class ForestFireSampler final : public VertexSampler {
+ public:
+  ForestFireSampler(const graph::CsrGraph& g, graph::Vid budget,
+                    double forward_prob = 0.7);
+  std::vector<graph::Vid> sample_vertices(util::Xoshiro256& rng) override;
+  std::string name() const override { return "forest-fire"; }
+
+ private:
+  const graph::CsrGraph& g_;
+  graph::Vid budget_;
+  double p_;
+  std::vector<std::uint32_t> burned_stamp_;  // epoch-stamped visited set
+  std::uint32_t epoch_ = 0;
+};
+
+/// node2vec-style second-order random walk: the next step is biased by
+/// the previous vertex — return (back to prev) weight 1/p, stay-local
+/// (neighbor of prev) weight 1, explore (distance-2) weight 1/q. Low q
+/// approximates DFS (community-spanning), high q approximates BFS. Uses
+/// rejection sampling (Knightking-style) so no alias tables are needed.
+class Node2VecSampler final : public VertexSampler {
+ public:
+  Node2VecSampler(const graph::CsrGraph& g, graph::Vid num_roots,
+                  graph::Vid walk_length, double return_p = 1.0,
+                  double in_out_q = 1.0);
+  std::vector<graph::Vid> sample_vertices(util::Xoshiro256& rng) override;
+  std::string name() const override { return "node2vec"; }
+
+ private:
+  const graph::CsrGraph& g_;
+  graph::Vid num_roots_;
+  graph::Vid walk_length_;
+  double p_;
+  double q_;
+};
+
+/// Snowball (bounded-BFS) sampling: BFS from `num_seeds` random roots,
+/// taking at most `max_per_level` per expansion, until `budget` vertices.
+/// The classic network-crawling sampler; included for the sampler-quality
+/// comparison (it over-represents the seeds' neighborhoods).
+class SnowballSampler final : public VertexSampler {
+ public:
+  SnowballSampler(const graph::CsrGraph& g, graph::Vid budget,
+                  graph::Vid num_seeds = 8, graph::Vid max_per_vertex = 16);
+  std::vector<graph::Vid> sample_vertices(util::Xoshiro256& rng) override;
+  std::string name() const override { return "snowball"; }
+
+ private:
+  const graph::CsrGraph& g_;
+  graph::Vid budget_;
+  graph::Vid num_seeds_;
+  graph::Vid max_per_vertex_;
+  std::vector<std::uint32_t> seen_stamp_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace gsgcn::sampling

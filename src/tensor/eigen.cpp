@@ -1,0 +1,106 @@
+#include "tensor/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gsgcn::tensor {
+
+EigenResult jacobi_eigen_symmetric(const Matrix& input, int max_sweeps,
+                                   float tolerance) {
+  const std::size_t n = input.rows();
+  if (n != input.cols()) {
+    throw std::invalid_argument("jacobi: matrix must be square");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::abs(input(i, j) - input(j, i)) > 1e-3f) {
+        throw std::invalid_argument("jacobi: matrix is not symmetric");
+      }
+    }
+  }
+
+  Matrix a = input;  // working copy, driven to diagonal form
+  Matrix v(n, n);    // accumulated rotations
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0f;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius mass — the convergence criterion.
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        off += 2.0 * static_cast<double>(a(i, j)) * a(i, j);
+      }
+    }
+    if (std::sqrt(off) <= tolerance) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const float apq = a(p, q);
+        if (std::abs(apq) < tolerance * 1e-2f) continue;
+        const float app = a(p, p), aqq = a(q, q);
+        // Stable rotation angle (Golub & Van Loan 8.4).
+        const float theta = (aqq - app) / (2.0f * apq);
+        const float t = std::copysign(1.0f, theta) /
+                        (std::abs(theta) + std::sqrt(1.0f + theta * theta));
+        const float c = 1.0f / std::sqrt(1.0f + t * t);
+        const float s = t * c;
+        // A ← JᵀAJ applied to rows/cols p and q.
+        for (std::size_t k = 0; k < n; ++k) {
+          const float akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const float apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // V ← VJ.
+        for (std::size_t k = 0; k < n; ++k) {
+          const float vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a(x, x) > a(y, y);
+  });
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.values[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.vectors(i, j) = v(i, order[j]);
+    }
+  }
+  return result;
+}
+
+Matrix covariance(const Matrix& x) {
+  const std::size_t n = x.rows(), f = x.cols();
+  if (n == 0) throw std::invalid_argument("covariance: empty matrix");
+  Matrix c(f, f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = x.row(i);
+    for (std::size_t a = 0; a < f; ++a) {
+      const float ra = row[a];
+      if (ra == 0.0f) continue;
+      float* crow = c.row(a);
+      for (std::size_t b = 0; b < f; ++b) crow[b] += ra * row[b];
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= inv;
+  return c;
+}
+
+}  // namespace gsgcn::tensor

@@ -1,0 +1,31 @@
+#pragma once
+// Symmetric eigendecomposition (cyclic Jacobi).
+//
+// The dataset pipeline mirrors the paper's feature provenance: Amazon's
+// attributes are SVD-compressed bag-of-words and Yelp's are Word2Vec
+// embeddings (Table I). PCA compression of raw features needs the top
+// eigenpairs of the f×f covariance — small enough (f ≤ ~1000) that the
+// always-convergent cyclic Jacobi method is the right tool.
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace gsgcn::tensor {
+
+struct EigenResult {
+  std::vector<float> values;  // descending
+  Matrix vectors;             // column j ↔ values[j]; orthonormal
+};
+
+/// Full eigendecomposition of a symmetric matrix (upper triangle is
+/// trusted; asymmetry beyond tolerance throws). O(f³) per sweep, a few
+/// sweeps to machine precision.
+EigenResult jacobi_eigen_symmetric(const Matrix& a, int max_sweeps = 32,
+                                   float tolerance = 1e-7f);
+
+/// X → covariance XᵀX / n (f×f, symmetric), the PCA input. Columns of X
+/// are assumed pre-centered (see data::standardize_columns).
+Matrix covariance(const Matrix& x);
+
+}  // namespace gsgcn::tensor

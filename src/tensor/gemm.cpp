@@ -1,0 +1,194 @@
+#include "tensor/gemm.hpp"
+
+#include <omp.h>
+
+#include <cassert>
+#include <stdexcept>
+
+#ifdef GSGCN_AVX2
+#include <immintrin.h>
+#endif
+
+namespace gsgcn::tensor {
+
+namespace {
+
+constexpr std::size_t kBlockK = 256;  // K-tile: keeps ~kBlockK B-rows warm
+
+void check_nn(const Matrix& a, const Matrix& b, const Matrix& c) {
+  if (a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols()) {
+    throw std::invalid_argument("gemm_nn: shape mismatch " + a.shape_str() +
+                                " * " + b.shape_str() + " -> " + c.shape_str());
+  }
+}
+
+void check_tn(const Matrix& a, const Matrix& b, const Matrix& c) {
+  if (a.rows() != b.rows() || c.rows() != a.cols() || c.cols() != b.cols()) {
+    throw std::invalid_argument("gemm_tn: shape mismatch " + a.shape_str() +
+                                "^T * " + b.shape_str() + " -> " + c.shape_str());
+  }
+}
+
+void check_nt(const Matrix& a, const Matrix& b, const Matrix& c) {
+  if (a.cols() != b.cols() || c.rows() != a.rows() || c.cols() != b.rows()) {
+    throw std::invalid_argument("gemm_nt: shape mismatch " + a.shape_str() +
+                                " * " + b.shape_str() + "^T -> " + c.shape_str());
+  }
+}
+
+inline void scale_row(float* c, std::size_t n, float beta) {
+  if (beta == 0.0f) {
+    for (std::size_t j = 0; j < n; ++j) c[j] = 0.0f;
+  } else if (beta != 1.0f) {
+    for (std::size_t j = 0; j < n; ++j) c[j] *= beta;
+  }
+}
+
+/// c[0..n) += s * b[0..n)   (axpy — the inner kernel of NN and TN)
+inline void axpy(float* c, const float* b, std::size_t n, float s) {
+#ifdef GSGCN_AVX2
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 vb = _mm256_loadu_ps(b + j);
+    const __m256 vc = _mm256_loadu_ps(c + j);
+    _mm256_storeu_ps(c + j, _mm256_fmadd_ps(vs, vb, vc));
+  }
+  for (; j < n; ++j) c[j] += s * b[j];
+#else
+  for (std::size_t j = 0; j < n; ++j) c[j] += s * b[j];
+#endif
+}
+
+/// dot(a[0..n), b[0..n))   (the inner kernel of NT)
+inline float dot(const float* a, const float* b, std::size_t n) {
+#ifdef GSGCN_AVX2
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j), acc);
+  }
+  // Horizontal sum of acc.
+  __m128 lo = _mm256_castps256_ps128(acc);
+  __m128 hi = _mm256_extractf128_ps(acc, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  float s = _mm_cvtss_f32(lo);
+  for (; j < n; ++j) s += a[j] * b[j];
+  return s;
+#else
+  float s = 0.0f;
+  for (std::size_t j = 0; j < n; ++j) s += a[j] * b[j];
+  return s;
+#endif
+}
+
+int resolve_threads(int threads) {
+  return threads > 0 ? threads : omp_get_max_threads();
+}
+
+}  // namespace
+
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
+             float beta, int threads) {
+  check_nn(a, b, c);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const int p = resolve_threads(threads);
+#pragma omp parallel for num_threads(p) schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* ci = c.row(i);
+    scale_row(ci, n, beta);
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::size_t k1 = std::min(k, k0 + kBlockK);
+      const float* ai = a.row(i);
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const float s = alpha * ai[kk];
+        if (s != 0.0f) axpy(ci, b.row(kk), n, s);
+      }
+    }
+  }
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
+             float beta, int threads) {
+  check_tn(a, b, c);
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  const int p = resolve_threads(threads);
+#pragma omp parallel for num_threads(p) schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* ci = c.row(i);
+    scale_row(ci, n, beta);
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::size_t k1 = std::min(k, k0 + kBlockK);
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const float s = alpha * a(kk, i);
+        if (s != 0.0f) axpy(ci, b.row(kk), n, s);
+      }
+    }
+  }
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
+             float beta, int threads) {
+  check_nt(a, b, c);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  const int p = resolve_threads(threads);
+#pragma omp parallel for num_threads(p) schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* ci = c.row(i);
+    const float* ai = a.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float d = alpha * dot(ai, b.row(j), k);
+      ci[j] = beta == 0.0f ? d : beta * ci[j] + d;
+    }
+  }
+}
+
+namespace reference {
+
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
+             float beta) {
+  check_nn(a, b, c);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+        s += static_cast<double>(a(i, kk)) * b(kk, j);
+      }
+      c(i, j) = alpha * static_cast<float>(s) + beta * (beta == 0.0f ? 0.0f : c(i, j));
+    }
+  }
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
+             float beta) {
+  check_tn(a, b, c);
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t kk = 0; kk < a.rows(); ++kk) {
+        s += static_cast<double>(a(kk, i)) * b(kk, j);
+      }
+      c(i, j) = alpha * static_cast<float>(s) + beta * (beta == 0.0f ? 0.0f : c(i, j));
+    }
+  }
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
+             float beta) {
+  check_nt(a, b, c);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      double s = 0.0;
+      for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+        s += static_cast<double>(a(i, kk)) * b(j, kk);
+      }
+      c(i, j) = alpha * static_cast<float>(s) + beta * (beta == 0.0f ? 0.0f : c(i, j));
+    }
+  }
+}
+
+}  // namespace reference
+
+}  // namespace gsgcn::tensor

@@ -1,0 +1,42 @@
+#pragma once
+// Dense matrix multiplication — the "weight application" kernel.
+//
+// The paper offloads this to MKL cblas_dgemm; here it is implemented
+// directly: OpenMP parallel over row blocks, AVX2+FMA inner kernels, and
+// K-blocking so the streamed operand stays in L2. Three orientations cover
+// everything the GCN's forward/backward needs:
+//
+//   NN:  C = A·B        (forward weight application, H · W)
+//   TN:  C = Aᵀ·B       (weight gradients, Hᵀ · dOut)
+//   NT:  C = A·Bᵀ       (input gradients, dOut · Wᵀ)
+//
+// All kernels compute C = alpha·op(A)op(B) + beta·C. `threads` ≤ 0 means
+// "use the current OpenMP max" (so callers can sweep thread counts for the
+// Figure-3C bench without global state).
+
+#include "tensor/matrix.hpp"
+
+namespace gsgcn::tensor {
+
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
+             float beta = 0.0f, int threads = 0);
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
+             float beta = 0.0f, int threads = 0);
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
+             float beta = 0.0f, int threads = 0);
+
+/// Triple-loop reference implementations (no SIMD, no threading) used by
+/// the tests to validate the optimized kernels bit-for-bit-ish (tolerance
+/// covers FMA contraction differences).
+namespace reference {
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
+             float beta = 0.0f);
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
+             float beta = 0.0f);
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
+             float beta = 0.0f);
+}  // namespace reference
+
+}  // namespace gsgcn::tensor

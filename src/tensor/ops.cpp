@@ -1,0 +1,147 @@
+#include "tensor/ops.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace gsgcn::tensor {
+
+namespace {
+int resolve(int threads) { return threads > 0 ? threads : omp_get_max_threads(); }
+
+void check_same_shape(const Matrix& a, const Matrix& b, const char* what) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                a.shape_str() + " vs " + b.shape_str());
+  }
+}
+}  // namespace
+
+void relu_forward(const Matrix& x, Matrix& y, int threads) {
+  check_same_shape(x, y, "relu_forward");
+  const std::size_t n = x.size();
+  const float* xp = x.data();
+  float* yp = y.data();
+#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
+  }
+}
+
+void relu_backward(const Matrix& x, const Matrix& dy, Matrix& dx,
+                   int threads) {
+  check_same_shape(x, dy, "relu_backward");
+  check_same_shape(x, dx, "relu_backward");
+  const std::size_t n = x.size();
+  const float* xp = x.data();
+  const float* dyp = dy.data();
+  float* dxp = dx.data();
+#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    dxp[i] = xp[i] > 0.0f ? dyp[i] : 0.0f;
+  }
+}
+
+void concat_cols(const Matrix& a, const Matrix& b, Matrix& out, int threads) {
+  if (a.rows() != b.rows() || out.rows() != a.rows() ||
+      out.cols() != a.cols() + b.cols()) {
+    throw std::invalid_argument("concat_cols: shape mismatch");
+  }
+  const std::size_t rows = a.rows();
+#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::memcpy(out.row(i), a.row(i), a.cols() * sizeof(float));
+    std::memcpy(out.row(i) + a.cols(), b.row(i), b.cols() * sizeof(float));
+  }
+}
+
+void split_cols(const Matrix& src, Matrix& a, Matrix& b, int threads) {
+  if (a.rows() != src.rows() || b.rows() != src.rows() ||
+      src.cols() != a.cols() + b.cols()) {
+    throw std::invalid_argument("split_cols: shape mismatch");
+  }
+  const std::size_t rows = src.rows();
+#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::memcpy(a.row(i), src.row(i), a.cols() * sizeof(float));
+    std::memcpy(b.row(i), src.row(i) + a.cols(), b.cols() * sizeof(float));
+  }
+}
+
+void add_scaled(Matrix& x, const Matrix& y, float alpha, int threads) {
+  check_same_shape(x, y, "add_scaled");
+  const std::size_t n = x.size();
+  float* xp = x.data();
+  const float* yp = y.data();
+#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    xp[i] += alpha * yp[i];
+  }
+}
+
+void scale_inplace(Matrix& x, float alpha, int threads) {
+  const std::size_t n = x.size();
+  float* xp = x.data();
+#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    xp[i] *= alpha;
+  }
+}
+
+void gather_rows(const Matrix& src, std::span<const std::uint32_t> indices,
+                 Matrix& out, int threads) {
+  if (out.rows() != indices.size() || out.cols() != src.cols()) {
+    throw std::invalid_argument("gather_rows: shape mismatch");
+  }
+  const std::size_t n = indices.size();
+#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indices[i] >= src.rows()) {
+      // Inside an OMP region we cannot throw across the boundary; abort
+      // via a trap — this indicates a programming error upstream.
+      std::abort();
+    }
+    std::memcpy(out.row(i), src.row(indices[i]), src.cols() * sizeof(float));
+  }
+}
+
+void add_bias_rows(Matrix& x, std::span<const float> bias, int threads) {
+  if (bias.size() != x.cols()) {
+    throw std::invalid_argument("add_bias_rows: bias length mismatch");
+  }
+  const std::size_t rows = x.rows(), cols = x.cols();
+#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* r = x.row(i);
+    for (std::size_t j = 0; j < cols; ++j) r[j] += bias[j];
+  }
+}
+
+void bias_grad(const Matrix& dy, std::span<float> dbias) {
+  if (dbias.size() != dy.cols()) {
+    throw std::invalid_argument("bias_grad: length mismatch");
+  }
+  std::fill(dbias.begin(), dbias.end(), 0.0f);
+  for (std::size_t i = 0; i < dy.rows(); ++i) {
+    const float* r = dy.row(i);
+    for (std::size_t j = 0; j < dy.cols(); ++j) dbias[j] += r[j];
+  }
+}
+
+void l2_normalize_rows(Matrix& x, int threads) {
+  const std::size_t rows = x.rows(), cols = x.cols();
+#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* r = x.row(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) s += static_cast<double>(r[j]) * r[j];
+    if (s > 0.0) {
+      const float inv = static_cast<float>(1.0 / std::sqrt(s));
+      for (std::size_t j = 0; j < cols; ++j) r[j] *= inv;
+    }
+  }
+}
+
+}  // namespace gsgcn::tensor

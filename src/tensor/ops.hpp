@@ -1,0 +1,52 @@
+#pragma once
+// Elementwise / structural matrix operations used by the GCN layers.
+// All take explicit outputs so buffers can be reused across iterations
+// (no per-minibatch allocation in the training hot loop).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace gsgcn::tensor {
+
+/// y = max(0, x), elementwise. y must be same shape as x (may alias x).
+void relu_forward(const Matrix& x, Matrix& y, int threads = 0);
+
+/// dx = dy ⊙ 1[x > 0]. dx may alias dy. x is the *pre-activation* input.
+void relu_backward(const Matrix& x, const Matrix& dy, Matrix& dx,
+                   int threads = 0);
+
+/// out = [a | b] column-wise concat (the paper's "Concat" in line 9 of
+/// Algorithm 1). a.rows() == b.rows(); out is (rows, a.cols + b.cols).
+void concat_cols(const Matrix& a, const Matrix& b, Matrix& out,
+                 int threads = 0);
+
+/// Inverse of concat_cols: copies src's first a.cols() columns into a and
+/// the rest into b (used to split the concat gradient).
+void split_cols(const Matrix& src, Matrix& a, Matrix& b, int threads = 0);
+
+/// x += alpha * y, elementwise. Shapes must match.
+void add_scaled(Matrix& x, const Matrix& y, float alpha = 1.0f,
+                int threads = 0);
+
+/// x *= alpha.
+void scale_inplace(Matrix& x, float alpha, int threads = 0);
+
+/// out.row(i) = src.row(indices[i]) — gathers H^(0)[V_sub] for a sampled
+/// batch (line 5 of Algorithm 1) and scatter-free label gathers.
+void gather_rows(const Matrix& src, std::span<const std::uint32_t> indices,
+                 Matrix& out, int threads = 0);
+
+/// Adds `bias` (length == x.cols()) to every row of x.
+void add_bias_rows(Matrix& x, std::span<const float> bias, int threads = 0);
+
+/// dbias[j] = sum_i dy(i, j) — bias gradient reduction.
+void bias_grad(const Matrix& dy, std::span<float> dbias);
+
+/// Row-wise L2 normalization: each nonzero row scaled to unit norm.
+/// GraphSAGE applies this to embeddings between layers; exposed for parity.
+void l2_normalize_rows(Matrix& x, int threads = 0);
+
+}  // namespace gsgcn::tensor

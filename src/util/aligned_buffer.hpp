@@ -1,0 +1,79 @@
+#pragma once
+// Cache-line / SIMD aligned owning buffer.
+//
+// The sampler Dashboard and the tensor library both want 64-byte aligned
+// storage so AVX2 loads never split cache lines. std::vector cannot
+// guarantee alignment beyond alignof(std::max_align_t), hence this tiny
+// RAII wrapper around ::operator new(std::align_val_t).
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace gsgcn::util {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Owning, 64-byte aligned, uninitialized buffer of trivially-copyable T.
+/// Move-only. size() is in elements, not bytes.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n) { reset(n); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { destroy(); }
+
+  /// Discard contents and reallocate to n elements (uninitialized).
+  void reset(std::size_t n) {
+    destroy();
+    if (n > 0) {
+      data_ = static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t{kCacheLine}));
+    }
+    size_ = n;
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void destroy() noexcept {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kCacheLine});
+      data_ = nullptr;
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gsgcn::util

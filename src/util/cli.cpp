@@ -1,0 +1,69 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace gsgcn::util {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag, got: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const {
+  used_[key] = true;
+  return kv_.count(key) > 0;
+}
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  used_[key] = true;
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get(const std::string& key, std::int64_t fallback) const {
+  used_[key] = true;
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::stoll(it->second);
+}
+
+int Cli::get(const std::string& key, int fallback) const {
+  return static_cast<int>(get(key, static_cast<std::int64_t>(fallback)));
+}
+
+double Cli::get(const std::string& key, double fallback) const {
+  used_[key] = true;
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::stod(it->second);
+}
+
+bool Cli::get(const std::string& key, bool fallback) const {
+  used_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    (void)v;
+    if (used_.count(k) == 0) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace gsgcn::util

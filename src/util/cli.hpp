@@ -1,0 +1,37 @@
+#pragma once
+// Minimal command-line flag parsing for the examples and bench binaries.
+// Flags are --name=value or --name value; unknown flags are an error so
+// typos surface immediately.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gsgcn::util {
+
+/// Parsed --key=value flags with typed, defaulted accessors.
+class Cli {
+ public:
+  /// Parse argv. Throws std::invalid_argument on malformed input.
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get(const std::string& key, std::int64_t fallback) const;
+  int get(const std::string& key, int fallback) const;
+  double get(const std::string& key, double fallback) const;
+  bool get(const std::string& key, bool fallback) const;
+
+  /// Keys the caller never read — used to reject typo'd flags.
+  std::vector<std::string> unused() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace gsgcn::util

@@ -1,0 +1,38 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/parallel.hpp"
+
+namespace gsgcn::util {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoll(v, nullptr, 10) : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtod(v, nullptr) : fallback;
+}
+
+double dataset_scale() {
+  return std::clamp(env_double("GSGCN_SCALE", 1.0), 0.01, 100.0);
+}
+
+int bench_max_threads() {
+  return static_cast<int>(
+      env_int("GSGCN_MAX_THREADS", static_cast<std::int64_t>(num_procs())));
+}
+
+std::uint64_t global_seed() {
+  return static_cast<std::uint64_t>(env_int("GSGCN_SEED", 42));
+}
+
+}  // namespace gsgcn::util

@@ -1,0 +1,29 @@
+#pragma once
+// Environment-variable knobs.
+//
+// The bench harness honours:
+//   GSGCN_SCALE        — multiplier on synthetic dataset sizes (default 1.0,
+//                        set <1 on slow machines, >1 to stress)
+//   GSGCN_MAX_THREADS  — cap on the thread sweep in the scaling benches
+//   GSGCN_SEED         — global base seed for reproducible runs
+
+#include <cstdint>
+#include <string>
+
+namespace gsgcn::util {
+
+std::string env_string(const char* name, const std::string& fallback);
+std::int64_t env_int(const char* name, std::int64_t fallback);
+double env_double(const char* name, double fallback);
+
+/// Dataset scale factor (GSGCN_SCALE, default 1.0, clamped to [0.01, 100]).
+double dataset_scale();
+
+/// Max threads to sweep in scaling benches
+/// (GSGCN_MAX_THREADS, default: omp num procs).
+int bench_max_threads();
+
+/// Global base seed (GSGCN_SEED, default 42).
+std::uint64_t global_seed();
+
+}  // namespace gsgcn::util

@@ -1,0 +1,70 @@
+#include "util/parallel.hpp"
+
+#include <omp.h>
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include <fstream>
+#include <string>
+
+namespace gsgcn::util {
+
+namespace {
+std::size_t read_l2_bytes() {
+  // sysfs reports e.g. "2048K"; index2 is conventionally the unified L2.
+  std::ifstream in("/sys/devices/system/cpu/cpu0/cache/index2/size");
+  std::string s;
+  if (in >> s && !s.empty()) {
+    const char suffix = s.back();
+    const std::size_t value = std::strtoull(s.c_str(), nullptr, 10);
+    if (value > 0) {
+      if (suffix == 'K') return value * 1024;
+      if (suffix == 'M') return value * 1024 * 1024;
+      return value;
+    }
+  }
+  return 256 * 1024;  // the paper's assumption
+}
+}  // namespace
+
+std::size_t private_cache_bytes() {
+  static const std::size_t bytes = read_l2_bytes();
+  return bytes;
+}
+
+bool pin_current_thread_to_cpu(int cpu) {
+#ifdef __linux__
+  const int n = omp_get_num_procs();
+  if (n <= 0 || cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % n, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+int max_threads() { return omp_get_max_threads(); }
+int num_procs() { return omp_get_num_procs(); }
+int thread_id() { return omp_get_thread_num(); }
+bool in_parallel() { return omp_in_parallel() != 0; }
+
+ScopedNumThreads::ScopedNumThreads(int n) : previous_(omp_get_max_threads()) {
+  omp_set_num_threads(n > 0 ? n : previous_);
+}
+
+ScopedNumThreads::~ScopedNumThreads() { omp_set_num_threads(previous_); }
+
+Range split_range(std::int64_t n, int p, int i) {
+  const std::int64_t base = n / p;
+  const std::int64_t rem = n % p;
+  const std::int64_t begin = i * base + (i < rem ? i : rem);
+  const std::int64_t len = base + (i < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace gsgcn::util

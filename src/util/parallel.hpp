@@ -1,0 +1,60 @@
+#pragma once
+// Thin OpenMP helpers.
+//
+// All parallelism in the library goes through OpenMP; these helpers keep
+// the call sites tidy and make thread counts controllable per-region
+// (the scaling benches sweep thread counts without touching the global
+// OMP_NUM_THREADS environment).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gsgcn::util {
+
+/// Max threads OpenMP would give a parallel region right now.
+int max_threads();
+
+/// Hardware concurrency as OpenMP sees it (omp_get_num_procs).
+int num_procs();
+
+/// Current thread id inside a parallel region (0 outside).
+int thread_id();
+
+/// True if called from inside an active parallel region.
+bool in_parallel();
+
+/// RAII override of the OpenMP thread count: regions opened while this is
+/// alive use `n` threads; the previous max is restored on destruction.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n);
+  ~ScopedNumThreads();
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// Pin the calling thread to logical CPU `cpu % num_procs()`. Returns
+/// false when unsupported or denied (containerized/cgroup setups); never
+/// throws — pinning is an optimization, not a correctness requirement.
+/// The paper binds one sampler to one core so its Dashboard stays in that
+/// core's private cache.
+bool pin_current_thread_to_cpu(int cpu);
+
+/// Per-core private (L2) data-cache size in bytes, read from sysfs at
+/// first call; falls back to the paper's 256 KiB when undetectable. The
+/// feature-partitioned propagation sizes Q against this (Theorem 2's
+/// S_cache).
+std::size_t private_cache_bytes();
+
+/// Static range split: chunk `i` of `p` over [0, n) → [begin, end).
+/// Distributes the remainder over the first (n % p) chunks.
+struct Range {
+  std::int64_t begin;
+  std::int64_t end;
+};
+Range split_range(std::int64_t n, int p, int i);
+
+}  // namespace gsgcn::util

@@ -1,0 +1,41 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace gsgcn::util {
+
+std::vector<std::uint32_t> random_permutation(std::uint32_t n,
+                                              Xoshiro256& rng) {
+  std::vector<std::uint32_t> perm(n);
+  for (std::uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::uint32_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+  return perm;
+}
+
+std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                      std::uint32_t k,
+                                                      Xoshiro256& rng) {
+  assert(k <= n);
+  // Floyd's algorithm: for j in [n-k, n), draw t in [0, j]; insert t unless
+  // already present, in which case insert j. Every k-subset equally likely.
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const std::uint32_t t = rng.below(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace gsgcn::util

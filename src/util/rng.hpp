@@ -1,0 +1,115 @@
+#pragma once
+// Fast, reproducible pseudo-random number generation.
+//
+// The frontier sampler spends a large fraction of its time drawing random
+// indices (the paper's COST_rand term), so the generator must be cheap:
+// xoshiro256** produces 64 random bits in a handful of ALU ops, far cheaper
+// than std::mt19937_64, while passing BigCrush. splitmix64 is used to seed
+// it (and to derive decorrelated per-thread streams from a single seed).
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gsgcn::util {
+
+/// splitmix64: used for seeding and stream derivation.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  /// Derive the i-th decorrelated stream from a base seed. Each sampler
+  /// thread gets its own stream so parallel runs are reproducible.
+  static Xoshiro256 stream(std::uint64_t seed, std::uint64_t i) noexcept {
+    std::uint64_t sm = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    Xoshiro256 g(splitmix64(sm));
+    return g;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound), bound > 0. Lemire's multiply-shift
+  /// (biased by < 2^-32 for bound < 2^32; fine for sampling work).
+  std::uint32_t below(std::uint32_t bound) noexcept {
+    const std::uint64_t x = (*this)() >> 32;
+    return static_cast<std::uint32_t>((x * bound) >> 32);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float uniformf() noexcept {
+    return static_cast<float>((*this)() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    has_spare_ = true;
+    return u * mul;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Fisher–Yates permutation of {0, …, n−1}.
+std::vector<std::uint32_t> random_permutation(std::uint32_t n, Xoshiro256& rng);
+
+/// k distinct values drawn uniformly from {0, …, n−1} (k ≤ n).
+/// Uses Floyd's algorithm: O(k) expected time, no O(n) scratch.
+std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                      std::uint32_t k,
+                                                      Xoshiro256& rng);
+
+}  // namespace gsgcn::util

@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gsgcn::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double chi_square_statistic(const std::vector<double>& observed,
+                            const std::vector<double>& expected) {
+  assert(observed.size() == expected.size());
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] < 1e-12) continue;
+    const double d = observed[i] - expected[i];
+    stat += d * d / expected[i];
+  }
+  return stat;
+}
+
+double chi_square_critical(std::size_t df, double alpha) {
+  // Wilson–Hilferty: chi2_df ≈ df * (1 - 2/(9df) + z*sqrt(2/(9df)))^3,
+  // where z is the standard-normal quantile at 1-alpha.
+  // Normal quantile via Acklam-style rational approximation (central branch
+  // is enough: tests use alpha in [1e-4, 0.1]).
+  const double p = 1.0 - alpha;
+  // Beasley-Springer-Moro approximation for the normal quantile.
+  static const double a[] = {2.50662823884, -18.61500062529, 41.39119773534,
+                             -25.44106049637};
+  static const double b[] = {-8.47351093090, 23.08336743743, -21.06224101826,
+                             3.13082909833};
+  static const double c[] = {0.3374754822726147, 0.9761690190917186,
+                             0.1607979714918209, 0.0276438810333863,
+                             0.0038405729373609, 0.0003951896511919,
+                             0.0000321767881768, 0.0000002888167364,
+                             0.0000003960315187};
+  double z;
+  const double y = p - 0.5;
+  if (std::abs(y) < 0.42) {
+    const double r = y * y;
+    z = y * (((a[3] * r + a[2]) * r + a[1]) * r + a[0]) /
+        ((((b[3] * r + b[2]) * r + b[1]) * r + b[0]) * r + 1.0);
+  } else {
+    double r = p > 0.5 ? 1.0 - p : p;
+    r = std::log(-std::log(r));
+    double t = c[0];
+    double rp = 1.0;
+    for (int i = 1; i < 9; ++i) {
+      rp *= r;
+      t += c[i] * rp;
+    }
+    z = p > 0.5 ? t : -t;
+  }
+  const double d = static_cast<double>(df);
+  const double term = 1.0 - 2.0 / (9.0 * d) + z * std::sqrt(2.0 / (9.0 * d));
+  return d * term * term * term;
+}
+
+}  // namespace gsgcn::util

@@ -1,0 +1,25 @@
+#pragma once
+// Descriptive statistics + the chi-square goodness-of-fit statistic used
+// by the sampler-distribution property tests.
+
+#include <cstddef>
+#include <vector>
+
+namespace gsgcn::util {
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);  // sample stddev (n-1)
+double median(std::vector<double> xs);         // by copy: partial_sort
+double percentile(std::vector<double> xs, double p);  // p in [0,100]
+
+/// Pearson chi-square statistic: sum over bins of (obs-exp)^2 / exp.
+/// Bins with expected < 1e-12 are skipped (they carry no information).
+double chi_square_statistic(const std::vector<double>& observed,
+                            const std::vector<double>& expected);
+
+/// Upper critical value of the chi-square distribution at significance
+/// alpha via the Wilson–Hilferty normal approximation — accurate enough
+/// for df >= 5, which is all the tests need.
+double chi_square_critical(std::size_t degrees_of_freedom, double alpha);
+
+}  // namespace gsgcn::util

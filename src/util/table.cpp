@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace gsgcn::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& s) {
+  rows_.back().push_back(s);
+  return *this;
+}
+
+Table& Table::cell(const char* s) { return cell(std::string(s)); }
+
+Table& Table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(std::int64_t v) {
+  return cell(std::to_string(v));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << "| " << s << std::string(width[c] - s.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    os << "|" << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::cout << "\n== " << title << " ==\n" << str() << std::flush;
+}
+
+std::string speedup_str(double x, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", precision, x);
+  return std::string(buf);
+}
+
+}  // namespace gsgcn::util

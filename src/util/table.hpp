@@ -1,0 +1,41 @@
+#pragma once
+// ASCII table printer used by every bench binary to emit the paper's
+// tables/figures as aligned rows on stdout.
+
+#include <string>
+#include <vector>
+
+namespace gsgcn::util {
+
+/// Column-aligned ASCII table. Add a header then rows of cells; print()
+/// pads every column to its widest cell. Numeric helpers format with a
+/// fixed precision so benchmark output diffs cleanly between runs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Begin a new row; returns *this for chaining cell() calls.
+  Table& row();
+
+  Table& cell(const std::string& s);
+  Table& cell(const char* s);
+  Table& cell(double v, int precision = 3);
+  Table& cell(std::int64_t v);
+  Table& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  Table& cell(std::size_t v) { return cell(static_cast<std::int64_t>(v)); }
+
+  /// Render to a string (also used by tests).
+  std::string str() const;
+
+  /// Print to stdout with a title line.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3x"-style speedup formatting used in the paper's tables.
+std::string speedup_str(double x, int precision = 2);
+
+}  // namespace gsgcn::util

@@ -1,0 +1,155 @@
+// Graph-analysis tests: components, clustering, degree histograms and
+// distances, assortativity, BFS distance estimates — all on graphs with
+// hand-computable answers plus structural property checks on generators.
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace gsgcn::graph {
+namespace {
+
+TEST(Components, SingleComponentCycle) {
+  const CsrGraph g = gsgcn::testing::tiny_graph();
+  EXPECT_EQ(num_components(g), 1u);
+  EXPECT_EQ(largest_component_size(g), 5u);
+}
+
+TEST(Components, DisconnectedPieces) {
+  // Two triangles + an isolated vertex.
+  const CsrGraph g = CsrGraph::from_edges(
+      7, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  EXPECT_EQ(num_components(g), 3u);
+  EXPECT_EQ(largest_component_size(g), 3u);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[6], comp[0]);
+  EXPECT_NE(comp[6], comp[3]);
+}
+
+TEST(Components, EmptyGraph) {
+  const CsrGraph g = CsrGraph::from_edges(0, {});
+  EXPECT_EQ(num_components(g), 0u);
+  EXPECT_EQ(largest_component_size(g), 0u);
+}
+
+TEST(Clustering, TriangleIsOne) {
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 1.0);
+  EXPECT_DOUBLE_EQ(average_local_clustering(g), 1.0);
+}
+
+TEST(Clustering, StarIsZero) {
+  const CsrGraph g = CsrGraph::from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 0.0);
+  EXPECT_DOUBLE_EQ(average_local_clustering(g), 0.0);
+}
+
+TEST(Clustering, TriangleWithTail) {
+  // Triangle {0,1,2} plus pendant 3 attached to 0.
+  // Triangles = 1. Wedges: deg(0)=3 → 3, deg(1)=deg(2)=2 → 1 each, = 5.
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  EXPECT_NEAR(global_clustering_coefficient(g), 3.0 / 5.0, 1e-12);
+}
+
+TEST(Clustering, WattsStrogatzBeatsRandom) {
+  // The small-world lattice has far higher clustering than an ER graph of
+  // equal density — the classic sanity check.
+  util::Xoshiro256 rng(1);
+  const CsrGraph ws = watts_strogatz(500, 4, 0.05, rng);
+  const CsrGraph er = erdos_renyi(500, 2000, rng);
+  EXPECT_GT(average_local_clustering(ws), 3.0 * average_local_clustering(er));
+}
+
+TEST(DegreeHistogram, BucketsAreCorrect) {
+  // Degrees: 3, 1, 1, 1, 0 → buckets: [0,1]: 4/5... build a path + star.
+  const CsrGraph g = CsrGraph::from_edges(5, {{0, 1}, {0, 2}, {0, 3}});
+  const auto h = degree_histogram_log2(g);
+  // deg(0)=3 → bucket 1; deg(1..3)=1 → bucket 0; deg(4)=0 → bucket 0.
+  ASSERT_GE(h.size(), 2u);
+  EXPECT_DOUBLE_EQ(h[0], 0.8);
+  EXPECT_DOUBLE_EQ(h[1], 0.2);
+}
+
+TEST(DegreeHistogram, SumsToOne) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  const auto h = degree_histogram_log2(g);
+  double total = 0.0;
+  for (const double x : h) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(DegreeDistance, IdenticalGraphsAreZero) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  EXPECT_DOUBLE_EQ(degree_distribution_distance(g, g), 0.0);
+}
+
+TEST(DegreeDistance, SkewedVsRegularIsLarge) {
+  util::Xoshiro256 rng(2);
+  const CsrGraph ba = barabasi_albert(1000, 3, rng);
+  const CsrGraph ws = watts_strogatz(1000, 3, 0.0, rng);
+  EXPECT_GT(degree_distribution_distance(ba, ws), 0.25);
+}
+
+TEST(DegreeDistance, IsSymmetricAndBounded) {
+  util::Xoshiro256 rng(3);
+  const CsrGraph a = erdos_renyi(300, 900, rng);
+  const CsrGraph b = barabasi_albert(300, 2, rng);
+  const double d1 = degree_distribution_distance(a, b);
+  const double d2 = degree_distribution_distance(b, a);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_GE(d1, 0.0);
+  EXPECT_LE(d1, 1.0);
+}
+
+TEST(Assortativity, RegularGraphIsDegenerate) {
+  // All degrees equal → zero variance → defined as 0.
+  util::Xoshiro256 rng(4);
+  const CsrGraph g = watts_strogatz(100, 3, 0.0, rng);
+  EXPECT_DOUBLE_EQ(degree_assortativity(g), 0.0);
+}
+
+TEST(Assortativity, StarIsDisassortative) {
+  const CsrGraph g = CsrGraph::from_edges(6, {{0, 1}, {0, 2}, {0, 3}, {0, 4},
+                                              {0, 5}});
+  EXPECT_LT(degree_assortativity(g), -0.99);
+}
+
+TEST(Assortativity, BaIsDisassortativeVsEr) {
+  util::Xoshiro256 rng(5);
+  const CsrGraph ba = barabasi_albert(2000, 3, rng);
+  const CsrGraph er = erdos_renyi(2000, 6000, rng);
+  EXPECT_LT(degree_assortativity(ba), degree_assortativity(er) + 0.02);
+}
+
+TEST(AverageDistance, PathGraph) {
+  // Path 0-1-2: exact average over ordered pairs = (1+1+1+1+2+2)/6 = 4/3.
+  // BFS-from-every-vertex sampling with many samples converges to it.
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1}, {1, 2}});
+  util::Xoshiro256 rng(6);
+  const double est = estimated_average_distance(g, 300, rng);
+  EXPECT_NEAR(est, 4.0 / 3.0, 0.1);
+}
+
+TEST(AverageDistance, SmallWorldIsShort) {
+  util::Xoshiro256 rng(7);
+  const CsrGraph ring = watts_strogatz(400, 2, 0.0, rng);     // long paths
+  const CsrGraph small = watts_strogatz(400, 2, 0.2, rng);    // shortcuts
+  const double d_ring = estimated_average_distance(ring, 30, rng);
+  const double d_small = estimated_average_distance(small, 30, rng);
+  EXPECT_LT(d_small, d_ring * 0.7);
+}
+
+TEST(AverageDistance, DegenerateInputs) {
+  const CsrGraph g = CsrGraph::from_edges(1, {});
+  util::Xoshiro256 rng(8);
+  EXPECT_DOUBLE_EQ(estimated_average_distance(g, 5, rng), 0.0);
+}
+
+}  // namespace
+}  // namespace gsgcn::graph

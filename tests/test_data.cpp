@@ -1,0 +1,277 @@
+// Dataset substrate tests: synthetic generation invariants, learnable
+// signal (feature/label correlation), presets, split properties,
+// Dataset::validate as a property checker.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+
+#include "data/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace gsgcn::data {
+namespace {
+
+SyntheticParams small_params() {
+  SyntheticParams p;
+  p.num_vertices = 600;
+  p.num_classes = 6;
+  p.feature_dim = 16;
+  p.avg_degree = 10.0;
+  p.seed = 3;
+  return p;
+}
+
+TEST(Synthetic, ValidDataset) {
+  const Dataset ds = make_synthetic(small_params());
+  EXPECT_TRUE(ds.validate().empty()) << ds.validate();
+  EXPECT_EQ(ds.num_vertices(), 600u);
+  EXPECT_EQ(ds.feature_dim(), 16u);
+  EXPECT_EQ(ds.num_classes(), 6u);
+}
+
+TEST(Synthetic, DegreeNearTarget) {
+  const Dataset ds = make_synthetic(small_params());
+  EXPECT_NEAR(ds.graph.average_degree(), 10.0, 2.5);
+}
+
+TEST(Synthetic, SingleLabelIsOneHot) {
+  SyntheticParams p = small_params();
+  p.mode = LabelMode::kSingle;
+  const Dataset ds = make_synthetic(p);
+  for (graph::Vid v = 0; v < ds.num_vertices(); ++v) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < ds.num_classes(); ++c) sum += ds.labels(v, c);
+    EXPECT_EQ(sum, 1.0f);
+  }
+}
+
+TEST(Synthetic, MultiLabelHasExtras) {
+  SyntheticParams p = small_params();
+  p.mode = LabelMode::kMulti;
+  p.multi_extra_prob = 0.3;
+  const Dataset ds = make_synthetic(p);
+  std::size_t total = 0;
+  for (graph::Vid v = 0; v < ds.num_vertices(); ++v) {
+    for (std::size_t c = 0; c < ds.num_classes(); ++c) {
+      total += ds.labels(v, c) != 0.0f;
+    }
+  }
+  // ~ n·(1 + 0.3·(C−1)) labels expected, far more than n.
+  EXPECT_GT(total, ds.num_vertices() * 3 / 2);
+}
+
+TEST(Synthetic, FeaturesRowNormalized) {
+  const Dataset ds = make_synthetic(small_params());
+  for (graph::Vid v = 0; v < 20; ++v) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < ds.feature_dim(); ++j) {
+      s += static_cast<double>(ds.features(v, j)) * ds.features(v, j);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-4);
+  }
+}
+
+TEST(Synthetic, FeaturesCorrelateWithLabels) {
+  // Same-class vertices must be closer in feature space than cross-class,
+  // on average — otherwise the accuracy experiments are meaningless.
+  SyntheticParams p = small_params();
+  p.mode = LabelMode::kSingle;
+  p.feature_signal = 1.5;
+  const Dataset ds = make_synthetic(p);
+  auto primary = [&](graph::Vid v) {
+    for (std::size_t c = 0; c < ds.num_classes(); ++c) {
+      if (ds.labels(v, c) != 0.0f) return c;
+    }
+    return std::size_t{0};
+  };
+  auto dot = [&](graph::Vid a, graph::Vid b) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < ds.feature_dim(); ++j) {
+      s += static_cast<double>(ds.features(a, j)) * ds.features(b, j);
+    }
+    return s;
+  };
+  util::Xoshiro256 rng(5);
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (int t = 0; t < 4000; ++t) {
+    const graph::Vid a = rng.below(ds.num_vertices());
+    const graph::Vid b = rng.below(ds.num_vertices());
+    if (a == b) continue;
+    if (primary(a) == primary(b)) {
+      same += dot(a, b);
+      ++same_n;
+    } else {
+      cross += dot(a, b);
+      ++cross_n;
+    }
+  }
+  ASSERT_GT(same_n, 10);
+  ASSERT_GT(cross_n, 10);
+  EXPECT_GT(same / same_n, cross / cross_n + 0.05);
+}
+
+TEST(Synthetic, GraphIsHomophilous) {
+  SyntheticParams p = small_params();
+  p.mode = LabelMode::kSingle;
+  const Dataset ds = make_synthetic(p);
+  std::int64_t same = 0, diff = 0;
+  for (graph::Vid u = 0; u < ds.num_vertices(); ++u) {
+    std::size_t cu = 0;
+    for (std::size_t c = 0; c < ds.num_classes(); ++c) {
+      if (ds.labels(u, c) != 0.0f) cu = c;
+    }
+    for (const graph::Vid v : ds.graph.neighbors(u)) {
+      std::size_t cv = 0;
+      for (std::size_t c = 0; c < ds.num_classes(); ++c) {
+        if (ds.labels(v, c) != 0.0f) cv = c;
+      }
+      (cu == cv ? same : diff) += 1;
+    }
+  }
+  EXPECT_GT(same, diff);
+}
+
+TEST(Synthetic, HubOverlayIncreasesSkew) {
+  SyntheticParams p = small_params();
+  const Dataset plain = make_synthetic(p);
+  p.hub_overlay = true;
+  p.hub_edges_per_vertex = 3;
+  const Dataset hubby = make_synthetic(p);
+  EXPECT_GT(hubby.graph.max_degree(), plain.graph.max_degree());
+  EXPECT_TRUE(hubby.validate().empty()) << hubby.validate();
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  const Dataset a = make_synthetic(small_params());
+  const Dataset b = make_synthetic(small_params());
+  EXPECT_EQ(a.graph.adjacency(), b.graph.adjacency());
+  EXPECT_EQ(tensor::Matrix::max_abs_diff(a.features, b.features), 0.0f);
+  EXPECT_EQ(a.train_vertices, b.train_vertices);
+}
+
+TEST(Synthetic, RejectsBadParams) {
+  SyntheticParams p = small_params();
+  p.num_classes = 0;
+  EXPECT_THROW(make_synthetic(p), std::invalid_argument);
+  p = small_params();
+  p.num_vertices = 10;  // fewer than 4 per class
+  EXPECT_THROW(make_synthetic(p), std::invalid_argument);
+  p = small_params();
+  p.avg_degree = 1e9;  // p_in > 1
+  EXPECT_THROW(make_synthetic(p), std::invalid_argument);
+}
+
+TEST(Split, FractionsRespected) {
+  util::Xoshiro256 rng(1);
+  std::vector<graph::Vid> train, val, test;
+  make_split(1000, 0.6, 0.2, rng, train, val, test);
+  EXPECT_EQ(train.size(), 600u);
+  EXPECT_EQ(val.size(), 200u);
+  EXPECT_EQ(test.size(), 200u);
+}
+
+TEST(Split, DisjointAndComplete) {
+  util::Xoshiro256 rng(2);
+  std::vector<graph::Vid> train, val, test;
+  make_split(500, 0.5, 0.25, rng, train, val, test);
+  std::set<graph::Vid> all;
+  for (const auto* s : {&train, &val, &test}) {
+    for (const graph::Vid v : *s) {
+      EXPECT_TRUE(all.insert(v).second) << "duplicate " << v;
+    }
+  }
+  EXPECT_EQ(all.size(), 500u);
+}
+
+TEST(Presets, AllFourBuildAndValidate) {
+  ::setenv("GSGCN_SCALE", "0.1", 1);  // keep the test fast
+  for (const auto& name : preset_names()) {
+    const Dataset ds = make_preset(name);
+    EXPECT_TRUE(ds.validate().empty()) << name << ": " << ds.validate();
+    EXPECT_EQ(ds.name, name);
+    const auto info = paper_info(name);
+    EXPECT_EQ(ds.mode, info.mode);
+  }
+  ::unsetenv("GSGCN_SCALE");
+}
+
+TEST(Presets, ScaleChangesSize) {
+  const Dataset small = make_preset("ppi-s", 0.1);
+  const Dataset large = make_preset("ppi-s", 0.3);
+  EXPECT_GT(large.num_vertices(), small.num_vertices());
+}
+
+TEST(Presets, AmazonHasSkew) {
+  const Dataset az = make_preset("amazon-s", 0.1);
+  const Dataset yp = make_preset("yelp-s", 0.1);
+  const double az_ratio = static_cast<double>(az.graph.max_degree()) /
+                          az.graph.average_degree();
+  const double yp_ratio = static_cast<double>(yp.graph.max_degree()) /
+                          yp.graph.average_degree();
+  EXPECT_GT(az_ratio, yp_ratio);
+}
+
+TEST(Presets, UnknownNameThrows) {
+  EXPECT_THROW(make_preset("bogus"), std::invalid_argument);
+  EXPECT_THROW(paper_info("bogus"), std::invalid_argument);
+}
+
+TEST(Presets, PaperInfoMatchesTable1) {
+  const auto reddit = paper_info("reddit-s");
+  EXPECT_EQ(reddit.vertices, 232965);
+  EXPECT_EQ(reddit.edges, 11606919);
+  EXPECT_EQ(reddit.attribute_dim, 602);
+  EXPECT_EQ(reddit.classes, 41);
+  EXPECT_EQ(reddit.mode, LabelMode::kSingle);
+}
+
+TEST(DatasetIo, RoundTrip) {
+  const Dataset ds = make_synthetic(small_params());
+  const std::string path = ::testing::TempDir() + "gsgcn_dataset.bin";
+  save_dataset(ds, path);
+  const Dataset loaded = load_dataset(path);
+  EXPECT_EQ(loaded.name, ds.name);
+  EXPECT_EQ(loaded.mode, ds.mode);
+  EXPECT_EQ(loaded.graph.offsets(), ds.graph.offsets());
+  EXPECT_EQ(loaded.graph.adjacency(), ds.graph.adjacency());
+  EXPECT_EQ(tensor::Matrix::max_abs_diff(loaded.features, ds.features), 0.0f);
+  EXPECT_EQ(tensor::Matrix::max_abs_diff(loaded.labels, ds.labels), 0.0f);
+  EXPECT_EQ(loaded.train_vertices, ds.train_vertices);
+  EXPECT_EQ(loaded.val_vertices, ds.val_vertices);
+  EXPECT_EQ(loaded.test_vertices, ds.test_vertices);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "gsgcn_bad_dataset.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char junk[16] = {9};
+    out.write(junk, sizeof(junk));
+  }
+  EXPECT_THROW(load_dataset(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_dataset("/nonexistent/ds.bin"), std::runtime_error);
+}
+
+TEST(DatasetValidate, CatchesCorruptions) {
+  Dataset ds = make_synthetic(small_params());
+  ds.labels(0, 0) = 0.5f;  // non-binary label
+  EXPECT_FALSE(ds.validate().empty());
+
+  Dataset ds2 = make_synthetic(small_params());
+  ds2.train_vertices.push_back(ds2.val_vertices[0]);  // overlap
+  EXPECT_FALSE(ds2.validate().empty());
+
+  Dataset ds3 = make_synthetic(small_params());
+  ds3.train_vertices.clear();
+  EXPECT_FALSE(ds3.validate().empty());
+}
+
+}  // namespace
+}  // namespace gsgcn::data

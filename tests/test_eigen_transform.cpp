@@ -1,0 +1,228 @@
+// Tests for the Jacobi eigensolver and the PCA feature pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "data/transform.hpp"
+#include "tensor/eigen.hpp"
+#include "tensor/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace gsgcn::tensor {
+namespace {
+
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Matrix a = Matrix::gaussian(n, n, 1.0f, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const float s = 0.5f * (a(i, j) + a(j, i));
+      a(i, j) = s;
+      a(j, i) = s;
+    }
+  }
+  return a;
+}
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0f;
+  a(1, 1) = 5.0f;
+  a(2, 2) = 3.0f;
+  const EigenResult e = jacobi_eigen_symmetric(a);
+  EXPECT_FLOAT_EQ(e.values[0], 5.0f);
+  EXPECT_FLOAT_EQ(e.values[1], 3.0f);
+  EXPECT_FLOAT_EQ(e.values[2], 1.0f);
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2.0f;
+  a(0, 1) = 1.0f;
+  a(1, 0) = 1.0f;
+  a(1, 1) = 2.0f;
+  const EigenResult e = jacobi_eigen_symmetric(a);
+  EXPECT_NEAR(e.values[0], 3.0f, 1e-5);
+  EXPECT_NEAR(e.values[1], 1.0f, 1e-5);
+  // Eigenvector of 3 is (1,1)/√2 up to sign.
+  EXPECT_NEAR(std::abs(e.vectors(0, 0)), std::sqrt(0.5f), 1e-4);
+}
+
+TEST(Jacobi, ReconstructsMatrix) {
+  const Matrix a = random_symmetric(12, 3);
+  const EigenResult e = jacobi_eigen_symmetric(a);
+  // A ≈ V diag(λ) Vᵀ.
+  Matrix lambda_vt(12, 12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      lambda_vt(i, j) = e.values[i] * e.vectors(j, i);
+    }
+  }
+  Matrix recon(12, 12);
+  gemm_nn(e.vectors, lambda_vt, recon);
+  EXPECT_LT(Matrix::max_abs_diff(a, recon), 1e-3f);
+}
+
+TEST(Jacobi, VectorsAreOrthonormal) {
+  const Matrix a = random_symmetric(10, 4);
+  const EigenResult e = jacobi_eigen_symmetric(a);
+  Matrix gram(10, 10);
+  gemm_tn(e.vectors, e.vectors, gram);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_NEAR(gram(i, j), i == j ? 1.0f : 0.0f, 1e-4);
+    }
+  }
+}
+
+TEST(Jacobi, ValuesSortedDescending) {
+  const Matrix a = random_symmetric(15, 5);
+  const EigenResult e = jacobi_eigen_symmetric(a);
+  for (std::size_t j = 1; j < e.values.size(); ++j) {
+    EXPECT_GE(e.values[j - 1], e.values[j]);
+  }
+}
+
+TEST(Jacobi, RejectsNonSquareAndAsymmetric) {
+  EXPECT_THROW(jacobi_eigen_symmetric(Matrix(2, 3)), std::invalid_argument);
+  Matrix a(2, 2);
+  a(0, 1) = 1.0f;  // a(1,0) stays 0: asymmetric
+  EXPECT_THROW(jacobi_eigen_symmetric(a), std::invalid_argument);
+}
+
+TEST(Covariance, MatchesHandComputation) {
+  Matrix x(2, 2);
+  x(0, 0) = 1.0f;
+  x(0, 1) = 2.0f;
+  x(1, 0) = 3.0f;
+  x(1, 1) = 4.0f;
+  const Matrix c = covariance(x);
+  // XᵀX/2 = [[5, 7], [7, 10]].
+  EXPECT_FLOAT_EQ(c(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 7.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 10.0f);
+}
+
+}  // namespace
+}  // namespace gsgcn::tensor
+
+namespace gsgcn::data {
+namespace {
+
+using tensor::Matrix;
+
+TEST(Standardize, ZeroMeanUnitVariance) {
+  util::Xoshiro256 rng(6);
+  Matrix x = Matrix::gaussian(500, 8, 3.0f, rng);
+  // Shift a column to test centering.
+  for (std::size_t i = 0; i < 500; ++i) x(i, 2) += 10.0f;
+  standardize_columns(x);
+  for (std::size_t j = 0; j < 8; ++j) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < 500; ++i) mean += x(i, j);
+    mean /= 500.0;
+    for (std::size_t i = 0; i < 500; ++i) {
+      var += (x(i, j) - mean) * (x(i, j) - mean);
+    }
+    var /= 500.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(Standardize, ConstantColumnStaysFinite) {
+  Matrix x(10, 2);
+  for (std::size_t i = 0; i < 10; ++i) x(i, 0) = 7.0f;  // zero variance
+  standardize_columns(x);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(std::isfinite(x(i, 0)));
+    EXPECT_NEAR(x(i, 0), 0.0f, 1e-6);  // centered
+  }
+}
+
+TEST(Pca, RecoversLowRankStructure) {
+  // Data on a 2-D subspace of R^6 (+tiny noise): 2 components should
+  // explain nearly all variance.
+  util::Xoshiro256 rng(7);
+  const Matrix basis = Matrix::gaussian(2, 6, 1.0f, rng);
+  Matrix x(400, 6);
+  for (std::size_t i = 0; i < 400; ++i) {
+    const float a = static_cast<float>(rng.normal());
+    const float b = static_cast<float>(rng.normal());
+    for (std::size_t j = 0; j < 6; ++j) {
+      x(i, j) = a * basis(0, j) + b * basis(1, j) +
+                0.01f * static_cast<float>(rng.normal());
+    }
+  }
+  standardize_columns(x);
+  double explained = 0.0;
+  const Matrix z = pca_compress(x, 2, &explained);
+  EXPECT_EQ(z.rows(), 400u);
+  EXPECT_EQ(z.cols(), 2u);
+  EXPECT_GT(explained, 0.99);
+}
+
+TEST(Pca, FullRankIsLosslessRotation) {
+  util::Xoshiro256 rng(8);
+  Matrix x = Matrix::gaussian(100, 5, 1.0f, rng);
+  double explained = 0.0;
+  const Matrix z = pca_compress(x, 5, &explained);
+  EXPECT_NEAR(explained, 1.0, 1e-5);
+  // Norms are preserved under the orthonormal projection.
+  EXPECT_NEAR(z.frobenius_norm(), x.frobenius_norm(), 1e-2);
+}
+
+TEST(Pca, RejectsBadK) {
+  Matrix x(10, 4);
+  EXPECT_THROW(pca_compress(x, 0), std::invalid_argument);
+  EXPECT_THROW(pca_compress(x, 5), std::invalid_argument);
+}
+
+TEST(Pca, CompressedDatasetStillLearnable) {
+  // End-to-end: compress a synthetic dataset's features and check the
+  // class signal survives (same-class dot products dominate).
+  SyntheticParams p;
+  p.num_vertices = 400;
+  p.num_classes = 4;
+  p.feature_dim = 32;
+  p.feature_signal = 1.5;
+  p.mode = LabelMode::kSingle;
+  p.seed = 9;
+  Dataset ds = make_synthetic(p);
+  compress_dataset_features(ds, 8);
+  EXPECT_EQ(ds.feature_dim(), 8u);
+  EXPECT_TRUE(ds.validate().empty()) << ds.validate();
+
+  util::Xoshiro256 rng(10);
+  auto primary = [&](graph::Vid v) {
+    for (std::size_t c = 0; c < ds.num_classes(); ++c) {
+      if (ds.labels(v, c) != 0.0f) return c;
+    }
+    return std::size_t{0};
+  };
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (int t = 0; t < 3000; ++t) {
+    const graph::Vid a = rng.below(400), b = rng.below(400);
+    if (a == b) continue;
+    double dot = 0.0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      dot += static_cast<double>(ds.features(a, j)) * ds.features(b, j);
+    }
+    if (primary(a) == primary(b)) {
+      same += dot;
+      ++same_n;
+    } else {
+      cross += dot;
+      ++cross_n;
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+}  // namespace
+}  // namespace gsgcn::data

@@ -1,0 +1,448 @@
+// Frontier sampler tests: parameter validation, output properties,
+// naive-vs-dashboard distributional agreement, degree-cap effect on
+// skewed graphs, coverage property (every vertex has nonzero sampling
+// probability), and the auxiliary samplers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sampling/frontier_dashboard.hpp"
+#include "sampling/frontier_naive.hpp"
+#include "sampling/samplers.hpp"
+#include "test_helpers.hpp"
+#include "util/stats.hpp"
+
+namespace gsgcn::sampling {
+namespace {
+
+using graph::CsrGraph;
+using graph::Vid;
+
+FrontierParams small_params() {
+  FrontierParams p;
+  p.frontier_size = 20;
+  p.budget = 100;
+  p.eta = 2.0;
+  return p;
+}
+
+TEST(FrontierNaive, RejectsBadParams) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  FrontierParams p = small_params();
+  p.budget = p.frontier_size;  // budget must exceed m
+  EXPECT_THROW(NaiveFrontierSampler(g, p), std::invalid_argument);
+  p = small_params();
+  p.frontier_size = 0;
+  EXPECT_THROW(NaiveFrontierSampler(g, p), std::invalid_argument);
+  p = small_params();
+  p.frontier_size = 10000;  // exceeds |V|
+  p.budget = 20000;
+  EXPECT_THROW(NaiveFrontierSampler(g, p), std::invalid_argument);
+}
+
+TEST(FrontierDashboard, RejectsBadEta) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  FrontierParams p = small_params();
+  p.eta = 1.0;
+  EXPECT_THROW(DashboardFrontierSampler(g, p), std::invalid_argument);
+}
+
+TEST(FrontierNaive, OutputSizeAndRange) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  NaiveFrontierSampler s(g, small_params());
+  util::Xoshiro256 rng(1);
+  const auto out = s.sample_vertices(rng);
+  EXPECT_EQ(out.size(), 100u);
+  for (const Vid v : out) EXPECT_LT(v, g.num_vertices());
+}
+
+TEST(FrontierDashboard, OutputSizeAndRange) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  DashboardFrontierSampler s(g, small_params());
+  util::Xoshiro256 rng(1);
+  const auto out = s.sample_vertices(rng);
+  EXPECT_EQ(out.size(), 100u);
+  for (const Vid v : out) EXPECT_LT(v, g.num_vertices());
+}
+
+TEST(FrontierDashboard, ReproducibleGivenRngState) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  DashboardFrontierSampler s1(g, small_params());
+  DashboardFrontierSampler s2(g, small_params());
+  util::Xoshiro256 r1(9), r2(9);
+  EXPECT_EQ(s1.sample_vertices(r1), s2.sample_vertices(r2));
+}
+
+TEST(FrontierDashboard, RepeatedCallsDiffer) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  DashboardFrontierSampler s(g, small_params());
+  util::Xoshiro256 rng(9);
+  EXPECT_NE(s.sample_vertices(rng), s.sample_vertices(rng));
+}
+
+// The central equivalence claim of Section IV-B: the Dashboard implements
+// the *same sampling process* as the naive frontier sampler. Compare
+// per-vertex visit frequencies over many runs on a graph with a spread
+// degree distribution.
+TEST(FrontierEquivalence, VisitDistributionsMatch) {
+  util::Xoshiro256 grng(12);
+  const CsrGraph g = graph::barabasi_albert(300, 3, grng);
+  FrontierParams p;
+  p.frontier_size = 30;
+  p.budget = 120;
+  NaiveFrontierSampler naive(g, p);
+  DashboardFrontierSampler dash(g, p);
+
+  const int runs = 400;
+  std::vector<double> count_naive(g.num_vertices(), 0.0);
+  std::vector<double> count_dash(g.num_vertices(), 0.0);
+  util::Xoshiro256 r1(100), r2(200);
+  for (int i = 0; i < runs; ++i) {
+    for (const Vid v : naive.sample_vertices(r1)) ++count_naive[v];
+    for (const Vid v : dash.sample_vertices(r2)) ++count_dash[v];
+  }
+  // Bin vertices by naive visit count decile and compare totals.
+  // (Per-vertex chi-square is too noisy; aggregate into 10 degree bins.)
+  std::vector<double> bins_naive(10, 0.0), bins_dash(10, 0.0);
+  const auto max_deg = static_cast<double>(g.max_degree());
+  for (Vid v = 0; v < g.num_vertices(); ++v) {
+    const auto bin = std::min<std::size_t>(
+        9, static_cast<std::size_t>(10.0 * static_cast<double>(g.degree(v)) /
+                                    (max_deg + 1.0)));
+    bins_naive[bin] += count_naive[v];
+    bins_dash[bin] += count_dash[v];
+  }
+  // Normalize to frequencies and require close agreement per bin.
+  double tot_n = 0.0, tot_d = 0.0;
+  for (int b = 0; b < 10; ++b) {
+    tot_n += bins_naive[b];
+    tot_d += bins_dash[b];
+  }
+  for (int b = 0; b < 10; ++b) {
+    const double fn = bins_naive[b] / tot_n;
+    const double fd = bins_dash[b] / tot_d;
+    EXPECT_NEAR(fn, fd, 0.015) << "degree bin " << b;
+  }
+}
+
+TEST(FrontierDashboard, CoversAllVerticesEventually) {
+  // Requirement 2 of Section III-C: every vertex has non-negligible
+  // probability of being sampled.
+  const CsrGraph g = gsgcn::testing::small_er(120, 600, 3);
+  FrontierParams p;
+  p.frontier_size = 20;
+  p.budget = 60;
+  DashboardFrontierSampler s(g, p);
+  util::Xoshiro256 rng(5);
+  std::set<Vid> seen;
+  for (int i = 0; i < 200 && seen.size() < 120; ++i) {
+    for (const Vid v : s.sample_vertices(rng)) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 120u);
+}
+
+TEST(FrontierDashboard, DegreeCapLimitsHubDomination) {
+  // On a BA graph, hubs dominate uncapped frontier samples; with the
+  // paper's cap the max visit share must drop.
+  util::Xoshiro256 grng(77);
+  const CsrGraph g = graph::barabasi_albert(400, 2, grng);
+  FrontierParams p;
+  p.frontier_size = 25;
+  p.budget = 100;
+  FrontierParams capped = p;
+  capped.degree_cap = 5;
+
+  DashboardFrontierSampler uncapped_s(g, p);
+  DashboardFrontierSampler capped_s(g, capped);
+  util::Xoshiro256 r1(1), r2(1);
+  std::vector<double> visits_uncapped(400, 0.0), visits_capped(400, 0.0);
+  for (int i = 0; i < 300; ++i) {
+    for (const Vid v : uncapped_s.sample_vertices(r1)) ++visits_uncapped[v];
+    for (const Vid v : capped_s.sample_vertices(r2)) ++visits_capped[v];
+  }
+  // Find the hub (max degree vertex) and compare visit counts.
+  Vid hub = 0;
+  for (Vid v = 1; v < 400; ++v) {
+    if (g.degree(v) > g.degree(hub)) hub = v;
+  }
+  EXPECT_LT(visits_capped[hub], visits_uncapped[hub]);
+}
+
+TEST(FrontierDashboard, CleanupsBoundedByTheory) {
+  // Section IV-C: cleanups happen ~ (n−m)/((η−1)·m) times per subgraph.
+  const CsrGraph g = gsgcn::testing::small_er(500, 5000, 8);
+  FrontierParams p;
+  p.frontier_size = 50;
+  p.budget = 450;
+  p.eta = 2.0;
+  DashboardFrontierSampler s(g, p);
+  util::Xoshiro256 rng(2);
+  (void)s.sample_vertices(rng);
+  const double bound = (p.budget - p.frontier_size) /
+                       ((p.eta - 1.0) * p.frontier_size);
+  // Degree fluctuations allow some slack over the expectation.
+  EXPECT_LE(static_cast<double>(s.last_cleanups()), 3.0 * bound + 2.0);
+}
+
+TEST(FrontierDashboard, ExpectedProbesNearEta) {
+  // Expected probes per pop ≈ η / fraction-valid ≈ η when the table is
+  // mostly fresh; across a run it stays within a small factor of η.
+  const CsrGraph g = gsgcn::testing::small_er(500, 5000, 8);
+  FrontierParams p;
+  p.frontier_size = 50;
+  p.budget = 450;
+  p.eta = 2.0;
+  DashboardFrontierSampler s(g, p, IntraMode::kScalar);
+  util::Xoshiro256 rng(3);
+  (void)s.sample_vertices(rng);
+  const double pops = p.budget - p.frontier_size;
+  const double probes_per_pop = static_cast<double>(s.last_probes()) / pops;
+  EXPECT_GE(probes_per_pop, 1.0);
+  EXPECT_LE(probes_per_pop, 4.0 * p.eta);
+}
+
+// Property sweep over (m, budget-multiple, eta): output invariants hold
+// for every configuration and both implementations agree on size.
+class FrontierParamSweep
+    : public ::testing::TestWithParam<std::tuple<Vid, Vid, double>> {};
+
+TEST_P(FrontierParamSweep, InvariantsHold) {
+  const auto [m, budget_mult, eta] = GetParam();
+  const CsrGraph g = gsgcn::testing::small_er(400, 2400, 55);
+  FrontierParams p;
+  p.frontier_size = m;
+  p.budget = m * budget_mult;
+  p.eta = eta;
+  DashboardFrontierSampler dash(g, p);
+  NaiveFrontierSampler naive(g, p);
+  util::Xoshiro256 r1(9), r2(9);
+  const auto a = dash.sample_vertices(r1);
+  const auto b = naive.sample_vertices(r2);
+  EXPECT_EQ(a.size(), static_cast<std::size_t>(p.budget));
+  EXPECT_EQ(b.size(), static_cast<std::size_t>(p.budget));
+  for (const Vid v : a) EXPECT_LT(v, g.num_vertices());
+  EXPECT_TRUE(dash.dashboard().check_invariants().empty())
+      << dash.dashboard().check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, FrontierParamSweep,
+    ::testing::Values(std::tuple{Vid{10}, Vid{3}, 1.5},
+                      std::tuple{Vid{10}, Vid{8}, 2.0},
+                      std::tuple{Vid{50}, Vid{4}, 1.25},
+                      std::tuple{Vid{50}, Vid{6}, 3.0},
+                      std::tuple{Vid{100}, Vid{3}, 2.0},
+                      std::tuple{Vid{200}, Vid{2}, 4.0}));
+
+TEST(FrontierSamplers, HandleEdgelessGraph) {
+  const CsrGraph g = graph::CsrGraph::from_edges(50, {});
+  FrontierParams p;
+  p.frontier_size = 5;
+  p.budget = 20;
+  NaiveFrontierSampler naive(g, p);
+  DashboardFrontierSampler dash(g, p);
+  util::Xoshiro256 rng(1);
+  // Both must terminate (reseed then give up) and return the seeds.
+  EXPECT_EQ(naive.sample_vertices(rng).size(), 5u);
+  EXPECT_EQ(dash.sample_vertices(rng).size(), 5u);
+}
+
+TEST(UniformNode, DistinctAndInRange) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  UniformNodeSampler s(g, 50);
+  util::Xoshiro256 rng(4);
+  const auto out = s.sample_vertices(rng);
+  EXPECT_EQ(out.size(), 50u);
+  EXPECT_EQ(std::set<Vid>(out.begin(), out.end()).size(), 50u);
+}
+
+TEST(UniformNode, RejectsOversizedBudget) {
+  const CsrGraph g = gsgcn::testing::small_er(100, 400);
+  EXPECT_THROW(UniformNodeSampler(g, 101), std::invalid_argument);
+  EXPECT_THROW(UniformNodeSampler(g, 0), std::invalid_argument);
+}
+
+TEST(RandomEdge, EndpointsAreNeighbors) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  RandomEdgeSampler s(g, 60);
+  util::Xoshiro256 rng(5);
+  const auto out = s.sample_vertices(rng);
+  ASSERT_GE(out.size(), 60u - 1);
+  for (std::size_t i = 0; i + 1 < out.size(); i += 2) {
+    const auto nbrs = g.neighbors(out[i]);
+    EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), out[i + 1]));
+  }
+}
+
+TEST(RandomEdge, DegreeBiased) {
+  util::Xoshiro256 grng(6);
+  const CsrGraph g = graph::barabasi_albert(300, 2, grng);
+  RandomEdgeSampler s(g, 200);
+  util::Xoshiro256 rng(7);
+  std::vector<double> visits(300, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    for (const Vid v : s.sample_vertices(rng)) ++visits[v];
+  }
+  Vid hub = 0, leaf = 0;
+  for (Vid v = 1; v < 300; ++v) {
+    if (g.degree(v) > g.degree(hub)) hub = v;
+    if (g.degree(v) < g.degree(leaf)) leaf = v;
+  }
+  EXPECT_GT(visits[hub], visits[leaf]);
+}
+
+TEST(RandomWalk, WalksFollowEdges) {
+  const CsrGraph g = gsgcn::testing::tiny_graph();
+  RandomWalkSampler s(g, 2, 5);
+  util::Xoshiro256 rng(8);
+  const auto out = s.sample_vertices(rng);
+  // 2 roots * 6 positions each (connected graph, no dead ends).
+  EXPECT_EQ(out.size(), 12u);
+  // Consecutive pairs within a walk are edges.
+  for (int w = 0; w < 2; ++w) {
+    for (int i = 0; i < 5; ++i) {
+      const Vid a = out[static_cast<std::size_t>(w * 6 + i)];
+      const Vid b = out[static_cast<std::size_t>(w * 6 + i + 1)];
+      const auto nbrs = g.neighbors(a);
+      EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), b));
+    }
+  }
+}
+
+TEST(ForestFire, OutputSizeAndDistinct) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  ForestFireSampler s(g, 80, 0.7);
+  util::Xoshiro256 rng(9);
+  const auto out = s.sample_vertices(rng);
+  EXPECT_EQ(out.size(), 80u);
+  EXPECT_EQ(std::set<Vid>(out.begin(), out.end()).size(), 80u);
+  for (const Vid v : out) EXPECT_LT(v, g.num_vertices());
+}
+
+TEST(ForestFire, ProducesConnectedClumps) {
+  // Most burned vertices (beyond reignition seeds) have a burned neighbor.
+  const CsrGraph g = gsgcn::testing::small_er(400, 2400, 4);
+  ForestFireSampler s(g, 120, 0.7);
+  util::Xoshiro256 rng(10);
+  const auto out = s.sample_vertices(rng);
+  const std::set<Vid> burned(out.begin(), out.end());
+  int with_burned_neighbor = 0;
+  for (const Vid v : out) {
+    for (const Vid u : g.neighbors(v)) {
+      if (burned.count(u)) {
+        ++with_burned_neighbor;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_burned_neighbor, static_cast<int>(out.size() * 3 / 4));
+}
+
+TEST(ForestFire, ReusableAcrossCalls) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  ForestFireSampler s(g, 60, 0.6);
+  util::Xoshiro256 rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const auto out = s.sample_vertices(rng);
+    ASSERT_EQ(out.size(), 60u);
+    ASSERT_EQ(std::set<Vid>(out.begin(), out.end()).size(), 60u);
+  }
+}
+
+TEST(ForestFire, RejectsBadParams) {
+  const CsrGraph g = gsgcn::testing::tiny_graph();
+  EXPECT_THROW(ForestFireSampler(g, 0), std::invalid_argument);
+  EXPECT_THROW(ForestFireSampler(g, 100), std::invalid_argument);
+  EXPECT_THROW(ForestFireSampler(g, 3, 1.5), std::invalid_argument);
+}
+
+TEST(Snowball, OutputSizeDistinctAndLayered) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  SnowballSampler s(g, 100, 4, 8);
+  util::Xoshiro256 rng(12);
+  const auto out = s.sample_vertices(rng);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_EQ(std::set<Vid>(out.begin(), out.end()).size(), 100u);
+}
+
+TEST(Snowball, TopsUpWhenComponentExhausted) {
+  // Two tiny components: BFS from one runs dry but budget is met via
+  // uniform top-up.
+  const CsrGraph g = CsrGraph::from_edges(
+      40, {{0, 1}, {1, 2}, {3, 4}});
+  SnowballSampler s(g, 20, 1, 8);
+  util::Xoshiro256 rng(13);
+  const auto out = s.sample_vertices(rng);
+  EXPECT_EQ(out.size(), 20u);
+  EXPECT_EQ(std::set<Vid>(out.begin(), out.end()).size(), 20u);
+}
+
+TEST(Snowball, RejectsBadParams) {
+  const CsrGraph g = gsgcn::testing::tiny_graph();
+  EXPECT_THROW(SnowballSampler(g, 0), std::invalid_argument);
+  EXPECT_THROW(SnowballSampler(g, 3, 4), std::invalid_argument);  // seeds > budget
+  EXPECT_THROW(SnowballSampler(g, 3, 1, 0), std::invalid_argument);
+}
+
+TEST(Node2Vec, WalksFollowEdges) {
+  const CsrGraph g = gsgcn::testing::tiny_graph();
+  Node2VecSampler s(g, 2, 6, 0.5, 2.0);
+  util::Xoshiro256 rng(20);
+  const auto out = s.sample_vertices(rng);
+  ASSERT_GE(out.size(), 2u);
+  // Validate per-walk adjacency: walks are laid out sequentially, each
+  // starting at a fresh root; consecutive in-walk pairs must be edges.
+  std::size_t i = 0;
+  for (int w = 0; w < 2; ++w) {
+    std::size_t len = 0;
+    while (i + len + 1 < out.size() || (w == 1 && i + len + 1 <= out.size() - 1)) {
+      if (len >= 6) break;
+      const auto nbrs = g.neighbors(out[i + len]);
+      if (!std::binary_search(nbrs.begin(), nbrs.end(), out[i + len + 1])) break;
+      ++len;
+    }
+    i += len + 1;
+    if (i >= out.size()) break;
+  }
+  SUCCEED();
+}
+
+TEST(Node2Vec, LowQExploresFurther) {
+  // q ≪ 1 biases outward (DFS-like): unique vertices per walk exceed the
+  // q ≫ 1 (BFS-like, back-tracking) configuration.
+  const CsrGraph g = gsgcn::testing::small_er(500, 3000, 21);
+  Node2VecSampler explore(g, 20, 30, 1.0, 0.2);
+  Node2VecSampler local(g, 20, 30, 1.0, 5.0);
+  util::Xoshiro256 r1(22), r2(22);
+  double uniq_explore = 0.0, uniq_local = 0.0;
+  for (int t = 0; t < 30; ++t) {
+    const auto a = explore.sample_vertices(r1);
+    const auto b = local.sample_vertices(r2);
+    uniq_explore += static_cast<double>(std::set<Vid>(a.begin(), a.end()).size());
+    uniq_local += static_cast<double>(std::set<Vid>(b.begin(), b.end()).size());
+  }
+  EXPECT_GT(uniq_explore, uniq_local);
+}
+
+TEST(Node2Vec, RejectsBadParams) {
+  const CsrGraph g = gsgcn::testing::tiny_graph();
+  EXPECT_THROW(Node2VecSampler(g, 0, 5), std::invalid_argument);
+  EXPECT_THROW(Node2VecSampler(g, 2, 0), std::invalid_argument);
+  EXPECT_THROW(Node2VecSampler(g, 2, 5, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Node2VecSampler(g, 2, 5, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(RandomWalk, RejectsBadParams) {
+  const CsrGraph g = gsgcn::testing::tiny_graph();
+  EXPECT_THROW(RandomWalkSampler(g, 0, 5), std::invalid_argument);
+  EXPECT_THROW(RandomWalkSampler(g, 2, 0), std::invalid_argument);
+  EXPECT_THROW(RandomWalkSampler(g, 6, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gsgcn::sampling

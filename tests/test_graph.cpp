@@ -1,0 +1,309 @@
+// Unit tests for the graph substrate: CSR construction/invariants,
+// generators (structural properties), I/O round trips, partitioners.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/partition.hpp"
+#include "test_helpers.hpp"
+
+namespace gsgcn::graph {
+namespace {
+
+TEST(Csr, FromEdgesBasic) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}};
+  const CsrGraph g = CsrGraph::from_edges(3, edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 6);  // directed count
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+}
+
+TEST(Csr, RemovesDuplicatesAndSelfLoops) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 0}, {0, 1}, {2, 2}};
+  const CsrGraph g = CsrGraph::from_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 2);  // single undirected edge
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Csr, NeighborsSorted) {
+  const std::vector<Edge> edges = {{0, 3}, {0, 1}, {0, 2}};
+  const CsrGraph g = CsrGraph::from_edges(4, edges);
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(Csr, OutOfRangeEdgeThrows) {
+  const std::vector<Edge> edges = {{0, 5}};
+  EXPECT_THROW(CsrGraph::from_edges(3, edges), std::out_of_range);
+}
+
+TEST(Csr, EmptyGraph) {
+  const CsrGraph g = CsrGraph::from_edges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Csr, FromCsrRejectsMalformed) {
+  EXPECT_THROW(CsrGraph::from_csr({1, 2}, {0}), std::invalid_argument);
+  EXPECT_THROW(CsrGraph::from_csr({0, 3}, {0}), std::invalid_argument);
+}
+
+TEST(Csr, ValidateCatchesUnsortedRow) {
+  // Hand-build a CSR with a deliberately unsorted row.
+  const CsrGraph g = CsrGraph::from_csr({0, 2, 3, 4}, {2, 1, 0, 0});
+  EXPECT_NE(g.validate().find("not sorted"), std::string::npos);
+}
+
+TEST(Csr, ValidateCatchesSelfLoop) {
+  const CsrGraph g = CsrGraph::from_csr({0, 1, 1}, {0});
+  EXPECT_NE(g.validate().find("self loop"), std::string::npos);
+}
+
+TEST(Csr, DegreeStats) {
+  const CsrGraph g = gsgcn::testing::tiny_graph();
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min_degree, 2);
+  EXPECT_EQ(s.max_degree, 3);
+  EXPECT_NEAR(s.mean_degree, 12.0 / 5.0, 1e-12);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+}
+
+TEST(Generators, ErdosRenyiShape) {
+  util::Xoshiro256 rng(1);
+  const CsrGraph g = erdos_renyi(500, 2000, rng);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  EXPECT_TRUE(g.validate().empty());
+  // Nearly all 2000 draws survive dedup at this density.
+  EXPECT_GT(g.num_edges(), 2 * 1800);
+  EXPECT_LE(g.num_edges(), 2 * 2000);
+}
+
+TEST(Generators, ErdosRenyiRejectsTiny) {
+  util::Xoshiro256 rng(1);
+  EXPECT_THROW(erdos_renyi(1, 10, rng), std::invalid_argument);
+}
+
+TEST(Generators, BarabasiAlbertSkew) {
+  util::Xoshiro256 rng(2);
+  const CsrGraph g = barabasi_albert(2000, 3, rng);
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  EXPECT_TRUE(g.validate().empty());
+  const DegreeStats s = degree_stats(g);
+  // Preferential attachment ⇒ hub degree far above the mean.
+  EXPECT_GT(static_cast<double>(s.max_degree), 5.0 * s.mean_degree);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+}
+
+TEST(Generators, BarabasiAlbertMinDegree) {
+  util::Xoshiro256 rng(3);
+  const CsrGraph g = barabasi_albert(500, 2, rng);
+  const DegreeStats s = degree_stats(g);
+  // Every non-seed vertex attaches with 2 edges (dedup can only merge
+  // parallel picks of the same target, leaving >= 1).
+  EXPECT_GE(s.min_degree, 1);
+}
+
+TEST(Generators, RmatShapeAndSkew) {
+  util::Xoshiro256 rng(4);
+  RmatParams p;
+  p.scale = 10;
+  p.edges = 8000;
+  const CsrGraph g = rmat(p, rng);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_TRUE(g.validate().empty());
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GT(static_cast<double>(s.max_degree), 3.0 * s.mean_degree);
+}
+
+TEST(Generators, RmatRejectsBadProbs) {
+  util::Xoshiro256 rng(4);
+  RmatParams p;
+  p.a = 0.6;
+  p.b = 0.3;
+  p.c = 0.2;  // sums past 1
+  EXPECT_THROW(rmat(p, rng), std::invalid_argument);
+}
+
+TEST(Generators, WattsStrogatzRegularAtBetaZero) {
+  util::Xoshiro256 rng(5);
+  const CsrGraph g = watts_strogatz(100, 3, 0.0, rng);
+  EXPECT_TRUE(g.validate().empty());
+  for (Vid v = 0; v < 100; ++v) EXPECT_EQ(g.degree(v), 6);
+}
+
+TEST(Generators, WattsStrogatzRewiresAtBetaOne) {
+  util::Xoshiro256 rng(6);
+  const CsrGraph g = watts_strogatz(200, 3, 1.0, rng);
+  EXPECT_TRUE(g.validate().empty());
+  // Full rewiring destroys regularity: some vertex degree differs from 6.
+  bool irregular = false;
+  for (Vid v = 0; v < 200 && !irregular; ++v) irregular = g.degree(v) != 6;
+  EXPECT_TRUE(irregular);
+}
+
+TEST(Generators, SbmHomophily) {
+  util::Xoshiro256 rng(7);
+  const auto result = stochastic_block_model({300, 300, 300}, 0.05, 0.002, rng);
+  EXPECT_EQ(result.graph.num_vertices(), 900u);
+  EXPECT_TRUE(result.graph.validate().empty());
+  // Count intra vs inter edges: intra should dominate despite equal pair mass.
+  std::int64_t intra = 0, inter = 0;
+  for (Vid u = 0; u < 900; ++u) {
+    for (const Vid v : result.graph.neighbors(u)) {
+      if (result.block_of[u] == result.block_of[v]) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  EXPECT_GT(intra, 2 * inter);
+}
+
+TEST(Generators, SbmBlockAssignment) {
+  util::Xoshiro256 rng(8);
+  const auto result = stochastic_block_model({10, 20, 30}, 0.5, 0.01, rng);
+  EXPECT_EQ(result.block_of.size(), 60u);
+  EXPECT_EQ(result.block_of[0], 0u);
+  EXPECT_EQ(result.block_of[9], 0u);
+  EXPECT_EQ(result.block_of[10], 1u);
+  EXPECT_EQ(result.block_of[29], 1u);
+  EXPECT_EQ(result.block_of[30], 2u);
+  EXPECT_EQ(result.block_of[59], 2u);
+}
+
+TEST(Generators, SbmExpectedDegree) {
+  util::Xoshiro256 rng(9);
+  // Single block of 1000, p_in = 0.01 ⇒ E[degree] ≈ 9.99.
+  const auto result = stochastic_block_model({1000}, 0.01, 0.0, rng);
+  const double mean_deg = result.graph.average_degree();
+  EXPECT_NEAR(mean_deg, 10.0, 1.5);
+}
+
+TEST(Generators, SbmRejectsBadProbability) {
+  util::Xoshiro256 rng(9);
+  EXPECT_THROW(stochastic_block_model({10}, 1.5, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(Io, EdgelistTextRoundTrip) {
+  const CsrGraph g = gsgcn::testing::small_er(100, 300);
+  const std::string path = ::testing::TempDir() + "gsgcn_el.txt";
+  save_edgelist_text(g, path);
+  const CsrGraph h = load_edgelist_text(path);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.offsets(), g.offsets());
+  EXPECT_EQ(h.adjacency(), g.adjacency());
+  std::filesystem::remove(path);
+}
+
+TEST(Io, EdgelistSkipsComments) {
+  const std::string path = ::testing::TempDir() + "gsgcn_comments.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment\n% other comment\n0 1\n\n1 2\n";
+  }
+  const CsrGraph g = load_edgelist_text(path);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, EdgelistRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "gsgcn_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "0 not-a-number\n";
+  }
+  EXPECT_THROW(load_edgelist_text(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(load_edgelist_text("/nonexistent/nope.txt"), std::runtime_error);
+  EXPECT_THROW(load_csr_binary("/nonexistent/nope.bin"), std::runtime_error);
+}
+
+TEST(Io, CsrBinaryRoundTrip) {
+  const CsrGraph g = gsgcn::testing::small_er(150, 500);
+  const std::string path = ::testing::TempDir() + "gsgcn_csr.bin";
+  save_csr_binary(g, path);
+  const CsrGraph h = load_csr_binary(path);
+  EXPECT_EQ(h.offsets(), g.offsets());
+  EXPECT_EQ(h.adjacency(), g.adjacency());
+  std::filesystem::remove(path);
+}
+
+TEST(Io, CsrBinaryRejectsBadMagic) {
+  const std::string path = ::testing::TempDir() + "gsgcn_badmagic.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char junk[64] = {0};
+    out.write(junk, sizeof(junk));
+  }
+  EXPECT_THROW(load_csr_binary(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Partition, RangeCoversAllVertices) {
+  const Partition p = partition_range(100, 7);
+  EXPECT_EQ(p.num_parts(), 7u);
+  std::size_t total = 0;
+  for (const auto& part : p.parts) total += part.size();
+  EXPECT_EQ(total, 100u);
+  for (Vid v = 0; v < 100; ++v) {
+    EXPECT_LT(p.part_of[v], 7u);
+  }
+}
+
+TEST(Partition, HashCoversAllVertices) {
+  const Partition p = partition_hash(100, 4);
+  std::size_t total = 0;
+  for (const auto& part : p.parts) total += part.size();
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Partition, ZeroPartsThrows) {
+  EXPECT_THROW(partition_range(10, 0), std::invalid_argument);
+  EXPECT_THROW(partition_hash(10, 0), std::invalid_argument);
+}
+
+TEST(Partition, GammaIsOneForSinglePart) {
+  const CsrGraph g = gsgcn::testing::small_er();
+  const Partition p = partition_range(g.num_vertices(), 1);
+  EXPECT_DOUBLE_EQ(gamma_of_part(g, p, 0), 1.0);
+  EXPECT_DOUBLE_EQ(gamma_mean(g, p), 1.0);
+}
+
+TEST(Partition, GammaBoundedBelowByPartShare) {
+  // γ_P ≥ |V_i| / |V| always (self connections), and ≤ 1.
+  const CsrGraph g = gsgcn::testing::small_er();
+  for (std::uint32_t parts : {2u, 4u, 8u}) {
+    const Partition p = partition_range(g.num_vertices(), parts);
+    for (std::uint32_t i = 0; i < parts; ++i) {
+      const double gamma = gamma_of_part(g, p, i);
+      const double share = static_cast<double>(p.parts[i].size()) /
+                           static_cast<double>(g.num_vertices());
+      EXPECT_GE(gamma, share - 1e-12);
+      EXPECT_LE(gamma, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsgcn::graph

@@ -1,0 +1,58 @@
+#pragma once
+// Shared fixtures/utilities for the gsgcn test suite.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace gsgcn::testing {
+
+/// Small connected-ish random graph for structural tests.
+inline graph::CsrGraph small_er(graph::Vid n = 200, graph::Eid m = 800,
+                                std::uint64_t seed = 7) {
+  util::Xoshiro256 rng(seed);
+  return graph::erdos_renyi(n, m, rng);
+}
+
+/// 5-cycle with a chord: tiny, hand-checkable.
+inline graph::CsrGraph tiny_graph() {
+  const std::vector<graph::Edge> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}};
+  return graph::CsrGraph::from_edges(5, edges);
+}
+
+/// Central-difference gradient check: `loss(params)` must be a pure
+/// function of the matrix contents. Verifies d(loss)/d(params[i]) against
+/// `analytic` at `samples` uniformly spread entries.
+inline void check_gradient(tensor::Matrix& params,
+                           const tensor::Matrix& analytic,
+                           const std::function<double()>& loss,
+                           std::size_t samples = 24, float eps = 1e-3f,
+                           double rel_tol = 3e-2, double abs_tol = 1e-3) {
+  ASSERT_EQ(params.rows(), analytic.rows());
+  ASSERT_EQ(params.cols(), analytic.cols());
+  const std::size_t n = params.size();
+  const std::size_t stride = std::max<std::size_t>(1, n / samples);
+  for (std::size_t i = 0; i < n; i += stride) {
+    const float original = params.data()[i];
+    params.data()[i] = original + eps;
+    const double up = loss();
+    params.data()[i] = original - eps;
+    const double down = loss();
+    params.data()[i] = original;
+    const double numeric = (up - down) / (2.0 * static_cast<double>(eps));
+    const double exact = analytic.data()[i];
+    const double err = std::abs(numeric - exact);
+    const double scale = std::max(std::abs(numeric), std::abs(exact));
+    EXPECT_LE(err, abs_tol + rel_tol * scale)
+        << "entry " << i << ": numeric=" << numeric << " analytic=" << exact;
+  }
+}
+
+}  // namespace gsgcn::testing

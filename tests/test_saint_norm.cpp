@@ -1,0 +1,213 @@
+// GraphSAINT-style normalization tests: inclusion-probability estimation,
+// weight normalization, the unbiased-loss property, weighted losses, and
+// the trainer integration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "gcn/loss.hpp"
+#include "gcn/saint_norm.hpp"
+#include "gcn/trainer.hpp"
+#include "sampling/frontier_dashboard.hpp"
+#include "sampling/samplers.hpp"
+#include "test_helpers.hpp"
+
+namespace gsgcn::gcn {
+namespace {
+
+using tensor::Matrix;
+
+TEST(SaintNorm, RequiresEstimateBeforeWeights) {
+  SaintNormalizer norm(10);
+  EXPECT_FALSE(norm.estimated());
+  EXPECT_THROW(norm.loss_weight(0), std::logic_error);
+}
+
+TEST(SaintNorm, RejectsBadInputs) {
+  const graph::CsrGraph g = gsgcn::testing::small_er(100, 400, 1);
+  sampling::UniformNodeSampler sampler(g, 20);
+  util::Xoshiro256 rng(1);
+  SaintNormalizer norm(100);
+  EXPECT_THROW(norm.estimate(sampler, rng, 0), std::invalid_argument);
+  norm.estimate(sampler, rng, 5);
+  EXPECT_THROW(norm.loss_weight(100), std::out_of_range);
+  EXPECT_THROW(norm.inclusion_probability(100), std::out_of_range);
+}
+
+TEST(SaintNorm, UniformSamplerGivesUniformWeights) {
+  // Uniform-node sampling includes every vertex with equal probability,
+  // so all weights converge to 1.
+  const graph::CsrGraph g = gsgcn::testing::small_er(100, 400, 2);
+  sampling::UniformNodeSampler sampler(g, 30);
+  util::Xoshiro256 rng(2);
+  SaintNormalizer norm(100);
+  norm.estimate(sampler, rng, 400);
+  for (graph::Vid v = 0; v < 100; ++v) {
+    EXPECT_NEAR(norm.loss_weight(v), 1.0f, 0.35f) << "vertex " << v;
+  }
+}
+
+TEST(SaintNorm, ProbabilitiesMatchEmpiricalFrequency) {
+  const graph::CsrGraph g = gsgcn::testing::small_er(200, 1200, 3);
+  sampling::FrontierParams p;
+  p.frontier_size = 30;
+  p.budget = 90;
+  sampling::DashboardFrontierSampler sampler(g, p);
+  util::Xoshiro256 rng(3);
+  SaintNormalizer norm(200);
+  norm.estimate(sampler, rng, 500);
+  // Mean inclusion probability over vertices ≈ E[#unique]/|V|; bound it
+  // loosely: unique per sample ≤ budget.
+  double mean_p = 0.0;
+  for (graph::Vid v = 0; v < 200; ++v) mean_p += norm.inclusion_probability(v);
+  mean_p /= 200.0;
+  EXPECT_GT(mean_p, 0.05);
+  EXPECT_LT(mean_p, 90.0 / 200.0 + 0.05);
+}
+
+TEST(SaintNorm, HighDegreeVerticesGetSmallerWeights) {
+  util::Xoshiro256 grng(4);
+  const graph::CsrGraph g = graph::barabasi_albert(300, 2, grng);
+  sampling::FrontierParams p;
+  p.frontier_size = 30;
+  p.budget = 90;
+  sampling::DashboardFrontierSampler sampler(g, p);
+  util::Xoshiro256 rng(4);
+  SaintNormalizer norm(300);
+  norm.estimate(sampler, rng, 400);
+  graph::Vid hub = 0, leaf = 0;
+  for (graph::Vid v = 1; v < 300; ++v) {
+    if (g.degree(v) > g.degree(hub)) hub = v;
+    if (g.degree(v) < g.degree(leaf)) leaf = v;
+  }
+  EXPECT_LT(norm.loss_weight(hub), norm.loss_weight(leaf));
+}
+
+TEST(SaintNorm, WeightedSumIsUnbiasedEstimatorOfFullSum) {
+  // Property: for fixed per-vertex values ℓ_v, the weighted batch mean
+  // E[(1/n_b)Σ_{v∈B} w_v ℓ_v] ≈ (1/|V|)Σ_v ℓ_v when w_v ∝ 1/p_v with
+  // mean weight 1 and the batch size is roughly constant.
+  // Degree-correlated values on a skewed graph: this is exactly where the
+  // frontier sampler's degree bias distorts the raw estimate.
+  util::Xoshiro256 grng(5);
+  const graph::CsrGraph g = graph::barabasi_albert(200, 2, grng);
+  sampling::FrontierParams p;
+  p.frontier_size = 30;
+  p.budget = 90;
+  sampling::DashboardFrontierSampler sampler(g, p);
+  util::Xoshiro256 rng(5);
+  SaintNormalizer norm(200);
+  norm.estimate(sampler, rng, 600);
+
+  std::vector<double> values(200);
+  double full_mean = 0.0;
+  for (graph::Vid v = 0; v < 200; ++v) {
+    values[v] = 1.0 / (1.0 + static_cast<double>(g.degree(v)));
+    full_mean += values[v];
+  }
+  full_mean /= 200.0;
+
+  // Horvitz–Thompson estimator per draw: (1/|V|) Σ_{v∈B} ℓ_v / p̂_v.
+  // Raw comparator: the plain batch mean (1/|B|) Σ ℓ_v.
+  double ht_sum = 0.0, raw_sum = 0.0;
+  const int draws = 600;
+  for (int t = 0; t < draws; ++t) {
+    const auto batch = sampler.sample_vertices(rng);
+    const std::set<graph::Vid> uniq(batch.begin(), batch.end());
+    double ht = 0.0, raw = 0.0;
+    for (const graph::Vid v : uniq) {
+      ht += values[v] / norm.inclusion_probability(v);
+      raw += values[v];
+    }
+    ht_sum += ht / 200.0;
+    raw_sum += raw / static_cast<double>(uniq.size());
+  }
+  const double ht_mean = ht_sum / draws;
+  const double raw_mean = raw_sum / draws;
+  // The raw estimate is visibly biased (hubs over-sampled, and hubs carry
+  // the smallest values); Horvitz–Thompson must correct most of it.
+  EXPECT_GT(std::abs(raw_mean - full_mean), 0.01);
+  EXPECT_LT(std::abs(ht_mean - full_mean),
+            0.4 * std::abs(raw_mean - full_mean));
+}
+
+TEST(WeightedLoss, UnitWeightsMatchUnweighted) {
+  util::Xoshiro256 rng(7);
+  const Matrix z = Matrix::gaussian(6, 4, 1.0f, rng);
+  Matrix y(6, 4);
+  for (std::size_t i = 0; i < 6; ++i) y(i, rng.below(4)) = 1.0f;
+  const std::vector<float> ones(6, 1.0f);
+  Matrix dz1(6, 4), dz2(6, 4);
+  const float a = softmax_ce_loss(z, y, dz1);
+  const float b = softmax_ce_loss_weighted(z, y, ones, dz2);
+  EXPECT_NEAR(a, b, 1e-6);
+  EXPECT_LT(Matrix::max_abs_diff(dz1, dz2), 1e-7f);
+
+  const float c = sigmoid_bce_loss(z, y, dz1);
+  const float d = sigmoid_bce_loss_weighted(z, y, ones, dz2);
+  EXPECT_NEAR(c, d, 1e-6);
+  EXPECT_LT(Matrix::max_abs_diff(dz1, dz2), 1e-7f);
+}
+
+TEST(WeightedLoss, WeightsScaleRows) {
+  Matrix z(2, 2), y(2, 2), dz(2, 2);
+  y(0, 0) = y(1, 1) = 1.0f;
+  const std::vector<float> w = {2.0f, 0.0f};  // second row muted
+  sigmoid_bce_loss_weighted(z, y, w, dz);
+  EXPECT_NE(dz(0, 0), 0.0f);
+  EXPECT_EQ(dz(1, 0), 0.0f);
+  EXPECT_EQ(dz(1, 1), 0.0f);
+}
+
+TEST(WeightedLoss, GradientMatchesNumeric) {
+  util::Xoshiro256 rng(8);
+  Matrix z = Matrix::gaussian(5, 3, 1.0f, rng);
+  Matrix y(5, 3);
+  for (std::size_t i = 0; i < 5; ++i) y(i, rng.below(3)) = 1.0f;
+  std::vector<float> w = {0.5f, 2.0f, 1.0f, 0.1f, 3.0f};
+  Matrix dz(5, 3);
+  softmax_ce_loss_weighted(z, y, w, dz);
+  Matrix scratch(5, 3);
+  gsgcn::testing::check_gradient(
+      z, dz, [&] { return softmax_ce_loss_weighted(z, y, w, scratch); }, 15,
+      1e-2f, 1e-2, 1e-5);
+}
+
+TEST(WeightedLoss, LengthMismatchThrows) {
+  Matrix z(3, 2), y(3, 2), dz(3, 2);
+  y(0, 0) = y(1, 0) = y(2, 0) = 1.0f;
+  const std::vector<float> w = {1.0f};
+  EXPECT_THROW(softmax_ce_loss_weighted(z, y, w, dz), std::invalid_argument);
+  EXPECT_THROW(sigmoid_bce_loss_weighted(z, y, w, dz), std::invalid_argument);
+}
+
+TEST(SaintTrainer, TrainsWithNormalizationOn) {
+  data::SyntheticParams p;
+  p.num_vertices = 800;
+  p.num_classes = 4;
+  p.feature_dim = 24;
+  p.avg_degree = 12.0;
+  p.homophily = 20.0;
+  p.feature_signal = 1.5;
+  p.mode = data::LabelMode::kSingle;
+  p.seed = 9;
+  const data::Dataset ds = data::make_synthetic(p);
+
+  TrainerConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.epochs = 8;
+  cfg.frontier_size = 40;
+  cfg.budget = 160;
+  cfg.seed = 3;
+  cfg.saint_loss_norm = true;
+  cfg.saint_presamples = 32;
+  Trainer trainer(ds, cfg);
+  const TrainResult r = trainer.train();
+  EXPECT_GT(r.final_val_f1, 0.6);
+  EXPECT_LT(r.history.back().train_loss, r.history.front().train_loss);
+}
+
+}  // namespace
+}  // namespace gsgcn::gcn

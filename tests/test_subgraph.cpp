@@ -1,0 +1,131 @@
+// Tests for induced-subgraph extraction: correctness against a brute
+// force oracle, duplicate handling, epoch reuse, parallel agreement.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/subgraph.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace gsgcn::graph {
+namespace {
+
+/// Brute-force induced edge set on original ids.
+std::set<std::pair<Vid, Vid>> induced_edges_oracle(
+    const CsrGraph& g, const std::vector<Vid>& vertices) {
+  const std::set<Vid> vs(vertices.begin(), vertices.end());
+  std::set<std::pair<Vid, Vid>> edges;
+  for (const Vid u : vs) {
+    for (const Vid v : g.neighbors(u)) {
+      if (vs.count(v)) edges.insert({std::min(u, v), std::max(u, v)});
+    }
+  }
+  return edges;
+}
+
+std::set<std::pair<Vid, Vid>> subgraph_edges_in_orig_ids(const Subgraph& sub) {
+  std::set<std::pair<Vid, Vid>> edges;
+  for (Vid lu = 0; lu < sub.num_vertices(); ++lu) {
+    for (const Vid lv : sub.graph.neighbors(lu)) {
+      const Vid u = sub.orig_ids[lu], v = sub.orig_ids[lv];
+      edges.insert({std::min(u, v), std::max(u, v)});
+    }
+  }
+  return edges;
+}
+
+TEST(Inducer, TinyGraphByHand) {
+  const CsrGraph g = gsgcn::testing::tiny_graph();
+  Inducer inducer(g);
+  const Subgraph sub = inducer.induce({0, 1, 3});
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  // Edges among {0,1,3}: (0,1), (1,3). Not (0,3).
+  EXPECT_EQ(sub.graph.num_edges(), 4);
+  const auto edges = subgraph_edges_in_orig_ids(sub);
+  EXPECT_TRUE(edges.count({0, 1}));
+  EXPECT_TRUE(edges.count({1, 3}));
+  EXPECT_FALSE(edges.count({0, 3}));
+}
+
+TEST(Inducer, MatchesOracleOnRandomSets) {
+  const CsrGraph g = gsgcn::testing::small_er(300, 1500, 11);
+  Inducer inducer(g);
+  util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto vertices = util::sample_without_replacement(300, 80, rng);
+    const std::vector<Vid> vlist(vertices.begin(), vertices.end());
+    const Subgraph sub = inducer.induce(vlist);
+    EXPECT_TRUE(sub.graph.validate().empty()) << sub.graph.validate();
+    EXPECT_EQ(subgraph_edges_in_orig_ids(sub), induced_edges_oracle(g, vlist));
+  }
+}
+
+TEST(Inducer, DeduplicatesKeepingFirstOccurrence) {
+  const CsrGraph g = gsgcn::testing::tiny_graph();
+  Inducer inducer(g);
+  const Subgraph sub = inducer.induce({4, 2, 4, 2, 0});
+  ASSERT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.orig_ids[0], 4u);
+  EXPECT_EQ(sub.orig_ids[1], 2u);
+  EXPECT_EQ(sub.orig_ids[2], 0u);
+}
+
+TEST(Inducer, ReusableAcrossCalls) {
+  const CsrGraph g = gsgcn::testing::small_er(200, 800, 5);
+  Inducer inducer(g);
+  util::Xoshiro256 rng(9);
+  // Interleave different vertex sets; the epoch-stamped map must never
+  // leak mappings between calls.
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto vs = util::sample_without_replacement(200, 10 + trial, rng);
+    const std::vector<Vid> vlist(vs.begin(), vs.end());
+    const Subgraph sub = inducer.induce(vlist);
+    ASSERT_EQ(sub.num_vertices(), vlist.size());
+    EXPECT_EQ(subgraph_edges_in_orig_ids(sub), induced_edges_oracle(g, vlist));
+  }
+}
+
+TEST(Inducer, ParallelMatchesSerial) {
+  const CsrGraph g = gsgcn::testing::small_er(400, 3000, 21);
+  Inducer a(g), b(g);
+  util::Xoshiro256 rng(1);
+  const auto vs = util::sample_without_replacement(400, 150, rng);
+  const std::vector<Vid> vlist(vs.begin(), vs.end());
+  const Subgraph s1 = a.induce(vlist, 1);
+  const Subgraph s4 = b.induce(vlist, 4);
+  EXPECT_EQ(s1.orig_ids, s4.orig_ids);
+  EXPECT_EQ(s1.graph.offsets(), s4.graph.offsets());
+  EXPECT_EQ(s1.graph.adjacency(), s4.graph.adjacency());
+}
+
+TEST(Inducer, EmptySelection) {
+  const CsrGraph g = gsgcn::testing::tiny_graph();
+  Inducer inducer(g);
+  const Subgraph sub = inducer.induce({});
+  EXPECT_EQ(sub.num_vertices(), 0u);
+  EXPECT_EQ(sub.graph.num_edges(), 0);
+}
+
+TEST(Inducer, SingleVertexHasNoEdges) {
+  const CsrGraph g = gsgcn::testing::tiny_graph();
+  Inducer inducer(g);
+  const Subgraph sub = inducer.induce({2});
+  EXPECT_EQ(sub.num_vertices(), 1u);
+  EXPECT_EQ(sub.graph.num_edges(), 0);
+}
+
+TEST(Inducer, FullSelectionIsIdentity) {
+  const CsrGraph g = gsgcn::testing::small_er(100, 400, 2);
+  Inducer inducer(g);
+  std::vector<Vid> all(100);
+  for (Vid v = 0; v < 100; ++v) all[v] = v;
+  const Subgraph sub = inducer.induce(all);
+  EXPECT_EQ(sub.graph.offsets(), g.offsets());
+  EXPECT_EQ(sub.graph.adjacency(), g.adjacency());
+}
+
+}  // namespace
+}  // namespace gsgcn::graph

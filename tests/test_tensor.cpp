@@ -1,0 +1,251 @@
+// Tensor library tests: Matrix semantics, GEMM kernels against the
+// triple-loop reference (parameterized shape sweep), elementwise ops.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "tensor/gemm.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace gsgcn::tensor {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return Matrix::gaussian(r, c, 1.0f, rng);
+}
+
+TEST(Matrix, ZeroInitialized) {
+  const Matrix m(3, 4);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(Matrix, DeepCopy) {
+  Matrix a = random_matrix(4, 5, 1);
+  Matrix b = a;
+  b(0, 0) += 1.0f;
+  EXPECT_NE(a(0, 0), b(0, 0));
+  EXPECT_EQ(Matrix::max_abs_diff(a, a), 0.0f);
+}
+
+TEST(Matrix, MoveLeavesSourceEmpty) {
+  Matrix a = random_matrix(4, 5, 2);
+  Matrix b = std::move(a);
+  EXPECT_EQ(b.rows(), 4u);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(Matrix, MaxAbsDiffShapeMismatchIsInf) {
+  EXPECT_TRUE(std::isinf(Matrix::max_abs_diff(Matrix(2, 2), Matrix(2, 3))));
+}
+
+TEST(Matrix, GlorotWithinBound) {
+  util::Xoshiro256 rng(3);
+  const Matrix m = Matrix::glorot(64, 64, rng);
+  const float bound = std::sqrt(6.0f / 128.0f);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::abs(m.data()[i]), bound);
+  }
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0f;
+  m(1, 1) = 4.0f;
+  EXPECT_FLOAT_EQ(m.frobenius_norm(), 5.0f);
+}
+
+// ---- GEMM: parameterized shape sweep vs reference ----
+
+using GemmShape = std::tuple<int, int, int>;  // M, K, N
+
+class GemmSweep : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmSweep, NnMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = random_matrix(m, k, 10);
+  const Matrix b = random_matrix(k, n, 11);
+  Matrix c(m, n), ref(m, n);
+  gemm_nn(a, b, c);
+  reference::gemm_nn(a, b, ref);
+  EXPECT_LT(Matrix::max_abs_diff(c, ref), 1e-3f * static_cast<float>(k));
+}
+
+TEST_P(GemmSweep, TnMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = random_matrix(k, m, 12);  // used transposed
+  const Matrix b = random_matrix(k, n, 13);
+  Matrix c(m, n), ref(m, n);
+  gemm_tn(a, b, c);
+  reference::gemm_tn(a, b, ref);
+  EXPECT_LT(Matrix::max_abs_diff(c, ref), 1e-3f * static_cast<float>(k));
+}
+
+TEST_P(GemmSweep, NtMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = random_matrix(m, k, 14);
+  const Matrix b = random_matrix(n, k, 15);  // used transposed
+  Matrix c(m, n), ref(m, n);
+  gemm_nt(a, b, c);
+  reference::gemm_nt(a, b, ref);
+  EXPECT_LT(Matrix::max_abs_diff(c, ref), 1e-3f * static_cast<float>(k));
+}
+
+TEST_P(GemmSweep, MultithreadedMatchesSingle) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = random_matrix(m, k, 16);
+  const Matrix b = random_matrix(k, n, 17);
+  Matrix c1(m, n), c4(m, n);
+  gemm_nn(a, b, c1, 1.0f, 0.0f, 1);
+  gemm_nn(a, b, c4, 1.0f, 0.0f, 4);
+  EXPECT_EQ(Matrix::max_abs_diff(c1, c4), 0.0f);  // identical fp order
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{3, 5, 7},
+                      GemmShape{8, 8, 8}, GemmShape{17, 33, 9},
+                      GemmShape{64, 50, 121}, GemmShape{100, 256, 31},
+                      GemmShape{5, 1, 5}, GemmShape{1, 128, 1}));
+
+TEST(Gemm, AlphaBetaSemantics) {
+  const Matrix a = random_matrix(4, 6, 20);
+  const Matrix b = random_matrix(6, 5, 21);
+  Matrix c = random_matrix(4, 5, 22);
+  Matrix expect = c;
+  Matrix ab(4, 5);
+  reference::gemm_nn(a, b, ab);
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    expect.data()[i] = 2.0f * ab.data()[i] + 0.5f * expect.data()[i];
+  }
+  gemm_nn(a, b, c, 2.0f, 0.5f);
+  EXPECT_LT(Matrix::max_abs_diff(c, expect), 1e-3f);
+}
+
+TEST(Gemm, BetaZeroIgnoresGarbage) {
+  const Matrix a = random_matrix(3, 3, 23);
+  const Matrix b = random_matrix(3, 3, 24);
+  Matrix c(3, 3);
+  c.fill(std::numeric_limits<float>::quiet_NaN());
+  gemm_nn(a, b, c, 1.0f, 0.0f);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_FALSE(std::isnan(c.data()[i]));
+  }
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  const Matrix a(3, 4), b(5, 6);
+  Matrix c(3, 6);
+  EXPECT_THROW(gemm_nn(a, b, c), std::invalid_argument);
+  EXPECT_THROW(gemm_tn(a, b, c), std::invalid_argument);
+  EXPECT_THROW(gemm_nt(a, b, c), std::invalid_argument);
+}
+
+// ---- elementwise ops ----
+
+TEST(Ops, ReluForwardBackward) {
+  Matrix x(2, 3);
+  x(0, 0) = -1.0f;
+  x(0, 1) = 2.0f;
+  x(0, 2) = 0.0f;
+  x(1, 0) = 3.0f;
+  x(1, 1) = -0.5f;
+  x(1, 2) = 1.0f;
+  Matrix y(2, 3);
+  relu_forward(x, y);
+  EXPECT_EQ(y(0, 0), 0.0f);
+  EXPECT_EQ(y(0, 1), 2.0f);
+  EXPECT_EQ(y(0, 2), 0.0f);
+
+  Matrix dy(2, 3);
+  dy.fill(1.0f);
+  Matrix dx(2, 3);
+  relu_backward(x, dy, dx);
+  EXPECT_EQ(dx(0, 0), 0.0f);
+  EXPECT_EQ(dx(0, 1), 1.0f);
+  EXPECT_EQ(dx(0, 2), 0.0f);  // subgradient at 0 chosen as 0
+  EXPECT_EQ(dx(1, 0), 1.0f);
+}
+
+TEST(Ops, ConcatSplitRoundTrip) {
+  const Matrix a = random_matrix(5, 3, 30);
+  const Matrix b = random_matrix(5, 4, 31);
+  Matrix cat(5, 7);
+  concat_cols(a, b, cat);
+  EXPECT_EQ(cat(2, 0), a(2, 0));
+  EXPECT_EQ(cat(2, 3), b(2, 0));
+  Matrix a2(5, 3), b2(5, 4);
+  split_cols(cat, a2, b2);
+  EXPECT_EQ(Matrix::max_abs_diff(a, a2), 0.0f);
+  EXPECT_EQ(Matrix::max_abs_diff(b, b2), 0.0f);
+}
+
+TEST(Ops, ConcatShapeMismatchThrows) {
+  Matrix a(5, 3), b(4, 4), out(5, 7);
+  EXPECT_THROW(concat_cols(a, b, out), std::invalid_argument);
+}
+
+TEST(Ops, AddScaledAndScale) {
+  Matrix x(2, 2), y(2, 2);
+  x.fill(1.0f);
+  y.fill(2.0f);
+  add_scaled(x, y, 0.5f);
+  EXPECT_EQ(x(0, 0), 2.0f);
+  scale_inplace(x, 2.0f);
+  EXPECT_EQ(x(1, 1), 4.0f);
+}
+
+TEST(Ops, GatherRows) {
+  const Matrix src = random_matrix(10, 4, 32);
+  const std::vector<std::uint32_t> idx = {7, 0, 7, 3};
+  Matrix out(4, 4);
+  gather_rows(src, idx, out);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(out(0, j), src(7, j));
+    EXPECT_EQ(out(1, j), src(0, j));
+    EXPECT_EQ(out(2, j), src(7, j));
+    EXPECT_EQ(out(3, j), src(3, j));
+  }
+}
+
+TEST(Ops, GatherRowsShapeMismatchThrows) {
+  const Matrix src(10, 4);
+  const std::vector<std::uint32_t> idx = {1, 2};
+  Matrix out(3, 4);
+  EXPECT_THROW(gather_rows(src, idx, out), std::invalid_argument);
+}
+
+TEST(Ops, BiasRowsAndGrad) {
+  Matrix x(3, 2);
+  const std::vector<float> bias = {1.0f, -2.0f};
+  add_bias_rows(x, bias);
+  EXPECT_EQ(x(0, 0), 1.0f);
+  EXPECT_EQ(x(2, 1), -2.0f);
+
+  Matrix dy(3, 2);
+  dy.fill(1.0f);
+  std::vector<float> dbias(2, 99.0f);
+  bias_grad(dy, dbias);
+  EXPECT_EQ(dbias[0], 3.0f);
+  EXPECT_EQ(dbias[1], 3.0f);
+}
+
+TEST(Ops, L2NormalizeRows) {
+  Matrix x(2, 2);
+  x(0, 0) = 3.0f;
+  x(0, 1) = 4.0f;
+  // second row all zero: must stay zero (no NaN)
+  l2_normalize_rows(x);
+  EXPECT_FLOAT_EQ(x(0, 0), 0.6f);
+  EXPECT_FLOAT_EQ(x(0, 1), 0.8f);
+  EXPECT_EQ(x(1, 0), 0.0f);
+  EXPECT_EQ(x(1, 1), 0.0f);
+}
+
+}  // namespace
+}  // namespace gsgcn::tensor

@@ -1,0 +1,263 @@
+// Trainer (Algorithm 5) tests: learning actually happens, phase timing
+// accounting, sampler-kind coverage, reproducibility, clamping.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "gcn/trainer.hpp"
+
+namespace gsgcn::gcn {
+namespace {
+
+data::Dataset easy_dataset(std::uint64_t seed = 11) {
+  data::SyntheticParams p;
+  p.num_vertices = 800;
+  p.num_classes = 4;
+  p.feature_dim = 24;
+  p.avg_degree = 12.0;
+  p.homophily = 20.0;
+  p.feature_signal = 1.5;
+  p.mode = data::LabelMode::kSingle;
+  p.seed = seed;
+  return data::make_synthetic(p);
+}
+
+TrainerConfig fast_config() {
+  TrainerConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 2;
+  cfg.epochs = 6;
+  cfg.frontier_size = 40;
+  cfg.budget = 160;
+  cfg.p_inter = 2;
+  cfg.threads = 1;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Trainer, LearnsEasySingleLabelTask) {
+  const data::Dataset ds = easy_dataset();
+  Trainer trainer(ds, fast_config());
+  const TrainResult result = trainer.train();
+  // 4 classes ⇒ chance ≈ 0.25; a working GCN clears 0.6 easily.
+  EXPECT_GT(result.final_val_f1, 0.6) << "val F1 " << result.final_val_f1;
+  EXPECT_GT(result.final_test_f1, 0.6);
+  // Loss decreases across training.
+  ASSERT_GE(result.history.size(), 2u);
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss);
+}
+
+TEST(Trainer, LearnsMultiLabelTask) {
+  data::SyntheticParams p;
+  p.num_vertices = 800;
+  p.num_classes = 5;
+  p.feature_dim = 24;
+  p.avg_degree = 12.0;
+  p.mode = data::LabelMode::kMulti;
+  p.feature_signal = 1.5;
+  p.seed = 13;
+  const data::Dataset ds = data::make_synthetic(p);
+  TrainerConfig cfg = fast_config();
+  cfg.epochs = 8;
+  Trainer trainer(ds, cfg);
+  const TrainResult result = trainer.train();
+  EXPECT_GT(result.final_val_f1, 0.45) << "val F1 " << result.final_val_f1;
+}
+
+TEST(Trainer, PhaseTimersPopulated) {
+  const data::Dataset ds = easy_dataset();
+  TrainerConfig cfg = fast_config();
+  cfg.epochs = 2;
+  cfg.eval_every_epoch = false;
+  Trainer trainer(ds, cfg);
+  const TrainResult result = trainer.train();
+  EXPECT_GT(result.train_seconds, 0.0);
+  EXPECT_GT(result.sample_seconds, 0.0);
+  EXPECT_GT(result.featprop_seconds, 0.0);
+  EXPECT_GT(result.weight_seconds, 0.0);
+  EXPECT_GT(result.iterations, 0);
+  // Phases are subsets of total training time (allow scheduling noise).
+  EXPECT_LT(result.featprop_seconds + result.weight_seconds,
+            result.train_seconds * 1.5 + 0.1);
+}
+
+TEST(Trainer, HistoryTimesMonotone) {
+  const data::Dataset ds = easy_dataset();
+  TrainerConfig cfg = fast_config();
+  cfg.epochs = 4;
+  Trainer trainer(ds, cfg);
+  const TrainResult result = trainer.train();
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GT(result.history[i].train_seconds,
+              result.history[i - 1].train_seconds);
+    EXPECT_EQ(result.history[i].epoch, static_cast<int>(i));
+  }
+}
+
+TEST(Trainer, ClampsOversizedSamplerParams) {
+  const data::Dataset ds = easy_dataset();
+  TrainerConfig cfg = fast_config();
+  cfg.budget = 1 << 20;       // far beyond |V_train|
+  cfg.frontier_size = 1 << 19;
+  Trainer trainer(ds, cfg);
+  EXPECT_LE(trainer.effective_budget(), trainer.train_graph_size());
+  EXPECT_LT(trainer.effective_frontier(), trainer.effective_budget());
+  // And it still trains.
+  cfg.epochs = 1;
+  const TrainResult r = trainer.train();
+  EXPECT_GT(r.iterations, 0);
+}
+
+class TrainerSamplerSweep : public ::testing::TestWithParam<SamplerKind> {};
+
+TEST_P(TrainerSamplerSweep, AllSamplerKindsTrain) {
+  const data::Dataset ds = easy_dataset();
+  TrainerConfig cfg = fast_config();
+  cfg.sampler = GetParam();
+  cfg.epochs = 3;
+  cfg.eval_every_epoch = false;
+  Trainer trainer(ds, cfg);
+  const TrainResult result = trainer.train();
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_GT(result.final_val_f1, 0.3);  // above chance for every sampler
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, TrainerSamplerSweep,
+    ::testing::Values(SamplerKind::kFrontierDashboard,
+                      SamplerKind::kFrontierNaive, SamplerKind::kUniformNode,
+                      SamplerKind::kRandomEdge, SamplerKind::kRandomWalk,
+                      SamplerKind::kForestFire, SamplerKind::kSnowball),
+    [](const ::testing::TestParamInfo<SamplerKind>& info) {
+      std::string name = sampler_kind_name(info.param);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Trainer, ReproducibleForSeed) {
+  const data::Dataset ds = easy_dataset();
+  TrainerConfig cfg = fast_config();
+  cfg.epochs = 2;
+  cfg.eval_every_epoch = false;
+  Trainer t1(ds, cfg), t2(ds, cfg);
+  const TrainResult r1 = t1.train();
+  const TrainResult r2 = t2.train();
+  EXPECT_EQ(r1.history[0].train_loss, r2.history[0].train_loss);
+  EXPECT_EQ(r1.final_val_f1, r2.final_val_f1);
+}
+
+TEST(Trainer, DegreeCapTrainsOnSkewedGraph) {
+  const data::Dataset ds = data::make_preset("amazon-s", 0.05);
+  TrainerConfig cfg = fast_config();
+  cfg.degree_cap = 30;  // the paper's Amazon mitigation
+  cfg.epochs = 5;
+  cfg.eval_every_epoch = false;
+  Trainer trainer(ds, cfg);
+  const TrainResult result = trainer.train();
+  EXPECT_GT(result.iterations, 0);
+  // 24-class multi-label at tiny scale won't reach useful F1 in 5 epochs;
+  // assert the optimization is progressing instead.
+  ASSERT_GE(result.history.size(), 2u);
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss);
+}
+
+TEST(Trainer, EarlyStoppingTriggersOnPlateau) {
+  const data::Dataset ds = easy_dataset();
+  TrainerConfig cfg = fast_config();
+  cfg.epochs = 40;
+  cfg.early_stop_patience = 2;
+  Trainer trainer(ds, cfg);
+  const TrainResult result = trainer.train();
+  // The easy task converges quickly, so 40 epochs must not all run.
+  EXPECT_TRUE(result.early_stopped);
+  EXPECT_LT(result.history.size(), 40u);
+}
+
+TEST(Trainer, LrDecayReducesEffectiveRate) {
+  // With aggressive decay the later epochs barely move the weights; the
+  // run must still complete and remain deterministic.
+  const data::Dataset ds = easy_dataset();
+  TrainerConfig cfg = fast_config();
+  cfg.epochs = 4;
+  cfg.lr_decay = 0.1f;
+  cfg.eval_every_epoch = false;
+  Trainer t1(ds, cfg), t2(ds, cfg);
+  const TrainResult r1 = t1.train();
+  const TrainResult r2 = t2.train();
+  EXPECT_EQ(r1.final_val_f1, r2.final_val_f1);
+}
+
+TEST(Trainer, GradClipKeepsTrainingStable) {
+  const data::Dataset ds = easy_dataset();
+  TrainerConfig cfg = fast_config();
+  cfg.grad_clip = 0.5f;
+  cfg.epochs = 4;
+  cfg.eval_every_epoch = false;
+  Trainer trainer(ds, cfg);
+  const TrainResult result = trainer.train();
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss);
+}
+
+TEST(Trainer, DropoutStillLearns) {
+  const data::Dataset ds = easy_dataset();
+  TrainerConfig cfg = fast_config();
+  cfg.dropout = 0.3f;
+  cfg.epochs = 8;
+  Trainer trainer(ds, cfg);
+  const TrainResult result = trainer.train();
+  EXPECT_GT(result.final_val_f1, 0.55);
+}
+
+TEST(Trainer, SymmetricAggregatorLearns) {
+  const data::Dataset ds = easy_dataset();
+  TrainerConfig cfg = fast_config();
+  cfg.aggregator = propagation::AggregatorKind::kSymmetric;
+  cfg.epochs = 8;
+  Trainer trainer(ds, cfg);
+  const TrainResult result = trainer.train();
+  EXPECT_GT(result.final_val_f1, 0.55);
+}
+
+TEST(Trainer, RestoreBestKeepsPeakWeights) {
+  // Train past convergence with an aggressive LR so later epochs can
+  // regress; the restored model's final val F1 must equal the best
+  // recorded epoch.
+  const data::Dataset ds = easy_dataset();
+  TrainerConfig cfg = fast_config();
+  cfg.epochs = 10;
+  cfg.lr = 0.08f;
+  cfg.restore_best = true;
+  Trainer trainer(ds, cfg);
+  const TrainResult r = trainer.train();
+  double best = 0.0;
+  for (const auto& rec : r.history) best = std::max(best, rec.val_f1);
+  EXPECT_NEAR(r.final_val_f1, best, 1e-9);
+}
+
+TEST(Trainer, RejectsInvalidDataset) {
+  data::Dataset ds = easy_dataset();
+  ds.train_vertices.clear();
+  TrainerConfig cfg = fast_config();
+  EXPECT_THROW(Trainer(ds, cfg), std::invalid_argument);
+}
+
+TEST(Trainer, DeeperModelsTrain) {
+  const data::Dataset ds = easy_dataset();
+  for (const int layers : {1, 3}) {
+    TrainerConfig cfg = fast_config();
+    cfg.num_layers = layers;
+    cfg.epochs = 2;
+    cfg.eval_every_epoch = false;
+    Trainer trainer(ds, cfg);
+    const TrainResult result = trainer.train();
+    EXPECT_GT(result.iterations, 0) << layers << " layers";
+  }
+}
+
+}  // namespace
+}  // namespace gsgcn::gcn
