@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aggregator.dir/bench_ablation_aggregator.cpp.o"
+  "CMakeFiles/bench_ablation_aggregator.dir/bench_ablation_aggregator.cpp.o.d"
+  "bench_ablation_aggregator"
+  "bench_ablation_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sampler_quality.dir/bench_sampler_quality.cpp.o"
+  "CMakeFiles/bench_sampler_quality.dir/bench_sampler_quality.cpp.o.d"
+  "bench_sampler_quality"
+  "bench_sampler_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sampler_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

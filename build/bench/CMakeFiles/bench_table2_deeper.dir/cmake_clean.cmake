@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_deeper.dir/bench_table2_deeper.cpp.o"
+  "CMakeFiles/bench_table2_deeper.dir/bench_table2_deeper.cpp.o.d"
+  "bench_table2_deeper"
+  "bench_table2_deeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_deeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

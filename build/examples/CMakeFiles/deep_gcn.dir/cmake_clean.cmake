@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_gcn.dir/deep_gcn.cpp.o"
+  "CMakeFiles/deep_gcn.dir/deep_gcn.cpp.o.d"
+  "deep_gcn"
+  "deep_gcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_gcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

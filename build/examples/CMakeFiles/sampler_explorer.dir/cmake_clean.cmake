@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampler_explorer.dir/sampler_explorer.cpp.o"
+  "CMakeFiles/sampler_explorer.dir/sampler_explorer.cpp.o.d"
+  "sampler_explorer"
+  "sampler_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampler_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

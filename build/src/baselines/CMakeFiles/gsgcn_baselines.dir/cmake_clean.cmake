@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsgcn_baselines.dir/block.cpp.o"
+  "CMakeFiles/gsgcn_baselines.dir/block.cpp.o.d"
+  "CMakeFiles/gsgcn_baselines.dir/fastgcn.cpp.o"
+  "CMakeFiles/gsgcn_baselines.dir/fastgcn.cpp.o.d"
+  "CMakeFiles/gsgcn_baselines.dir/fullbatch.cpp.o"
+  "CMakeFiles/gsgcn_baselines.dir/fullbatch.cpp.o.d"
+  "CMakeFiles/gsgcn_baselines.dir/graphsage.cpp.o"
+  "CMakeFiles/gsgcn_baselines.dir/graphsage.cpp.o.d"
+  "libgsgcn_baselines.a"
+  "libgsgcn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsgcn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsgcn_data.dir/dataset.cpp.o"
+  "CMakeFiles/gsgcn_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/gsgcn_data.dir/synthetic.cpp.o"
+  "CMakeFiles/gsgcn_data.dir/synthetic.cpp.o.d"
+  "CMakeFiles/gsgcn_data.dir/transform.cpp.o"
+  "CMakeFiles/gsgcn_data.dir/transform.cpp.o.d"
+  "libgsgcn_data.a"
+  "libgsgcn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsgcn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

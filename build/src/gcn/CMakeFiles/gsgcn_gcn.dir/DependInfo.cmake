@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcn/adam.cpp" "src/gcn/CMakeFiles/gsgcn_gcn.dir/adam.cpp.o" "gcc" "src/gcn/CMakeFiles/gsgcn_gcn.dir/adam.cpp.o.d"
+  "/root/repo/src/gcn/inference.cpp" "src/gcn/CMakeFiles/gsgcn_gcn.dir/inference.cpp.o" "gcc" "src/gcn/CMakeFiles/gsgcn_gcn.dir/inference.cpp.o.d"
+  "/root/repo/src/gcn/layer.cpp" "src/gcn/CMakeFiles/gsgcn_gcn.dir/layer.cpp.o" "gcc" "src/gcn/CMakeFiles/gsgcn_gcn.dir/layer.cpp.o.d"
+  "/root/repo/src/gcn/loss.cpp" "src/gcn/CMakeFiles/gsgcn_gcn.dir/loss.cpp.o" "gcc" "src/gcn/CMakeFiles/gsgcn_gcn.dir/loss.cpp.o.d"
+  "/root/repo/src/gcn/metrics.cpp" "src/gcn/CMakeFiles/gsgcn_gcn.dir/metrics.cpp.o" "gcc" "src/gcn/CMakeFiles/gsgcn_gcn.dir/metrics.cpp.o.d"
+  "/root/repo/src/gcn/model.cpp" "src/gcn/CMakeFiles/gsgcn_gcn.dir/model.cpp.o" "gcc" "src/gcn/CMakeFiles/gsgcn_gcn.dir/model.cpp.o.d"
+  "/root/repo/src/gcn/saint_norm.cpp" "src/gcn/CMakeFiles/gsgcn_gcn.dir/saint_norm.cpp.o" "gcc" "src/gcn/CMakeFiles/gsgcn_gcn.dir/saint_norm.cpp.o.d"
+  "/root/repo/src/gcn/trainer.cpp" "src/gcn/CMakeFiles/gsgcn_gcn.dir/trainer.cpp.o" "gcc" "src/gcn/CMakeFiles/gsgcn_gcn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gsgcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gsgcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gsgcn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gsgcn_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/propagation/CMakeFiles/gsgcn_propagation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gsgcn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsgcn_gcn.dir/adam.cpp.o"
+  "CMakeFiles/gsgcn_gcn.dir/adam.cpp.o.d"
+  "CMakeFiles/gsgcn_gcn.dir/inference.cpp.o"
+  "CMakeFiles/gsgcn_gcn.dir/inference.cpp.o.d"
+  "CMakeFiles/gsgcn_gcn.dir/layer.cpp.o"
+  "CMakeFiles/gsgcn_gcn.dir/layer.cpp.o.d"
+  "CMakeFiles/gsgcn_gcn.dir/loss.cpp.o"
+  "CMakeFiles/gsgcn_gcn.dir/loss.cpp.o.d"
+  "CMakeFiles/gsgcn_gcn.dir/metrics.cpp.o"
+  "CMakeFiles/gsgcn_gcn.dir/metrics.cpp.o.d"
+  "CMakeFiles/gsgcn_gcn.dir/model.cpp.o"
+  "CMakeFiles/gsgcn_gcn.dir/model.cpp.o.d"
+  "CMakeFiles/gsgcn_gcn.dir/saint_norm.cpp.o"
+  "CMakeFiles/gsgcn_gcn.dir/saint_norm.cpp.o.d"
+  "CMakeFiles/gsgcn_gcn.dir/trainer.cpp.o"
+  "CMakeFiles/gsgcn_gcn.dir/trainer.cpp.o.d"
+  "libgsgcn_gcn.a"
+  "libgsgcn_gcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsgcn_gcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

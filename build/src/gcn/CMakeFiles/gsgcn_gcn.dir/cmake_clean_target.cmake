@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgsgcn_gcn.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsgcn_graph.dir/analysis.cpp.o"
+  "CMakeFiles/gsgcn_graph.dir/analysis.cpp.o.d"
+  "CMakeFiles/gsgcn_graph.dir/csr.cpp.o"
+  "CMakeFiles/gsgcn_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/gsgcn_graph.dir/generators.cpp.o"
+  "CMakeFiles/gsgcn_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/gsgcn_graph.dir/io.cpp.o"
+  "CMakeFiles/gsgcn_graph.dir/io.cpp.o.d"
+  "CMakeFiles/gsgcn_graph.dir/partition.cpp.o"
+  "CMakeFiles/gsgcn_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/gsgcn_graph.dir/reorder.cpp.o"
+  "CMakeFiles/gsgcn_graph.dir/reorder.cpp.o.d"
+  "CMakeFiles/gsgcn_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/gsgcn_graph.dir/subgraph.cpp.o.d"
+  "libgsgcn_graph.a"
+  "libgsgcn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsgcn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/propagation/comm_model.cpp" "src/propagation/CMakeFiles/gsgcn_propagation.dir/comm_model.cpp.o" "gcc" "src/propagation/CMakeFiles/gsgcn_propagation.dir/comm_model.cpp.o.d"
+  "/root/repo/src/propagation/feature_partitioned.cpp" "src/propagation/CMakeFiles/gsgcn_propagation.dir/feature_partitioned.cpp.o" "gcc" "src/propagation/CMakeFiles/gsgcn_propagation.dir/feature_partitioned.cpp.o.d"
+  "/root/repo/src/propagation/spmm.cpp" "src/propagation/CMakeFiles/gsgcn_propagation.dir/spmm.cpp.o" "gcc" "src/propagation/CMakeFiles/gsgcn_propagation.dir/spmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gsgcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gsgcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gsgcn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

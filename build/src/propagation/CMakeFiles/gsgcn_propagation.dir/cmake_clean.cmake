@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsgcn_propagation.dir/comm_model.cpp.o"
+  "CMakeFiles/gsgcn_propagation.dir/comm_model.cpp.o.d"
+  "CMakeFiles/gsgcn_propagation.dir/feature_partitioned.cpp.o"
+  "CMakeFiles/gsgcn_propagation.dir/feature_partitioned.cpp.o.d"
+  "CMakeFiles/gsgcn_propagation.dir/spmm.cpp.o"
+  "CMakeFiles/gsgcn_propagation.dir/spmm.cpp.o.d"
+  "libgsgcn_propagation.a"
+  "libgsgcn_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsgcn_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

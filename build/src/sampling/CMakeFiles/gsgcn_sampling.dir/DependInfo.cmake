@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/dashboard.cpp" "src/sampling/CMakeFiles/gsgcn_sampling.dir/dashboard.cpp.o" "gcc" "src/sampling/CMakeFiles/gsgcn_sampling.dir/dashboard.cpp.o.d"
+  "/root/repo/src/sampling/frontier_dashboard.cpp" "src/sampling/CMakeFiles/gsgcn_sampling.dir/frontier_dashboard.cpp.o" "gcc" "src/sampling/CMakeFiles/gsgcn_sampling.dir/frontier_dashboard.cpp.o.d"
+  "/root/repo/src/sampling/frontier_naive.cpp" "src/sampling/CMakeFiles/gsgcn_sampling.dir/frontier_naive.cpp.o" "gcc" "src/sampling/CMakeFiles/gsgcn_sampling.dir/frontier_naive.cpp.o.d"
+  "/root/repo/src/sampling/pool.cpp" "src/sampling/CMakeFiles/gsgcn_sampling.dir/pool.cpp.o" "gcc" "src/sampling/CMakeFiles/gsgcn_sampling.dir/pool.cpp.o.d"
+  "/root/repo/src/sampling/samplers.cpp" "src/sampling/CMakeFiles/gsgcn_sampling.dir/samplers.cpp.o" "gcc" "src/sampling/CMakeFiles/gsgcn_sampling.dir/samplers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gsgcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gsgcn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsgcn_sampling.dir/dashboard.cpp.o"
+  "CMakeFiles/gsgcn_sampling.dir/dashboard.cpp.o.d"
+  "CMakeFiles/gsgcn_sampling.dir/frontier_dashboard.cpp.o"
+  "CMakeFiles/gsgcn_sampling.dir/frontier_dashboard.cpp.o.d"
+  "CMakeFiles/gsgcn_sampling.dir/frontier_naive.cpp.o"
+  "CMakeFiles/gsgcn_sampling.dir/frontier_naive.cpp.o.d"
+  "CMakeFiles/gsgcn_sampling.dir/pool.cpp.o"
+  "CMakeFiles/gsgcn_sampling.dir/pool.cpp.o.d"
+  "CMakeFiles/gsgcn_sampling.dir/samplers.cpp.o"
+  "CMakeFiles/gsgcn_sampling.dir/samplers.cpp.o.d"
+  "libgsgcn_sampling.a"
+  "libgsgcn_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsgcn_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsgcn_tensor.dir/eigen.cpp.o"
+  "CMakeFiles/gsgcn_tensor.dir/eigen.cpp.o.d"
+  "CMakeFiles/gsgcn_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/gsgcn_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/gsgcn_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/gsgcn_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/gsgcn_tensor.dir/ops.cpp.o"
+  "CMakeFiles/gsgcn_tensor.dir/ops.cpp.o.d"
+  "libgsgcn_tensor.a"
+  "libgsgcn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsgcn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsgcn_util.dir/cli.cpp.o"
+  "CMakeFiles/gsgcn_util.dir/cli.cpp.o.d"
+  "CMakeFiles/gsgcn_util.dir/env.cpp.o"
+  "CMakeFiles/gsgcn_util.dir/env.cpp.o.d"
+  "CMakeFiles/gsgcn_util.dir/parallel.cpp.o"
+  "CMakeFiles/gsgcn_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/gsgcn_util.dir/rng.cpp.o"
+  "CMakeFiles/gsgcn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gsgcn_util.dir/stats.cpp.o"
+  "CMakeFiles/gsgcn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gsgcn_util.dir/table.cpp.o"
+  "CMakeFiles/gsgcn_util.dir/table.cpp.o.d"
+  "libgsgcn_util.a"
+  "libgsgcn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsgcn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

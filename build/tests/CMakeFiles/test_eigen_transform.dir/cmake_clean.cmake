@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigen_transform.dir/test_eigen_transform.cpp.o"
+  "CMakeFiles/test_eigen_transform.dir/test_eigen_transform.cpp.o.d"
+  "test_eigen_transform"
+  "test_eigen_transform.pdb"
+  "test_eigen_transform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigen_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

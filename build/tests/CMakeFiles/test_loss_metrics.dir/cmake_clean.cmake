@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loss_metrics.dir/test_loss_metrics.cpp.o"
+  "CMakeFiles/test_loss_metrics.dir/test_loss_metrics.cpp.o.d"
+  "test_loss_metrics"
+  "test_loss_metrics.pdb"
+  "test_loss_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loss_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_propagation.cpp" "tests/CMakeFiles/test_propagation.dir/test_propagation.cpp.o" "gcc" "tests/CMakeFiles/test_propagation.dir/test_propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/gsgcn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcn/CMakeFiles/gsgcn_gcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gsgcn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gsgcn_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/propagation/CMakeFiles/gsgcn_propagation.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gsgcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gsgcn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gsgcn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_saint_norm.dir/test_saint_norm.cpp.o"
+  "CMakeFiles/test_saint_norm.dir/test_saint_norm.cpp.o.d"
+  "test_saint_norm"
+  "test_saint_norm.pdb"
+  "test_saint_norm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_saint_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_saint_norm.
+# This may be replaced when dependencies are built.
