@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""Audit parallel regions for unannotated shared-state writes.
+
+Scans C++ sources for parallel regions — raw ``#pragma omp parallel``
+blocks and the library's ``util::parallel_for`` /
+``util::parallel_for_dynamic`` / ``util::parallel_region`` lambda bodies —
+and flags writes that look like they target state shared across the team:
+
+  * writes to a plain (non-indexed) variable that is captured rather than
+    declared inside the region body;
+  * writes through an index expression that does not involve any
+    region-local variable (same element written by every team member).
+
+Writes are exempt when:
+  * the target (or an enclosing declaration) is region-local;
+  * the index expression mentions a region-local variable (the loop
+    induction variable, the thread id, or anything derived from them);
+  * the statement sits under ``#pragma omp atomic`` / ``critical`` or in a
+    ``reduction`` clause;
+  * the target is a ``std::atomic`` (mutations are method calls, which are
+    not assignment syntax and therefore never flagged);
+  * the line (or the line above) carries an ``// omp-safe: <reason>``
+    annotation — the escape hatch for false positives, which doubles as
+    in-code documentation of why the write is race-free.
+
+This is a lint heuristic, not a prover: its job is to make "thread writes
+shared scalar without synchronization" impossible to commit silently.
+TSan (the `tsan` CMake preset) remains the ground truth.
+
+Usage: check_omp.py <dir-or-file>...   (exit 1 iff findings)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh"}
+
+# Type tokens that open a declaration statement. Deliberately generous:
+# misclassifying a write as a declaration only costs a missed finding in
+# code TSan still covers.
+DECL_RE = re.compile(
+    r"^\s*(?:const\s+|constexpr\s+|static\s+)*"
+    r"(?:auto|bool|char|short|int|long|float|double|std::\w+|size_t|"
+    r"u?int\d+_t|Vid|Eid|graph::\w+|tensor::\w+|util::\w+|sampling::\w+|"
+    r"Range|Slice|__m\d+i?)\b"
+    r"[\w:<>,\s]*?[*&\s]\s*(\w+)\s*(?:=|;|\{|\()"
+)
+
+ASSIGN_RE = re.compile(
+    r"^\s*([\w\.\->\[\]\(\)\s:+*]+?)\s*"
+    r"(=|\+=|-=|\*=|/=|\|=|&=|\^=|<<=|>>=)(?!=)\s*[^=]"
+)
+INCDEC_RE = re.compile(r"(?:\+\+|--)\s*([\w\[\]\.\->]+)|([\w\[\]\.\->]+)\s*(?:\+\+|--)")
+INDEXED_RE = re.compile(r"([\w\.\->]+)\s*\[(.*)\]\s*$")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+OMP_SAFE_RE = re.compile(r"//\s*omp-safe:")
+ATOMIC_RE = re.compile(r"#pragma\s+omp\s+(atomic|critical)")
+
+PARALLEL_CALL_RE = re.compile(
+    r"\b(?:util::)?(parallel_for_dynamic|parallel_for|parallel_region)\s*\("
+)
+PRAGMA_PARALLEL_RE = re.compile(r"#pragma\s+omp\s+parallel\b")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string literals, preserving offsets.
+
+    ``// omp-safe:`` markers are intentionally preserved (re-inserted) so
+    downstream checks can still see them.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        two = text[i : i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            comment = text[i:j]
+            if OMP_SAFE_RE.search(comment):
+                out.append(comment)  # keep annotation visible
+            else:
+                out.append(" " * (j - i))
+            i = j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif text[i] in "\"'":
+            q = text[i]
+            j = i + 1
+            while j < n and text[j] != q:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(q + " " * (j - i - 2) + (q if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def matching_brace(text: str, open_idx: int) -> int:
+    """Index just past the brace matching text[open_idx] == '{'."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def find_regions(text: str):
+    """Yield (start, end, params) spans of parallel-region bodies."""
+    for m in PARALLEL_CALL_RE.finditer(text):
+        # Find the lambda: first '[' after the call's '(' then its '{'.
+        lb = text.find("[", m.end())
+        if lb == -1:
+            continue
+        # Capture list, then parameter list, then body.
+        cap_end = text.find("]", lb)
+        if cap_end == -1:
+            continue
+        paren = text.find("(", cap_end)
+        brace = text.find("{", cap_end)
+        params = ""
+        if paren != -1 and (brace == -1 or paren < brace):
+            pend = text.find(")", paren)
+            if pend != -1:
+                params = text[paren + 1 : pend]
+                brace = text.find("{", pend)
+        if brace == -1:
+            continue
+        yield brace, matching_brace(text, brace), params
+    for m in PRAGMA_PARALLEL_RE.finditer(text):
+        brace = text.find("{", m.end())
+        nl = text.find("\n", m.end())
+        if brace == -1:
+            continue
+        # The region is either the next block or (for `parallel for`) the
+        # following loop statement; in both cases the next '{' starts it.
+        yield brace, matching_brace(text, brace), ""
+        del nl
+
+
+def local_names(body: str, params: str) -> set[str]:
+    names: set[str] = set()
+    for chunk in params.split(","):
+        idents = IDENT_RE.findall(chunk)
+        if idents:
+            names.add(idents[-1])
+    for line in body.splitlines():
+        dm = DECL_RE.match(line)
+        if dm:
+            names.add(dm.group(1))
+        # for-loop induction variables: for (T i = ...; ...)
+        fm = re.match(r"\s*for\s*\(\s*(?:const\s+)?[\w:<>]+[\s*&]+(\w+)", line)
+        if fm:
+            names.add(fm.group(1))
+        # range-for: for (const T x : xs)
+        rm = re.match(r"\s*for\s*\(\s*(?:const\s+)?[\w:<>]+[\s*&]+(\w+)\s*:", line)
+        if rm:
+            names.add(rm.group(1))
+    return names
+
+
+def audit_body(path: Path, text: str, start: int, end: int, params: str):
+    body = text[start:end]
+    locals_ = local_names(body, params)
+    base_line = text.count("\n", 0, start) + 1
+    findings = []
+    lines = body.splitlines()
+    for li, line in enumerate(lines):
+        if OMP_SAFE_RE.search(line):
+            continue
+        # A line-above annotation only counts when it is a standalone
+        # comment; a trailing `// omp-safe:` on a code line must not
+        # silently bless the write that follows it.
+        if (li > 0 and OMP_SAFE_RE.search(lines[li - 1])
+                and lines[li - 1].strip().startswith("//")):
+            continue
+        if li > 0 and ATOMIC_RE.search(lines[li - 1]):
+            continue
+        # Control-flow headers contain '=' in their init/condition clauses
+        # (`for (T i = 0; ...`), which is declaration, not a shared write.
+        if re.match(r"\s*(for|if|while|switch|return|else)\b", line):
+            continue
+        targets = []
+        am = ASSIGN_RE.match(line)
+        if am and not DECL_RE.match(line):
+            targets.append(am.group(1).strip())
+        for im in INCDEC_RE.finditer(line):
+            targets.append((im.group(1) or im.group(2)).strip())
+        for target in targets:
+            idx = INDEXED_RE.match(target)
+            if idx:
+                base, index = idx.group(1), idx.group(2)
+                index_ids = set(IDENT_RE.findall(index))
+                if index_ids & locals_:
+                    continue  # element choice depends on region-local state
+                head = base.split("[")[0].split(".")[0].split("->")[0]
+                if head in locals_:
+                    continue  # writing through a region-local pointer
+                findings.append(
+                    (base_line + li,
+                     f"indexed write to '{target}' whose index uses no "
+                     f"region-local variable")
+                )
+            else:
+                head = IDENT_RE.match(target)
+                if not head:
+                    continue
+                name = head.group(0)
+                if name in locals_:
+                    continue
+                # Writes through region-local pointers: `*dst = ...`
+                stripped = target.lstrip("*")
+                shead = IDENT_RE.match(stripped)
+                if shead and shead.group(0) in locals_:
+                    continue
+                findings.append(
+                    (base_line + li,
+                     f"write to captured '{target}' shared across the team")
+                )
+    return findings
+
+
+def audit_file(path: Path):
+    text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+    findings = []
+    for start, end, params in find_regions(text):
+        findings.extend(audit_body(path, text, start, end, params))
+    return findings
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    roots = [Path(a) for a in argv[1:]]
+    files = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(
+                p for p in sorted(root.rglob("*")) if p.suffix in CXX_SUFFIXES
+            )
+    total = 0
+    regions = 0
+    for f in files:
+        text = strip_comments_and_strings(f.read_text(encoding="utf-8"))
+        regions += sum(1 for _ in find_regions(text))
+        for line, msg in audit_file(f):
+            print(f"{f}:{line}: {msg}")
+            total += 1
+    print(
+        f"check_omp: {regions} parallel region(s) audited across "
+        f"{len(files)} file(s); {total} finding(s)"
+    )
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clang-tidy over every TU in compile_commands.json
+# plus the OpenMP shared-write audit (check_omp.py).
+#
+# Usage: scripts/lint.sh [build-dir]
+#   build-dir: a configured build tree containing compile_commands.json
+#              (default: build). CMake exports the database automatically
+#              (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level
+#              CMakeLists).
+#
+# Exit status: 0 when every available tool passes; non-zero on findings.
+# clang-tidy is gated on availability so the script degrades gracefully
+# on toolchains that ship only gcc — CI installs clang-tidy and therefore
+# always runs the full gate.
+
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+status=0
+
+# --- 1. OpenMP / parallel-region shared-write audit (always available) ---
+echo "== check_omp.py: auditing parallel regions in src/ =="
+if ! python3 "$repo_root/scripts/check_omp.py" "$repo_root/src"; then
+  status=1
+fi
+
+# --- 2. clang-tidy over the compilation database ---
+tidy="$(command -v clang-tidy || true)"
+if [[ -z "$tidy" ]]; then
+  echo "== clang-tidy not found; skipping (install clang-tidy to run the full gate) =="
+  exit "$status"
+fi
+
+db="$build_dir/compile_commands.json"
+if [[ ! -f "$db" ]]; then
+  echo "error: $db not found — configure a build tree first:" >&2
+  echo "  cmake -B $build_dir -S $repo_root" >&2
+  exit 1
+fi
+
+# Lint only first-party TUs; third-party and generated code are not ours
+# to fix.
+mapfile -t sources < <(python3 - "$db" <<'EOF'
+import json, sys
+db = json.load(open(sys.argv[1]))
+seen = set()
+for entry in db:
+    f = entry["file"]
+    if ("/src/" in f or "/tests/" in f) and f not in seen:
+        seen.add(f)
+        print(f)
+EOF
+)
+
+echo "== clang-tidy: ${#sources[@]} translation units =="
+if ! "$tidy" -p "$build_dir" --quiet "${sources[@]}"; then
+  status=1
+fi
+
+exit "$status"

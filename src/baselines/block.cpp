@@ -1,15 +1,11 @@
 #include "baselines/block.hpp"
 
-#include <omp.h>
-
 #include <cstring>
 #include <stdexcept>
 
-namespace gsgcn::baselines {
+#include "util/parallel.hpp"
 
-namespace {
-int resolve(int threads) { return threads > 0 ? threads : omp_get_max_threads(); }
-}  // namespace
+namespace gsgcn::baselines {
 
 BipartiteBlock::BipartiteBlock(std::size_t num_src,
                                std::vector<std::int64_t> offsets,
@@ -48,23 +44,24 @@ void BipartiteBlock::forward(const tensor::Matrix& in, tensor::Matrix& out,
   }
   const std::size_t f = in.cols();
   const std::size_t nd = num_dst();
-#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
-  for (std::size_t v = 0; v < nd; ++v) {
-    float* dst = out.row(v);
-    std::memset(dst, 0, f * sizeof(float));
-    const std::int64_t begin = offsets_[v], end = offsets_[v + 1];
-    if (begin == end) continue;
-    for (std::int64_t e = begin; e < end; ++e) {
-      const float* src = in.row(indices_[static_cast<std::size_t>(e)]);
-      const float w =
-          weighted() ? weights_[static_cast<std::size_t>(e)] : 1.0f;
-      for (std::size_t j = 0; j < f; ++j) dst[j] += w * src[j];
-    }
-    if (!weighted()) {
-      const float inv = 1.0f / static_cast<float>(end - begin);
-      for (std::size_t j = 0; j < f; ++j) dst[j] *= inv;
-    }
-  }
+  util::parallel_for(
+      static_cast<std::int64_t>(nd), threads, [&](std::int64_t i) {
+        const auto v = static_cast<std::size_t>(i);
+        float* dst = out.row(v);
+        std::memset(dst, 0, f * sizeof(float));
+        const std::int64_t begin = offsets_[v], end = offsets_[v + 1];
+        if (begin == end) return;
+        for (std::int64_t e = begin; e < end; ++e) {
+          const float* src = in.row(indices_[static_cast<std::size_t>(e)]);
+          const float w =
+              weighted() ? weights_[static_cast<std::size_t>(e)] : 1.0f;
+          for (std::size_t j = 0; j < f; ++j) dst[j] += w * src[j];
+        }
+        if (!weighted()) {
+          const float inv = 1.0f / static_cast<float>(end - begin);
+          for (std::size_t j = 0; j < f; ++j) dst[j] *= inv;
+        }
+      });
 }
 
 void BipartiteBlock::backward(const tensor::Matrix& d_out,
@@ -75,32 +72,29 @@ void BipartiteBlock::backward(const tensor::Matrix& d_out,
   }
   const std::size_t f = d_out.cols();
   const std::size_t nd = num_dst();
-  const int p = resolve(threads);
   d_in.set_zero();
   // Scatter with destination-row races avoided by slicing the *feature*
   // dimension across threads: each thread owns a column range of d_in.
-#pragma omp parallel num_threads(p)
-  {
-    const int tid = omp_get_thread_num();
-    const int nt = omp_get_num_threads();
-    const std::size_t j0 = f * static_cast<std::size_t>(tid) / static_cast<std::size_t>(nt);
-    const std::size_t j1 = f * static_cast<std::size_t>(tid + 1) / static_cast<std::size_t>(nt);
-    if (j1 > j0) {
-      for (std::size_t v = 0; v < nd; ++v) {
-        const std::int64_t begin = offsets_[v], end = offsets_[v + 1];
-        if (begin == end) continue;
-        const float* src = d_out.row(v);
-        const float mean_w =
-            weighted() ? 1.0f : 1.0f / static_cast<float>(end - begin);
-        for (std::int64_t e = begin; e < end; ++e) {
-          float* dst = d_in.row(indices_[static_cast<std::size_t>(e)]);
-          const float w =
-              weighted() ? weights_[static_cast<std::size_t>(e)] : mean_w;
-          for (std::size_t j = j0; j < j1; ++j) dst[j] += w * src[j];
-        }
+  util::parallel_region(threads, [&](int tid, int nt) {
+    const std::size_t j0 =
+        f * static_cast<std::size_t>(tid) / static_cast<std::size_t>(nt);
+    const std::size_t j1 =
+        f * static_cast<std::size_t>(tid + 1) / static_cast<std::size_t>(nt);
+    if (j1 <= j0) return;
+    for (std::size_t v = 0; v < nd; ++v) {
+      const std::int64_t begin = offsets_[v], end = offsets_[v + 1];
+      if (begin == end) continue;
+      const float* src = d_out.row(v);
+      const float mean_w =
+          weighted() ? 1.0f : 1.0f / static_cast<float>(end - begin);
+      for (std::int64_t e = begin; e < end; ++e) {
+        float* dst = d_in.row(indices_[static_cast<std::size_t>(e)]);
+        const float w =
+            weighted() ? weights_[static_cast<std::size_t>(e)] : mean_w;
+        for (std::size_t j = j0; j < j1; ++j) dst[j] += w * src[j];
       }
     }
-  }
+  });
 }
 
 }  // namespace gsgcn::baselines

@@ -10,6 +10,7 @@
 #include "sampling/frontier_dashboard.hpp"
 #include "sampling/samplers.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace gsgcn::gcn {
@@ -133,6 +134,9 @@ TrainResult Trainer::train() {
     for (std::int64_t it = 0; it < iters_per_epoch; ++it) {
       graph::Subgraph sub = pool_->pop();
       const graph::Vid n_sub = sub.num_vertices();
+      GSGCN_ASSERT(n_sub > 0, "pool produced an empty subgraph");
+      GSGCN_ASSERT(sub.orig_ids.size() == n_sub,
+                   "subgraph id map size disagrees with its CSR");
 
       ensure_shape(batch_features_, n_sub, ds_.feature_dim());
       ensure_shape(batch_labels_, n_sub, ds_.num_classes());
@@ -143,6 +147,8 @@ TrainResult Trainer::train() {
 
       const tensor::Matrix& logits = model_->forward(
           sub.graph, batch_features_, cfg_.threads, &clock, /*training=*/true);
+      GSGCN_CHECK_FINITE_RANGE(logits.data(), logits.size(),
+                               "training logits");
       ensure_shape(d_logits_, n_sub, ds_.num_classes());
       if (saint_ != nullptr) {
         const std::vector<float> w = saint_->batch_weights(sub.orig_ids);
@@ -152,6 +158,8 @@ TrainResult Trainer::train() {
         loss_sum +=
             classification_loss(ds_.mode, logits, batch_labels_, d_logits_);
       }
+      GSGCN_CHECK_FINITE_RANGE(d_logits_.data(), d_logits_.size(),
+                               "loss gradient");
       model_->backward(sub.graph, d_logits_, cfg_.threads, &clock);
       model_->apply_gradients(*opt_);
       ++result.iterations;

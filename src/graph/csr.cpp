@@ -1,7 +1,6 @@
 #include "graph/csr.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
 #include "util/stats.hpp"
@@ -48,6 +47,12 @@ CsrGraph CsrGraph::from_edges(Vid num_vertices, std::span<const Edge> edges) {
   CsrGraph g;
   g.offsets_ = std::move(offsets);
   g.adj_ = std::move(adj);
+#if GSGCN_CHECKS_ENABLED
+  {
+    const std::string err = g.validate();
+    GSGCN_ASSERT(err.empty(), err.c_str());
+  }
+#endif
   return g;
 }
 
@@ -56,6 +61,10 @@ CsrGraph CsrGraph::from_csr(std::vector<Eid> offsets, std::vector<Vid> adj) {
       offsets.back() != static_cast<Eid>(adj.size())) {
     throw std::invalid_argument("from_csr: malformed offsets");
   }
+  // No full validate() here: from_csr is the documented escape hatch for
+  // hand-built structures, and tests use it to feed deliberately invalid
+  // CSRs to validate(). Callers that need the O(n+m) structure check run
+  // validate() themselves.
   CsrGraph g;
   g.offsets_ = std::move(offsets);
   g.adj_ = std::move(adj);

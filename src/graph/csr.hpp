@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace gsgcn::graph {
 
 using Vid = std::uint32_t;   // vertex id
@@ -52,9 +54,13 @@ class CsrGraph {
   Vid num_vertices() const { return static_cast<Vid>(offsets_.empty() ? 0 : offsets_.size() - 1); }
   Eid num_edges() const { return adj_.empty() ? 0 : static_cast<Eid>(adj_.size()); }  // directed count (2x undirected)
 
-  Eid degree(Vid v) const { return offsets_[v + 1] - offsets_[v]; }
+  Eid degree(Vid v) const {
+    GSGCN_CHECK_BOUNDS(v, num_vertices());
+    return offsets_[v + 1] - offsets_[v];
+  }
 
   std::span<const Vid> neighbors(Vid v) const {
+    GSGCN_CHECK_BOUNDS(v, num_vertices());
     return {adj_.data() + offsets_[v],
             static_cast<std::size_t>(degree(v))};
   }

@@ -1,9 +1,9 @@
 #include "graph/subgraph.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace gsgcn::graph {
 
@@ -23,7 +23,7 @@ Subgraph Inducer::induce(const std::vector<Vid>& vertices, int threads) {
   Subgraph out;
   out.orig_ids.reserve(vertices.size());
   for (const Vid v : vertices) {
-    assert(v < g_.num_vertices());
+    GSGCN_CHECK_BOUNDS(v, g_.num_vertices());
     if (stamp_[v] == epoch_) continue;
     stamp_[v] = epoch_;
     local_of_[v] = static_cast<Vid>(out.orig_ids.size());
@@ -33,27 +33,29 @@ Subgraph Inducer::induce(const std::vector<Vid>& vertices, int threads) {
 
   // Pass 1: per-vertex induced degree.
   std::vector<Eid> offsets(static_cast<std::size_t>(n_sub) + 1, 0);
-#pragma omp parallel for num_threads(threads) schedule(static)
-  for (Vid lv = 0; lv < n_sub; ++lv) {
+  util::parallel_for(n_sub, threads, [&](std::int64_t i) {
+    const auto lv = static_cast<Vid>(i);
     Eid deg = 0;
     for (const Vid nb : g_.neighbors(out.orig_ids[lv])) {
       if (stamp_[nb] == epoch_) ++deg;
     }
     offsets[lv + 1] = deg;
-  }
+  });
   for (Vid lv = 0; lv < n_sub; ++lv) offsets[lv + 1] += offsets[lv];
 
   // Pass 2: fill rows. Original rows are sorted by original id, which is
   // not local order, so each induced row is sorted afterwards.
   std::vector<Vid> adj(static_cast<std::size_t>(offsets[n_sub]));
-#pragma omp parallel for num_threads(threads) schedule(static)
-  for (Vid lv = 0; lv < n_sub; ++lv) {
+  util::parallel_for(n_sub, threads, [&](std::int64_t i) {
+    const auto lv = static_cast<Vid>(i);
     Eid w = offsets[lv];
     for (const Vid nb : g_.neighbors(out.orig_ids[lv])) {
       if (stamp_[nb] == epoch_) adj[static_cast<std::size_t>(w++)] = local_of_[nb];
     }
+    GSGCN_ASSERT(w == offsets[lv + 1],
+                 "induced row length disagrees with pass-1 degree");
     std::sort(adj.begin() + offsets[lv], adj.begin() + w);
-  }
+  });
 
   out.graph = CsrGraph::from_csr(std::move(offsets), std::move(adj));
   return out;

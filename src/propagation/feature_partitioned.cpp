@@ -1,18 +1,15 @@
 #include "propagation/feature_partitioned.hpp"
 
-#include <omp.h>
-
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 
 namespace gsgcn::propagation {
 
 namespace {
-
-int resolve(int threads) { return threads > 0 ? threads : omp_get_max_threads(); }
 
 struct Slice {
   std::size_t begin;
@@ -109,14 +106,17 @@ int propagate_feature_partitioned(const graph::CsrGraph& g,
                                   const tensor::Matrix& in, tensor::Matrix& out,
                                   const FeaturePartitionOptions& opts) {
   check(g, in, out);
-  const int c = resolve(opts.threads);
+  const int c = util::resolve_threads(opts.threads);
   const int q = pick_q(g, in.cols(), opts, c);
+  GSGCN_ASSERT(q >= 1 && static_cast<std::size_t>(q) <= std::max<std::size_t>(
+                                                           in.cols(), 1),
+               "feature partition count out of range");
   // Q/C rounds of C concurrent slices (Algorithm 6 lines 4-6). A single
   // collapsed parallel-for gives the same schedule with less fork/join.
-#pragma omp parallel for num_threads(c) schedule(static)
-  for (int i = 0; i < q; ++i) {
-    forward_slice(g, opts.aggregator, in, out, feature_slice(in.cols(), q, i));
-  }
+  util::parallel_for(q, c, [&](std::int64_t i) {
+    forward_slice(g, opts.aggregator, in, out,
+                  feature_slice(in.cols(), q, static_cast<int>(i)));
+  });
   return q;
 }
 
@@ -125,13 +125,12 @@ int propagate_feature_partitioned_backward(const graph::CsrGraph& g,
                                            tensor::Matrix& d_in,
                                            const FeaturePartitionOptions& opts) {
   check(g, d_out, d_in);
-  const int c = resolve(opts.threads);
+  const int c = util::resolve_threads(opts.threads);
   const int q = pick_q(g, d_out.cols(), opts, c);
-#pragma omp parallel for num_threads(c) schedule(static)
-  for (int i = 0; i < q; ++i) {
+  util::parallel_for(q, c, [&](std::int64_t i) {
     backward_slice(g, opts.aggregator, d_out, d_in,
-                   feature_slice(d_out.cols(), q, i));
-  }
+                   feature_slice(d_out.cols(), q, static_cast<int>(i)));
+  });
   return q;
 }
 
@@ -140,13 +139,25 @@ void propagate_2d(const graph::CsrGraph& g, const graph::Partition& parts,
                   int threads) {
   check(g, in, out);
   if (q < 1) throw std::invalid_argument("propagate_2d: q >= 1");
-  const int c = resolve(threads);
   const int p = static_cast<int>(parts.num_parts());
+#if GSGCN_CHECKS_ENABLED
+  {
+    // Partition coverage: every vertex appears in exactly one part, so
+    // every output row is written by exactly one (pi, qi) tile owner.
+    std::size_t covered = 0;
+    for (const auto& part : parts.parts) {
+      covered += part.size();
+      for (const graph::Vid v : part) GSGCN_CHECK_BOUNDS(v, g.num_vertices());
+    }
+    GSGCN_ASSERT(covered == g.num_vertices(),
+                 "propagate_2d: partition does not cover the vertex set");
+  }
+#endif
   const int total = p * q;
-#pragma omp parallel for num_threads(c) schedule(dynamic)
-  for (int t = 0; t < total; ++t) {
-    const int pi = t / q;
-    const int qi = t % q;
+  // Tiles are irregular (part sizes vary): hand them out dynamically.
+  util::parallel_for_dynamic(total, threads, [&](std::int64_t t) {
+    const int pi = static_cast<int>(t) / q;
+    const int qi = static_cast<int>(t) % q;
     const Slice s = feature_slice(in.cols(), q, qi);
     const std::size_t len = s.end - s.begin;
     for (const graph::Vid v : parts.parts[static_cast<std::size_t>(pi)]) {
@@ -161,7 +172,7 @@ void propagate_2d(const graph::CsrGraph& g, const graph::Partition& parts,
       const float inv = 1.0f / static_cast<float>(nbrs.size());
       for (std::size_t j = 0; j < len; ++j) dst[j] *= inv;
     }
-  }
+  });
 }
 
 }  // namespace gsgcn::propagation

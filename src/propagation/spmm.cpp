@@ -1,11 +1,10 @@
 #include "propagation/spmm.hpp"
 
-#include <omp.h>
-
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 
 #ifdef GSGCN_AVX2
@@ -15,8 +14,6 @@
 namespace gsgcn::propagation {
 
 namespace {
-
-int resolve(int threads) { return threads > 0 ? threads : omp_get_max_threads(); }
 
 void check_shapes(const graph::CsrGraph& g, const tensor::Matrix& a,
                   const tensor::Matrix& b, const char* what) {
@@ -83,24 +80,28 @@ void aggregate_forward(const graph::CsrGraph& g, AggregatorKind kind,
   const graph::Vid n = g.num_vertices();
   const std::size_t f = in.cols();
   const bool symmetric = kind == AggregatorKind::kSymmetric;
-#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
-  for (graph::Vid v = 0; v < n; ++v) {
+  util::parallel_for(static_cast<std::int64_t>(n), threads, [&](std::int64_t i) {
+    const auto v = static_cast<graph::Vid>(i);
     float* dst = out.row(v);
     std::memset(dst, 0, f * sizeof(float));
     const auto nbrs = g.neighbors(v);
-    if (nbrs.empty()) continue;
+    if (nbrs.empty()) return;
     if (symmetric) {
       const float inv_sqrt_dv =
           1.0f / std::sqrt(static_cast<float>(nbrs.size()));
       for (const graph::Vid u : nbrs) {
+        GSGCN_CHECK_BOUNDS(u, n);
         const float w =
             inv_sqrt_dv / std::sqrt(static_cast<float>(g.degree(u)));
         axpy_row(dst, in.row(u), f, w);
       }
     } else {  // kSum
-      for (const graph::Vid u : nbrs) add_row(dst, in.row(u), f);
+      for (const graph::Vid u : nbrs) {
+        GSGCN_CHECK_BOUNDS(u, n);
+        add_row(dst, in.row(u), f);
+      }
     }
-  }
+  });
 }
 
 void aggregate_backward(const graph::CsrGraph& g, AggregatorKind kind,
@@ -128,18 +129,15 @@ void aggregate_forward_edge_centric(const graph::CsrGraph& g,
   check_shapes(g, in, out, "aggregate_forward_edge_centric");
   const graph::Vid n = g.num_vertices();
   const std::size_t f = in.cols();
-  const int p = resolve(threads);
   out.set_zero();
-#pragma omp parallel num_threads(p)
-  {
-    const int tid = omp_get_thread_num();
-    const int nt = omp_get_num_threads();
+  util::parallel_region(threads, [&](int tid, int nt) {
     const auto range = util::split_range(n, nt, tid);
     // Stream all edges; scatter only those whose destination falls in
     // this thread's range (no write races, full edge scan per thread).
     for (graph::Vid src = 0; src < n; ++src) {
       const float* src_row = in.row(src);
       for (const graph::Vid dst : g.neighbors(src)) {
+        GSGCN_CHECK_BOUNDS(dst, n);
         if (dst < range.begin || dst >= static_cast<graph::Vid>(range.end)) {
           continue;
         }
@@ -153,7 +151,7 @@ void aggregate_forward_edge_centric(const graph::CsrGraph& g,
         axpy_row(out.row(dst), src_row, f, w);
       }
     }
-  }
+  });
 }
 
 void aggregate_mean_forward(const graph::CsrGraph& g, const tensor::Matrix& in,
@@ -161,15 +159,18 @@ void aggregate_mean_forward(const graph::CsrGraph& g, const tensor::Matrix& in,
   check_shapes(g, in, out, "aggregate_mean_forward");
   const graph::Vid n = g.num_vertices();
   const std::size_t f = in.cols();
-#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
-  for (graph::Vid v = 0; v < n; ++v) {
+  util::parallel_for(static_cast<std::int64_t>(n), threads, [&](std::int64_t i) {
+    const auto v = static_cast<graph::Vid>(i);
     float* dst = out.row(v);
     std::memset(dst, 0, f * sizeof(float));
     const auto nbrs = g.neighbors(v);
-    if (nbrs.empty()) continue;
-    for (const graph::Vid u : nbrs) add_row(dst, in.row(u), f);
+    if (nbrs.empty()) return;
+    for (const graph::Vid u : nbrs) {
+      GSGCN_CHECK_BOUNDS(u, n);
+      add_row(dst, in.row(u), f);
+    }
     scale_row(dst, f, 1.0f / static_cast<float>(nbrs.size()));
-  }
+  });
 }
 
 void aggregate_mean_backward(const graph::CsrGraph& g,
@@ -180,15 +181,16 @@ void aggregate_mean_backward(const graph::CsrGraph& g,
   const std::size_t f = d_out.cols();
   // Parallel over u (gradient destinations): the graph is undirected, so
   // N(u) gives exactly the v's whose forward aggregation read u.
-#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
-  for (graph::Vid u = 0; u < n; ++u) {
+  util::parallel_for(static_cast<std::int64_t>(n), threads, [&](std::int64_t i) {
+    const auto u = static_cast<graph::Vid>(i);
     float* dst = d_in.row(u);
     std::memset(dst, 0, f * sizeof(float));
     for (const graph::Vid v : g.neighbors(u)) {
+      GSGCN_CHECK_BOUNDS(v, n);
       const float s = 1.0f / static_cast<float>(g.degree(v));
       axpy_row(dst, d_out.row(v), f, s);
     }
-  }
+  });
 }
 
 namespace reference {

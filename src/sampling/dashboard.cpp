@@ -1,8 +1,9 @@
 #include "sampling/dashboard.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 #ifdef GSGCN_AVX2
 #include <immintrin.h>
@@ -73,6 +74,11 @@ void Dashboard::clear() {
   ia_vertex_.clear();
   ia_alive_.clear();
   used_ = valid_ = live_vertices_ = 0;
+  // Drop the SIMD probe lanes too: the next sample reseeds them from its
+  // caller's RNG, so a sample's output is a pure function of that RNG
+  // stream (not of which Dashboard instance happened to run it). The
+  // pool's cross-p_inter determinism guarantee depends on this.
+  lanes_seeded_ = false;
 }
 
 std::size_t Dashboard::entries_for_degree(graph::Eid degree) const {
@@ -111,13 +117,20 @@ graph::Vid Dashboard::pop(util::Xoshiro256& rng) {
 }
 
 graph::Vid Dashboard::pop_at(std::size_t e) {
-  assert(vertex_[e] != kInvalid);
+  GSGCN_CHECK_BOUNDS(e, used_);
+  GSGCN_ASSERT(vertex_[e] != kInvalid, "probe returned a dead entry");
   // offset slot: negative count at the first entry, +distance otherwise.
   const std::int32_t off = offset_[e];
   const std::size_t start = off >= 0 ? e - static_cast<std::size_t>(off) : e;
+  GSGCN_ASSERT(offset_[start] < 0,
+               "first entry of a vertex block must hold -count");
   const auto count = static_cast<std::size_t>(-offset_[start]);
   const auto v = static_cast<graph::Vid>(vertex_[e]);
   const std::int32_t k = order_[e];
+  GSGCN_CHECK_BOUNDS(k, ia_alive_.size());
+  GSGCN_ASSERT(ia_alive_[static_cast<std::size_t>(k)] != 0,
+               "popping a vertex whose IA record is already dead");
+  GSGCN_ASSERT(count <= valid_, "block count exceeds valid entries");
 
   invalidate_entries(start, count);
   valid_ -= count;

@@ -1,24 +1,22 @@
 #include "sampling/pool.hpp"
 
-#include <omp.h>
-
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace gsgcn::sampling {
 
 SubgraphPool::SubgraphPool(const graph::CsrGraph& g, SamplerFactory factory,
                            int p_inter, std::uint64_t seed, bool pin_threads)
-    : g_(g), pin_threads_(pin_threads) {
+    : g_(g), seed_(seed), pin_threads_(pin_threads) {
   if (p_inter <= 0) throw std::invalid_argument("SubgraphPool: p_inter <= 0");
   samplers_.reserve(static_cast<std::size_t>(p_inter));
   inducers_.reserve(static_cast<std::size_t>(p_inter));
-  rngs_.reserve(static_cast<std::size_t>(p_inter));
   for (int i = 0; i < p_inter; ++i) {
     samplers_.push_back(factory(i));
     inducers_.push_back(std::make_unique<graph::Inducer>(g_));
-    rngs_.push_back(util::Xoshiro256::stream(seed, static_cast<std::uint64_t>(i)));
   }
 }
 
@@ -27,22 +25,33 @@ void SubgraphPool::refill() {
   const int p = p_inter();
   const std::size_t base = queue_.size();
   queue_.resize(base + static_cast<std::size_t>(p));
-#pragma omp parallel for num_threads(p) schedule(static)
-  for (int i = 0; i < p; ++i) {
-    if (pin_threads_) (void)util::pin_current_thread_to_cpu(i);
-    const auto vertices = samplers_[static_cast<std::size_t>(i)]->sample_vertices(
-        rngs_[static_cast<std::size_t>(i)]);
+  const std::uint64_t slot_base = next_slot_;
+  util::parallel_for(p, p, [&](std::int64_t i) {
+    // Pin for the duration of this sample only; the guard restores the
+    // thread's previous mask so pooled worker threads are not left
+    // confined to one CPU after refill returns.
+    util::ScopedAffinity affinity;
+    if (pin_threads_) (void)affinity.pin(static_cast<int>(i));
+    // The RNG is derived from the global slot index, not the instance
+    // index: slot k produces the same subgraph no matter which instance
+    // (or p_inter configuration) executes it.
+    auto rng = util::Xoshiro256::stream(seed_, slot_base + static_cast<std::uint64_t>(i));
+    const auto vertices =
+        samplers_[static_cast<std::size_t>(i)]->sample_vertices(rng);
+    GSGCN_ASSERT(!vertices.empty(), "sampler returned an empty vertex set");
     // Induction stays single-threaded here: the parallelism budget is
     // already spent across instances (paper: p_intra is vector lanes).
     queue_[base + static_cast<std::size_t>(i)] =
         inducers_[static_cast<std::size_t>(i)]->induce(vertices, 1);
-  }
+  });
+  next_slot_ += static_cast<std::uint64_t>(p);
 }
 
 graph::Subgraph SubgraphPool::pop() {
   if (queue_.empty()) refill();
-  graph::Subgraph out = std::move(queue_.back());
-  queue_.pop_back();
+  GSGCN_ASSERT(!queue_.empty(), "refill produced no subgraphs");
+  graph::Subgraph out = std::move(queue_.front());
+  queue_.pop_front();
   return out;
 }
 

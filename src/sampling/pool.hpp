@@ -7,7 +7,17 @@
 // sampler instances in parallel (inter-subgraph parallelism), each of
 // which parallelizes internally with AVX2 (intra-subgraph parallelism).
 // The trainer pops one subgraph per weight update.
+//
+// Determinism contract: the k-th subgraph ever popped is drawn from RNG
+// stream (seed, k), where k is a global slot counter that advances with
+// every sample produced — NOT from a per-instance stream. Combined with
+// FIFO pop order, the popped sequence is a pure function of `seed`:
+// identical for p_inter = 1, 2, 4, ... regardless of OS scheduling. This
+// is what makes sanitizer/debug/release runs comparable bit-for-bit and
+// is asserted by tests/test_pool.cpp.
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -26,16 +36,17 @@ using SamplerFactory =
 class SubgraphPool {
  public:
   /// p_inter = number of concurrent sampler instances (paper's p_inter).
-  /// Each instance i gets RNG stream (seed, i) — runs are reproducible for
-  /// a fixed (seed, p_inter) regardless of OS scheduling.
   /// With `pin_threads` (default on), each sampler thread is bound to a
-  /// core during refill, as the paper prescribes, so its Dashboard stays
-  /// resident in that core's private cache. Pinning failures (e.g. inside
-  /// restrictive containers) are silently tolerated.
+  /// core for the duration of refill — as the paper prescribes, so its
+  /// Dashboard stays resident in that core's private cache — and its
+  /// previous affinity mask is restored afterwards (OpenMP reuses worker
+  /// threads across regions; leaking a one-CPU mask would serialize every
+  /// later parallel region). Pinning failures (e.g. inside restrictive
+  /// containers) are silently tolerated.
   SubgraphPool(const graph::CsrGraph& g, SamplerFactory factory, int p_inter,
                std::uint64_t seed, bool pin_threads = true);
 
-  /// Pop one subgraph, refilling the pool first if it is empty.
+  /// Pop the oldest pooled subgraph, refilling first if the pool is empty.
   graph::Subgraph pop();
 
   /// Sample p_inter subgraphs in parallel and append them to the pool.
@@ -53,9 +64,10 @@ class SubgraphPool {
   const graph::CsrGraph& g_;
   std::vector<std::unique_ptr<VertexSampler>> samplers_;
   std::vector<std::unique_ptr<graph::Inducer>> inducers_;
-  std::vector<util::Xoshiro256> rngs_;
-  std::vector<graph::Subgraph> queue_;
+  std::deque<graph::Subgraph> queue_;
   util::PhaseTimer sample_time_;
+  std::uint64_t seed_;
+  std::uint64_t next_slot_ = 0;  // global sample counter; see header note
   bool pin_threads_;
 };
 

@@ -1,9 +1,9 @@
 #include "tensor/gemm.hpp"
 
-#include <omp.h>
-
 #include <cassert>
 #include <stdexcept>
+
+#include "util/parallel.hpp"
 
 #ifdef GSGCN_AVX2
 #include <immintrin.h>
@@ -84,65 +84,61 @@ inline float dot(const float* a, const float* b, std::size_t n) {
 #endif
 }
 
-int resolve_threads(int threads) {
-  return threads > 0 ? threads : omp_get_max_threads();
-}
-
 }  // namespace
 
 void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
              float beta, int threads) {
   check_nn(a, b, c);
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  const int p = resolve_threads(threads);
-#pragma omp parallel for num_threads(p) schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
-    float* ci = c.row(i);
-    scale_row(ci, n, beta);
-    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::size_t k1 = std::min(k, k0 + kBlockK);
-      const float* ai = a.row(i);
-      for (std::size_t kk = k0; kk < k1; ++kk) {
-        const float s = alpha * ai[kk];
-        if (s != 0.0f) axpy(ci, b.row(kk), n, s);
-      }
-    }
-  }
+  util::parallel_for(
+      static_cast<std::int64_t>(m), threads, [&](std::int64_t ii) {
+        const auto i = static_cast<std::size_t>(ii);
+        float* ci = c.row(i);
+        scale_row(ci, n, beta);
+        for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+          const std::size_t k1 = std::min(k, k0 + kBlockK);
+          const float* ai = a.row(i);
+          for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float s = alpha * ai[kk];
+            if (s != 0.0f) axpy(ci, b.row(kk), n, s);
+          }
+        }
+      });
 }
 
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
              float beta, int threads) {
   check_tn(a, b, c);
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  const int p = resolve_threads(threads);
-#pragma omp parallel for num_threads(p) schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
-    float* ci = c.row(i);
-    scale_row(ci, n, beta);
-    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::size_t k1 = std::min(k, k0 + kBlockK);
-      for (std::size_t kk = k0; kk < k1; ++kk) {
-        const float s = alpha * a(kk, i);
-        if (s != 0.0f) axpy(ci, b.row(kk), n, s);
-      }
-    }
-  }
+  util::parallel_for(
+      static_cast<std::int64_t>(m), threads, [&](std::int64_t ii) {
+        const auto i = static_cast<std::size_t>(ii);
+        float* ci = c.row(i);
+        scale_row(ci, n, beta);
+        for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+          const std::size_t k1 = std::min(k, k0 + kBlockK);
+          for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float s = alpha * a(kk, i);
+            if (s != 0.0f) axpy(ci, b.row(kk), n, s);
+          }
+        }
+      });
 }
 
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
              float beta, int threads) {
   check_nt(a, b, c);
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  const int p = resolve_threads(threads);
-#pragma omp parallel for num_threads(p) schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
-    float* ci = c.row(i);
-    const float* ai = a.row(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const float d = alpha * dot(ai, b.row(j), k);
-      ci[j] = beta == 0.0f ? d : beta * ci[j] + d;
-    }
-  }
+  util::parallel_for(
+      static_cast<std::int64_t>(m), threads, [&](std::int64_t ii) {
+        const auto i = static_cast<std::size_t>(ii);
+        float* ci = c.row(i);
+        const float* ai = a.row(i);
+        for (std::size_t j = 0; j < n; ++j) {
+          const float d = alpha * dot(ai, b.row(j), k);
+          ci[j] = beta == 0.0f ? d : beta * ci[j] + d;
+        }
+      });
 }
 
 namespace reference {

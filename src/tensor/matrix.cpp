@@ -93,7 +93,14 @@ Matrix read_matrix(std::istream& in) {
 }
 
 std::string Matrix::shape_str() const {
-  return "[" + std::to_string(rows_) + " x " + std::to_string(cols_) + "]";
+  // Built by appending rather than a `"literal" + ...` chain: GCC 12's
+  // -Wrestrict misfires on the inlined operator+ at -O3.
+  std::string s = "[";
+  s += std::to_string(rows_);
+  s += " x ";
+  s += std::to_string(cols_);
+  s += "]";
+  return s;
 }
 
 }  // namespace gsgcn::tensor

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "util/aligned_buffer.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace gsgcn::tensor {
@@ -61,14 +62,26 @@ class Matrix {
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
 
-  float* row(std::size_t i) { return data_.data() + i * cols_; }
-  const float* row(std::size_t i) const { return data_.data() + i * cols_; }
+  float* row(std::size_t i) {
+    GSGCN_CHECK_BOUNDS(i, rows_);
+    return data_.data() + i * cols_;
+  }
+  const float* row(std::size_t i) const {
+    GSGCN_CHECK_BOUNDS(i, rows_);
+    return data_.data() + i * cols_;
+  }
 
   std::span<float> row_span(std::size_t i) { return {row(i), cols_}; }
   std::span<const float> row_span(std::size_t i) const { return {row(i), cols_}; }
 
-  float& operator()(std::size_t i, std::size_t j) { return row(i)[j]; }
-  float operator()(std::size_t i, std::size_t j) const { return row(i)[j]; }
+  float& operator()(std::size_t i, std::size_t j) {
+    GSGCN_CHECK_BOUNDS(j, cols_);
+    return row(i)[j];
+  }
+  float operator()(std::size_t i, std::size_t j) const {
+    GSGCN_CHECK_BOUNDS(j, cols_);
+    return row(i)[j];
+  }
 
   void fill(float v);
   void set_zero() { fill(0.0f); }

@@ -1,15 +1,15 @@
 #include "tensor/ops.hpp"
 
-#include <omp.h>
-
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
 
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
 namespace gsgcn::tensor {
 
 namespace {
-int resolve(int threads) { return threads > 0 ? threads : omp_get_max_threads(); }
 
 void check_same_shape(const Matrix& a, const Matrix& b, const char* what) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) {
@@ -24,10 +24,10 @@ void relu_forward(const Matrix& x, Matrix& y, int threads) {
   const std::size_t n = x.size();
   const float* xp = x.data();
   float* yp = y.data();
-#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
-  for (std::size_t i = 0; i < n; ++i) {
-    yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
-  }
+  util::parallel_for(static_cast<std::int64_t>(n), threads,
+                     [xp, yp](std::int64_t i) {
+                       yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
+                     });
 }
 
 void relu_backward(const Matrix& x, const Matrix& dy, Matrix& dx,
@@ -38,10 +38,10 @@ void relu_backward(const Matrix& x, const Matrix& dy, Matrix& dx,
   const float* xp = x.data();
   const float* dyp = dy.data();
   float* dxp = dx.data();
-#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
-  for (std::size_t i = 0; i < n; ++i) {
-    dxp[i] = xp[i] > 0.0f ? dyp[i] : 0.0f;
-  }
+  util::parallel_for(static_cast<std::int64_t>(n), threads,
+                     [xp, dyp, dxp](std::int64_t i) {
+                       dxp[i] = xp[i] > 0.0f ? dyp[i] : 0.0f;
+                     });
 }
 
 void concat_cols(const Matrix& a, const Matrix& b, Matrix& out, int threads) {
@@ -50,11 +50,14 @@ void concat_cols(const Matrix& a, const Matrix& b, Matrix& out, int threads) {
     throw std::invalid_argument("concat_cols: shape mismatch");
   }
   const std::size_t rows = a.rows();
-#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
-  for (std::size_t i = 0; i < rows; ++i) {
-    std::memcpy(out.row(i), a.row(i), a.cols() * sizeof(float));
-    std::memcpy(out.row(i) + a.cols(), b.row(i), b.cols() * sizeof(float));
-  }
+  util::parallel_for(static_cast<std::int64_t>(rows), threads,
+                     [&a, &b, &out](std::int64_t i) {
+                       const auto r = static_cast<std::size_t>(i);
+                       std::memcpy(out.row(r), a.row(r),
+                                   a.cols() * sizeof(float));
+                       std::memcpy(out.row(r) + a.cols(), b.row(r),
+                                   b.cols() * sizeof(float));
+                     });
 }
 
 void split_cols(const Matrix& src, Matrix& a, Matrix& b, int threads) {
@@ -63,11 +66,14 @@ void split_cols(const Matrix& src, Matrix& a, Matrix& b, int threads) {
     throw std::invalid_argument("split_cols: shape mismatch");
   }
   const std::size_t rows = src.rows();
-#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
-  for (std::size_t i = 0; i < rows; ++i) {
-    std::memcpy(a.row(i), src.row(i), a.cols() * sizeof(float));
-    std::memcpy(b.row(i), src.row(i) + a.cols(), b.cols() * sizeof(float));
-  }
+  util::parallel_for(static_cast<std::int64_t>(rows), threads,
+                     [&src, &a, &b](std::int64_t i) {
+                       const auto r = static_cast<std::size_t>(i);
+                       std::memcpy(a.row(r), src.row(r),
+                                   a.cols() * sizeof(float));
+                       std::memcpy(b.row(r), src.row(r) + a.cols(),
+                                   b.cols() * sizeof(float));
+                     });
 }
 
 void add_scaled(Matrix& x, const Matrix& y, float alpha, int threads) {
@@ -75,19 +81,17 @@ void add_scaled(Matrix& x, const Matrix& y, float alpha, int threads) {
   const std::size_t n = x.size();
   float* xp = x.data();
   const float* yp = y.data();
-#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
-  for (std::size_t i = 0; i < n; ++i) {
-    xp[i] += alpha * yp[i];
-  }
+  util::parallel_for(static_cast<std::int64_t>(n), threads,
+                     [xp, yp, alpha](std::int64_t i) {
+                       xp[i] += alpha * yp[i];
+                     });
 }
 
 void scale_inplace(Matrix& x, float alpha, int threads) {
   const std::size_t n = x.size();
   float* xp = x.data();
-#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
-  for (std::size_t i = 0; i < n; ++i) {
-    xp[i] *= alpha;
-  }
+  util::parallel_for(static_cast<std::int64_t>(n), threads,
+                     [xp, alpha](std::int64_t i) { xp[i] *= alpha; });
 }
 
 void gather_rows(const Matrix& src, std::span<const std::uint32_t> indices,
@@ -96,15 +100,18 @@ void gather_rows(const Matrix& src, std::span<const std::uint32_t> indices,
     throw std::invalid_argument("gather_rows: shape mismatch");
   }
   const std::size_t n = indices.size();
-#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
-  for (std::size_t i = 0; i < n; ++i) {
-    if (indices[i] >= src.rows()) {
-      // Inside an OMP region we cannot throw across the boundary; abort
-      // via a trap — this indicates a programming error upstream.
-      std::abort();
-    }
-    std::memcpy(out.row(i), src.row(indices[i]), src.cols() * sizeof(float));
-  }
+  util::parallel_for(static_cast<std::int64_t>(n), threads,
+                     [&src, indices, &out](std::int64_t i) {
+                       const auto r = static_cast<std::size_t>(i);
+                       if (indices[r] >= src.rows()) {
+                         // Inside a parallel region we cannot throw across
+                         // the boundary; abort via a trap — this indicates
+                         // a programming error upstream.
+                         std::abort();
+                       }
+                       std::memcpy(out.row(r), src.row(indices[r]),
+                                   src.cols() * sizeof(float));
+                     });
 }
 
 void add_bias_rows(Matrix& x, std::span<const float> bias, int threads) {
@@ -112,17 +119,19 @@ void add_bias_rows(Matrix& x, std::span<const float> bias, int threads) {
     throw std::invalid_argument("add_bias_rows: bias length mismatch");
   }
   const std::size_t rows = x.rows(), cols = x.cols();
-#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
-  for (std::size_t i = 0; i < rows; ++i) {
-    float* r = x.row(i);
-    for (std::size_t j = 0; j < cols; ++j) r[j] += bias[j];
-  }
+  util::parallel_for(static_cast<std::int64_t>(rows), threads,
+                     [&x, bias, cols](std::int64_t i) {
+                       float* r = x.row(static_cast<std::size_t>(i));
+                       for (std::size_t j = 0; j < cols; ++j) r[j] += bias[j];
+                     });
 }
 
 void bias_grad(const Matrix& dy, std::span<float> dbias) {
   if (dbias.size() != dy.cols()) {
     throw std::invalid_argument("bias_grad: length mismatch");
   }
+  // Serial on purpose: dbias is a shared accumulator over all rows; the
+  // bias is a single row so this is never a bottleneck.
   std::fill(dbias.begin(), dbias.end(), 0.0f);
   for (std::size_t i = 0; i < dy.rows(); ++i) {
     const float* r = dy.row(i);
@@ -132,16 +141,18 @@ void bias_grad(const Matrix& dy, std::span<float> dbias) {
 
 void l2_normalize_rows(Matrix& x, int threads) {
   const std::size_t rows = x.rows(), cols = x.cols();
-#pragma omp parallel for num_threads(resolve(threads)) schedule(static)
-  for (std::size_t i = 0; i < rows; ++i) {
-    float* r = x.row(i);
-    double s = 0.0;
-    for (std::size_t j = 0; j < cols; ++j) s += static_cast<double>(r[j]) * r[j];
-    if (s > 0.0) {
-      const float inv = static_cast<float>(1.0 / std::sqrt(s));
-      for (std::size_t j = 0; j < cols; ++j) r[j] *= inv;
-    }
-  }
+  util::parallel_for(
+      static_cast<std::int64_t>(rows), threads, [&x, cols](std::int64_t i) {
+        float* r = x.row(static_cast<std::size_t>(i));
+        double s = 0.0;
+        for (std::size_t j = 0; j < cols; ++j) {
+          s += static_cast<double>(r[j]) * r[j];
+        }
+        if (s > 0.0) {
+          const float inv = static_cast<float>(1.0 / std::sqrt(s));
+          for (std::size_t j = 0; j < cols; ++j) r[j] *= inv;
+        }
+      });
 }
 
 }  // namespace gsgcn::tensor

@@ -1,0 +1,119 @@
+#pragma once
+// Machine-checked invariants — the library's correctness floor.
+//
+// Every module states its structural invariants through these macros:
+// CSR well-formedness, Dashboard slot bookkeeping, pool queue state,
+// feature-partition coverage, NaN/Inf-free activations. In checked
+// builds (Debug, any GSGCN_SANITIZE configuration, or -DGSGCN_CHECKS=ON)
+// a violation prints the failing expression with file:line and aborts,
+// so sanitizer CI catches logic errors in the same run that catches
+// memory errors and races. In Release the macros compile to nothing —
+// the condition expression is NOT evaluated, so checks may be as
+// expensive as a full O(n+m) structure validation without taxing the
+// hot path.
+//
+// Macro summary:
+//   GSGCN_ASSERT(cond, msg)               general invariant
+//   GSGCN_CHECK_BOUNDS(idx, size)         0 <= idx < size (any int types)
+//   GSGCN_CHECK_FINITE(x)                 scalar is neither NaN nor Inf
+//   GSGCN_CHECK_FINITE_RANGE(ptr, n, what) float range is NaN/Inf-free
+//
+// `gsgcn::util::checks_enabled()` reports the compiled-in mode so tests
+// can branch on it (see tests/test_check.cpp).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+
+#if defined(GSGCN_ENABLE_CHECKS)
+#define GSGCN_CHECKS_ENABLED 1
+#else
+#define GSGCN_CHECKS_ENABLED 0
+#endif
+
+namespace gsgcn::util {
+
+constexpr bool checks_enabled() { return GSGCN_CHECKS_ENABLED != 0; }
+
+[[noreturn]] inline void check_fail(const char* file, int line,
+                                    const char* kind, const char* expr,
+                                    const char* msg) {
+  std::fprintf(stderr, "%s:%d: %s(%s) failed%s%s\n", file, line, kind, expr,
+               (msg != nullptr && msg[0] != '\0') ? ": " : "",
+               msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+template <class I, class S>
+inline void check_bounds(I idx, S size, const char* file, int line,
+                         const char* expr) {
+  bool ok;
+  if constexpr (std::is_signed_v<I>) {
+    ok = idx >= 0 && static_cast<unsigned long long>(idx) <
+                         static_cast<unsigned long long>(size);
+  } else {
+    ok = static_cast<unsigned long long>(idx) <
+         static_cast<unsigned long long>(size);
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "%s:%d: GSGCN_CHECK_BOUNDS(%s) failed: index %lld, size "
+                 "%llu\n",
+                 file, line, expr, static_cast<long long>(idx),
+                 static_cast<unsigned long long>(size));
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+template <class T>
+inline void check_finite_value(T x, const char* file, int line,
+                               const char* expr) {
+  if (!std::isfinite(static_cast<double>(x))) {
+    std::fprintf(stderr, "%s:%d: GSGCN_CHECK_FINITE(%s) failed: value %g\n",
+                 file, line, expr, static_cast<double>(x));
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+inline void check_finite_range(const float* p, std::size_t n, const char* file,
+                               int line, const char* what) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) {
+      std::fprintf(
+          stderr,
+          "%s:%d: GSGCN_CHECK_FINITE_RANGE(%s) failed: entry %zu is %g\n",
+          file, line, what, i, static_cast<double>(p[i]));
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+}
+
+}  // namespace gsgcn::util
+
+#if GSGCN_CHECKS_ENABLED
+
+#define GSGCN_ASSERT(cond, msg)                                             \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::gsgcn::util::check_fail(__FILE__, __LINE__, "GSGCN_ASSERT",   \
+                                      #cond, (msg)))
+#define GSGCN_CHECK_BOUNDS(idx, size) \
+  ::gsgcn::util::check_bounds((idx), (size), __FILE__, __LINE__, #idx "," #size)
+#define GSGCN_CHECK_FINITE(x) \
+  ::gsgcn::util::check_finite_value((x), __FILE__, __LINE__, #x)
+#define GSGCN_CHECK_FINITE_RANGE(ptr, n, what) \
+  ::gsgcn::util::check_finite_range((ptr), (n), __FILE__, __LINE__, (what))
+
+#else
+
+// Release: expand to nothing; operands are NOT evaluated.
+#define GSGCN_ASSERT(cond, msg) static_cast<void>(0)
+#define GSGCN_CHECK_BOUNDS(idx, size) static_cast<void>(0)
+#define GSGCN_CHECK_FINITE(x) static_cast<void>(0)
+#define GSGCN_CHECK_FINITE_RANGE(ptr, n, what) static_cast<void>(0)
+
+#endif  // GSGCN_CHECKS_ENABLED

@@ -6,6 +6,7 @@
 #include <sched.h>
 #endif
 
+#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -48,10 +49,42 @@ bool pin_current_thread_to_cpu(int cpu) {
 #endif
 }
 
+ScopedAffinity::ScopedAffinity() {
+#ifdef __linux__
+  static_assert(sizeof(cpu_set_t) <= sizeof(mask_),
+                "ScopedAffinity mask buffer too small for cpu_set_t");
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) == 0) {
+    std::memcpy(mask_, &set, sizeof(set));
+    saved_ = true;
+  }
+#endif
+}
+
+bool ScopedAffinity::pin(int cpu) {
+  if (!saved_) return false;  // nothing to restore from — do not pin
+  pinned_ = pin_current_thread_to_cpu(cpu);
+  return pinned_;
+}
+
+ScopedAffinity::~ScopedAffinity() {
+#ifdef __linux__
+  if (saved_ && pinned_) {
+    cpu_set_t set;
+    std::memcpy(&set, mask_, sizeof(set));
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
+#endif
+}
+
 int max_threads() { return omp_get_max_threads(); }
 int num_procs() { return omp_get_num_procs(); }
 int thread_id() { return omp_get_thread_num(); }
 bool in_parallel() { return omp_in_parallel() != 0; }
+int resolve_threads(int threads) {
+  return threads > 0 ? threads : omp_get_max_threads();
+}
 
 ScopedNumThreads::ScopedNumThreads(int n) : previous_(omp_get_max_threads()) {
   omp_set_num_threads(n > 0 ? n : previous_);

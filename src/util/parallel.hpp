@@ -1,13 +1,39 @@
 #pragma once
-// Thin OpenMP helpers.
+// The library's single parallelism choke point.
 //
-// All parallelism in the library goes through OpenMP; these helpers keep
-// the call sites tidy and make thread counts controllable per-region
-// (the scaling benches sweep thread counts without touching the global
-// OMP_NUM_THREADS environment).
+// All data parallelism goes through parallel_for / parallel_for_dynamic /
+// parallel_region below. Two interchangeable backends implement them:
+//
+//  - OpenMP (default): each helper lowers onto the corresponding
+//    `#pragma omp` construct, so codegen and scheduling are identical to
+//    writing the pragma at the call site.
+//  - Plain std::thread teams (GSGCN_THREAD_BACKEND, selected by
+//    -DGSGCN_SANITIZE=thread): one fresh thread per team member per
+//    region. GCC's libgomp synchronizes its thread pool with futexes that
+//    ThreadSanitizer cannot observe, so under TSan every pooled fork/join
+//    edge looks like a data race (hundreds of false positives on correct
+//    code, and no suppression can restore the missing happens-before
+//    edges without also masking real races). Fresh pthread_create/join
+//    pairs ARE intercepted by TSan, which restores exact fork/join
+//    ordering while leaving every intra-region access pattern — the thing
+//    we actually want race-checked — unchanged. Thread startup cost makes
+//    this backend slower; it exists for correctness runs, not production.
+//
+// Chunking note: the static split is contiguous blocks (split_range), the
+// same shape libgomp uses for schedule(static); results never depend on
+// which thread runs which chunk, only on chunk-disjointness — which is
+// exactly what TSan verifies.
 
 #include <cstddef>
 #include <cstdint>
+
+#ifdef GSGCN_THREAD_BACKEND
+#include <atomic>
+#include <thread>
+#include <vector>
+#else
+#include <omp.h>
+#endif
 
 namespace gsgcn::util {
 
@@ -22,6 +48,10 @@ int thread_id();
 
 /// True if called from inside an active parallel region.
 bool in_parallel();
+
+/// threads > 0 ? threads : max_threads() — the convention every public
+/// `int threads` parameter in the library follows.
+int resolve_threads(int threads);
 
 /// RAII override of the OpenMP thread count: regions opened while this is
 /// alive use `n` threads; the previous max is restored on destruction.
@@ -43,6 +73,30 @@ class ScopedNumThreads {
 /// core's private cache.
 bool pin_current_thread_to_cpu(int cpu);
 
+/// RAII affinity guard: captures the calling thread's CPU mask, then
+/// restores it on destruction if pin() was called. Parallel regions that
+/// pin worker threads MUST use this — OpenMP reuses its workers across
+/// regions, so a leaked single-CPU mask would serialize every subsequent
+/// parallel region on that worker (the sampler pool's original
+/// pinned-startup bug).
+class ScopedAffinity {
+ public:
+  ScopedAffinity();
+  ~ScopedAffinity();
+  ScopedAffinity(const ScopedAffinity&) = delete;
+  ScopedAffinity& operator=(const ScopedAffinity&) = delete;
+
+  /// pin_current_thread_to_cpu + arm the destructor's restore.
+  bool pin(int cpu);
+
+ private:
+  bool saved_ = false;
+  bool pinned_ = false;
+#ifdef __linux__
+  unsigned char mask_[128];  // large enough for cpu_set_t
+#endif
+};
+
 /// Per-core private (L2) data-cache size in bytes, read from sysfs at
 /// first call; falls back to the paper's 256 KiB when undetectable. The
 /// feature-partitioned propagation sizes Q against this (Theorem 2's
@@ -56,5 +110,66 @@ struct Range {
   std::int64_t end;
 };
 Range split_range(std::int64_t n, int p, int i);
+
+/// SPMD region: body(tid, num_threads) runs once on each of `threads`
+/// team members (threads <= 0 → max_threads()).
+template <class F>
+void parallel_region(int threads, F&& body) {
+  const int p = resolve_threads(threads);
+#ifdef GSGCN_THREAD_BACKEND
+  if (p <= 1) {
+    body(0, 1);
+    return;
+  }
+  std::vector<std::thread> team;
+  team.reserve(static_cast<std::size_t>(p) - 1);
+  for (int t = 1; t < p; ++t) {
+    team.emplace_back([&body, t, p] { body(t, p); });
+  }
+  body(0, p);
+  for (auto& th : team) th.join();
+#else
+#pragma omp parallel num_threads(p)
+  { body(omp_get_thread_num(), omp_get_num_threads()); }
+#endif
+}
+
+/// Statically-scheduled loop: body(i) for i in [0, n), contiguous chunks.
+template <class F>
+void parallel_for(std::int64_t n, int threads, F&& body) {
+  if (n <= 0) return;
+  int p = resolve_threads(threads);
+  if (static_cast<std::int64_t>(p) > n) p = static_cast<int>(n);
+#ifdef GSGCN_THREAD_BACKEND
+  parallel_region(p, [&body, n](int tid, int nt) {
+    const Range r = split_range(n, nt, tid);
+    for (std::int64_t i = r.begin; i < r.end; ++i) body(i);
+  });
+#else
+#pragma omp parallel for num_threads(p) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+/// Dynamically-scheduled loop for irregular per-iteration cost: body(i)
+/// for i in [0, n), iterations handed out one at a time.
+template <class F>
+void parallel_for_dynamic(std::int64_t n, int threads, F&& body) {
+  if (n <= 0) return;
+  int p = resolve_threads(threads);
+  if (static_cast<std::int64_t>(p) > n) p = static_cast<int>(n);
+#ifdef GSGCN_THREAD_BACKEND
+  std::atomic<std::int64_t> next{0};
+  parallel_region(p, [&body, &next, n](int, int) {
+    for (std::int64_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      body(i);
+    }
+  });
+#else
+#pragma omp parallel for num_threads(p) schedule(dynamic)
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+#endif
+}
 
 }  // namespace gsgcn::util

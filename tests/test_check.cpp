@@ -1,0 +1,99 @@
+// The invariant-check layer itself: macros must fire (abort with a
+// diagnostic) in checked builds and compile to nothing — operands
+// unevaluated — in plain Release. The same test source runs in every CI
+// configuration and asserts the behavior matching how it was compiled.
+
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gsgcn {
+namespace {
+
+TEST(Check, ModeMatchesBuildDefinition) {
+#if defined(GSGCN_ENABLE_CHECKS)
+  EXPECT_TRUE(util::checks_enabled());
+#else
+  EXPECT_FALSE(util::checks_enabled());
+#endif
+}
+
+TEST(CheckDeathTest, AssertFiresWhenEnabled) {
+  if (!util::checks_enabled()) GTEST_SKIP() << "checks compiled out";
+  EXPECT_DEATH(GSGCN_ASSERT(1 + 1 == 3, "arithmetic is broken"),
+               "GSGCN_ASSERT");
+}
+
+TEST(Check, AssertPassesOnTrueCondition) {
+  GSGCN_ASSERT(2 + 2 == 4, "never fires");
+}
+
+TEST(CheckDeathTest, BoundsFiresOnOutOfRange) {
+  if (!util::checks_enabled()) GTEST_SKIP() << "checks compiled out";
+  [[maybe_unused]] const std::size_t size = 4;
+  EXPECT_DEATH(GSGCN_CHECK_BOUNDS(std::size_t{4}, size), "GSGCN_CHECK_BOUNDS");
+  EXPECT_DEATH(GSGCN_CHECK_BOUNDS(-1, size), "GSGCN_CHECK_BOUNDS");
+}
+
+TEST(Check, BoundsPassesInRange) {
+  GSGCN_CHECK_BOUNDS(std::size_t{0}, std::size_t{1});
+  GSGCN_CHECK_BOUNDS(3, 4);
+}
+
+TEST(CheckDeathTest, FiniteFiresOnNanAndInf) {
+  if (!util::checks_enabled()) GTEST_SKIP() << "checks compiled out";
+  [[maybe_unused]] const float nan = std::numeric_limits<float>::quiet_NaN();
+  [[maybe_unused]] const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_DEATH(GSGCN_CHECK_FINITE(nan), "GSGCN_CHECK_FINITE");
+  EXPECT_DEATH(GSGCN_CHECK_FINITE(inf), "GSGCN_CHECK_FINITE");
+}
+
+TEST(CheckDeathTest, FiniteRangeFiresOnPoisonedEntry) {
+  if (!util::checks_enabled()) GTEST_SKIP() << "checks compiled out";
+  std::vector<float> xs = {0.0f, 1.0f, std::numeric_limits<float>::quiet_NaN()};
+  EXPECT_DEATH(GSGCN_CHECK_FINITE_RANGE(xs.data(), xs.size(), "xs"),
+               "GSGCN_CHECK_FINITE_RANGE");
+}
+
+TEST(Check, FiniteRangePassesOnCleanData) {
+  std::vector<float> xs = {0.0f, -1.5f, 3.25f};
+  GSGCN_CHECK_FINITE_RANGE(xs.data(), xs.size(), "xs");
+  GSGCN_CHECK_FINITE(xs[1]);
+}
+
+TEST(Check, DisabledMacrosDoNotEvaluateOperands) {
+  if (util::checks_enabled()) {
+    GTEST_SKIP() << "checked build: operands are evaluated by design";
+  }
+  int evaluations = 0;
+  [[maybe_unused]] auto touch = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  GSGCN_ASSERT(touch(), "must not run");
+  GSGCN_CHECK_BOUNDS((touch(), 0), 1);
+  GSGCN_CHECK_FINITE((touch(), 1.0f));
+  EXPECT_EQ(evaluations, 0) << "Release macros must not evaluate operands";
+}
+
+TEST(CheckDeathTest, MatrixRowOutOfBoundsCaught) {
+  if (!util::checks_enabled()) GTEST_SKIP() << "checks compiled out";
+  tensor::Matrix m(2, 3);
+  EXPECT_DEATH((void)m.row(2), "GSGCN_CHECK_BOUNDS");
+}
+
+TEST(CheckDeathTest, CsrDegreeOutOfBoundsCaught) {
+  if (!util::checks_enabled()) GTEST_SKIP() << "checks compiled out";
+  const auto g = graph::CsrGraph::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_DEATH((void)g.degree(3), "GSGCN_CHECK_BOUNDS");
+}
+
+}  // namespace
+}  // namespace gsgcn

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "sampling/frontier_dashboard.hpp"
 #include "sampling/pool.hpp"
@@ -89,6 +91,29 @@ TEST(SubgraphPool, UnpinnedModeMatchesPinned) {
   SubgraphPool loose(g, dashboard_factory(g), 2, 77, /*pin_threads=*/false);
   for (int i = 0; i < 4; ++i) {
     EXPECT_EQ(pinned.pop().orig_ids, loose.pop().orig_ids);
+  }
+}
+
+TEST(SubgraphPool, PoppedSequenceIdenticalAcrossPInter) {
+  // The determinism contract (pool.hpp): the k-th popped subgraph is
+  // drawn from RNG stream (seed, k) where k is a global slot counter, and
+  // pops are FIFO — so the popped *sequence* is a pure function of the
+  // seed, independent of how many sampler instances run concurrently.
+  const CsrGraph g = gsgcn::testing::small_er();
+  constexpr std::uint64_t kSeed = 2024;
+  constexpr int kPops = 8;  // spans two refills for every p_inter below
+
+  std::vector<std::vector<Vid>> reference;
+  {
+    SubgraphPool pool(g, dashboard_factory(g), 1, kSeed);
+    for (int i = 0; i < kPops; ++i) reference.push_back(pool.pop().orig_ids);
+  }
+  for (const int p_inter : {2, 4}) {
+    SubgraphPool pool(g, dashboard_factory(g), p_inter, kSeed);
+    for (int i = 0; i < kPops; ++i) {
+      EXPECT_EQ(pool.pop().orig_ids, reference[static_cast<std::size_t>(i)])
+          << "pop " << i << " diverged at p_inter=" << p_inter;
+    }
   }
 }
 
