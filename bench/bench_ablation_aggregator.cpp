@@ -12,6 +12,7 @@ int main() {
   using namespace gsgcn;
   bench::banner("Ablation: aggregator",
                 "mean (paper) vs sum vs symmetric; dropout");
+  bench::JsonEmitter json("Ablation: aggregator");
   const std::uint64_t seed = util::global_seed();
 
   const data::Dataset ds = data::make_preset("ppi-s");
@@ -39,6 +40,13 @@ int main() {
           .cell(r.final_test_f1, 4)
           .cell(r.final_val_f1, 4)
           .cell(1e3 * r.train_seconds / static_cast<double>(r.iterations), 2);
+      json.record("ablation")
+          .field("aggregator", propagation::aggregator_name(kind))
+          .field("dropout", static_cast<double>(dropout))
+          .field("test_f1", r.final_test_f1)
+          .field("val_f1", r.final_val_f1)
+          .field("seconds_per_iteration",
+                 r.train_seconds / static_cast<double>(r.iterations));
     }
   }
   t.print(

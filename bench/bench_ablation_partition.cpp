@@ -17,6 +17,7 @@
 int main() {
   using namespace gsgcn;
   bench::banner("Ablation: partitioning", "Theorem 2 — P=1 feature-only vs 2-D");
+  bench::JsonEmitter json("Ablation: partitioning");
   const std::uint64_t seed = util::global_seed();
   const int threads = util::bench_max_threads();
 
@@ -82,21 +83,32 @@ int main() {
     util::Table t({"scheme", "P", "Q", "ms/propagation"});
     propagation::FeaturePartitionOptions opts;
     opts.threads = threads;
-    const double t_ours = bench::median_seconds(
+    const bench::TimingStats s_ours = bench::timing_stats(
         [&] { propagation::propagate_feature_partitioned(g, in, out, opts); },
         5);
     const int q_used = propagation::propagate_feature_partitioned(g, in, out, opts);
-    t.row().cell("feature-only (Alg. 6)").cell(1).cell(q_used).cell(1e3 * t_ours, 3);
+    t.row().cell("feature-only (Alg. 6)").cell(1).cell(q_used).cell(1e3 * s_ours.median_s, 3);
+    std::printf("  feature-only %s\n", s_ours.str().c_str());
+    json.record("measured_propagation")
+        .field("scheme", "feature-only")
+        .field("p", 1)
+        .field("q", q_used)
+        .field("time", s_ours);
     for (const std::uint32_t parts : {2u, 4u, 8u}) {
       const auto part = graph::partition_range(g.num_vertices(), parts);
       const int q = std::max(1, q_used / static_cast<int>(parts));
-      const double t_2d = bench::median_seconds(
+      const bench::TimingStats s_2d = bench::timing_stats(
           [&] { propagation::propagate_2d(g, part, q, in, out, threads); }, 5);
       t.row()
           .cell("2-D (graph x feature)")
           .cell(static_cast<std::int64_t>(parts))
           .cell(q)
-          .cell(1e3 * t_2d, 3);
+          .cell(1e3 * s_2d.median_s, 3);
+      json.record("measured_propagation")
+          .field("scheme", "2d")
+          .field("p", parts)
+          .field("q", q)
+          .field("time", s_2d);
     }
     t.print("Measured propagation time at " + std::to_string(threads) +
             " threads");
@@ -106,9 +118,9 @@ int main() {
   //          [8] edge-centric, [9]-style partition-centric) ---
   {
     util::Table t({"paradigm", "ms/propagation"});
-    const double t_vertex = bench::median_seconds(
+    const bench::TimingStats s_vertex = bench::timing_stats(
         [&] { propagation::aggregate_mean_forward(g, in, out, threads); }, 5);
-    const double t_edge = bench::median_seconds(
+    const bench::TimingStats s_edge = bench::timing_stats(
         [&] {
           propagation::aggregate_forward_edge_centric(
               g, propagation::AggregatorKind::kMean, in, out, threads);
@@ -116,17 +128,21 @@ int main() {
         5);
     const auto parts = graph::partition_range(
         g.num_vertices(), static_cast<std::uint32_t>(std::max(2, threads)));
-    const double t_part = bench::median_seconds(
+    const bench::TimingStats s_part = bench::timing_stats(
         [&] { propagation::propagate_2d(g, parts, 1, in, out, threads); }, 5);
     propagation::FeaturePartitionOptions fopts;
     fopts.threads = threads;
-    const double t_feat = bench::median_seconds(
+    const bench::TimingStats s_feat = bench::timing_stats(
         [&] { propagation::propagate_feature_partitioned(g, in, out, fopts); },
         5);
-    t.row().cell("vertex-centric gather [7]").cell(1e3 * t_vertex, 3);
-    t.row().cell("edge-centric scatter [8]").cell(1e3 * t_edge, 3);
-    t.row().cell("partition-centric (2-D) [9]").cell(1e3 * t_part, 3);
-    t.row().cell("feature-partitioned (paper)").cell(1e3 * t_feat, 3);
+    t.row().cell("vertex-centric gather [7]").cell(1e3 * s_vertex.median_s, 3);
+    t.row().cell("edge-centric scatter [8]").cell(1e3 * s_edge.median_s, 3);
+    t.row().cell("partition-centric (2-D) [9]").cell(1e3 * s_part.median_s, 3);
+    t.row().cell("feature-partitioned (paper)").cell(1e3 * s_feat.median_s, 3);
+    json.record("paradigms").field("paradigm", "vertex-centric").field("time", s_vertex);
+    json.record("paradigms").field("paradigm", "edge-centric").field("time", s_edge);
+    json.record("paradigms").field("paradigm", "partition-centric").field("time", s_part);
+    json.record("paradigms").field("paradigm", "feature-partitioned").field("time", s_feat);
     t.print(
         "Propagation paradigms on a sampled subgraph (edge-centric pays a "
         "per-thread full edge scan — the paper's reason to prefer gather "
@@ -141,13 +157,14 @@ int main() {
       propagation::FeaturePartitionOptions opts;
       opts.threads = threads;
       opts.force_q = q;
-      const double tq = bench::median_seconds(
+      const bench::TimingStats sq = bench::timing_stats(
           [&] { propagation::propagate_feature_partitioned(g, in, out, opts); },
           5);
       const double slice_kib = static_cast<double>(g.num_vertices()) *
                                (f / static_cast<double>(q)) * sizeof(float) /
                                1024.0;
-      t.row().cell(q).cell(1e3 * tq, 3).cell(slice_kib, 1);
+      t.row().cell(q).cell(1e3 * sq.median_s, 3).cell(slice_kib, 1);
+      json.record("q_sweep").field("q", q).field("time", sq).field("slice_kib", slice_kib);
     }
     t.print("Q sweep at P = 1 (optimal near Q*: slices fit private cache, "
             "all threads busy)");

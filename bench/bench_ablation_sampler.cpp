@@ -24,6 +24,7 @@ using namespace gsgcn;
 
 int main() {
   bench::banner("Ablation: sampler", "dashboard vs naive; eta; degree cap");
+  bench::JsonEmitter json("Ablation: sampler");
   const std::uint64_t seed = util::global_seed();
 
   // --- 1. frontier-size sweep, dashboard vs naive ---
@@ -39,16 +40,24 @@ int main() {
       sampling::NaiveFrontierSampler naive(ds.graph, p);
       sampling::DashboardFrontierSampler dash(ds.graph, p);
       util::Xoshiro256 r1(seed), r2(seed);
-      const double t_naive =
-          bench::median_seconds([&] { (void)naive.sample_vertices(r1); });
-      const double t_dash =
-          bench::median_seconds([&] { (void)dash.sample_vertices(r2); });
+      const bench::TimingStats s_naive =
+          bench::timing_stats([&] { (void)naive.sample_vertices(r1); });
+      const bench::TimingStats s_dash =
+          bench::timing_stats([&] { (void)dash.sample_vertices(r2); });
       t.row()
           .cell(static_cast<std::int64_t>(m))
           .cell(static_cast<std::int64_t>(budget))
-          .cell(1e3 * t_naive, 2)
-          .cell(1e3 * t_dash, 2)
-          .cell(util::speedup_str(t_naive / t_dash));
+          .cell(1e3 * s_naive.median_s, 2)
+          .cell(1e3 * s_dash.median_s, 2)
+          .cell(util::speedup_str(s_naive.median_s / s_dash.median_s));
+      std::printf("  m=%-5u naive %s | dashboard %s\n", m,
+                  s_naive.str().c_str(), s_dash.str().c_str());
+      json.record("dashboard_vs_naive")
+          .field("m", m)
+          .field("budget", budget)
+          .field("naive", s_naive)
+          .field("dashboard", s_dash)
+          .field("speedup", s_naive.median_s / s_dash.median_s);
     }
     t.print(
         "Dashboard vs naive frontier sampler (speedup should grow with m: "
@@ -69,19 +78,26 @@ int main() {
       p.eta = eta;
       sampling::DashboardFrontierSampler dash(ds.graph, p);
       util::Xoshiro256 rng(seed);
-      const double ms =
-          1e3 * bench::median_seconds([&] { (void)dash.sample_vertices(rng); });
+      const bench::TimingStats st =
+          bench::timing_stats([&] { (void)dash.sample_vertices(rng); });
       const double pops = budget - m;
       const double modeled = pops / ((eta - 1.0) * m);
       t.row()
           .cell(eta, 2)
-          .cell(ms, 2)
+          .cell(1e3 * st.median_s, 2)
           .cell(static_cast<double>(dash.last_probes()) / pops, 2)
           .cell(static_cast<std::int64_t>(dash.last_cleanups()))
           .cell(modeled, 1)
           .cell(static_cast<double>(dash.dashboard().capacity()) * 12.0 /
                     (1024.0 * 1024.0),
                 2);
+      json.record("eta_sweep")
+          .field("eta", eta)
+          .field("time", st)
+          .field("probes_per_pop",
+                 static_cast<double>(dash.last_probes()) / pops)
+          .field("cleanups", static_cast<std::int64_t>(dash.last_cleanups()))
+          .field("modeled_cleanups", modeled);
     }
     t.print(
         "Enlargement factor eta: cleanups fall as (n-m)/((eta-1)m), memory "
@@ -140,6 +156,10 @@ int main() {
           .cell(unique_mean, 0)
           .cell(jaccard / pairs, 4)
           .cell(static_cast<std::int64_t>(skewed.max_degree()));
+      json.record("degree_cap")
+          .field("cap", static_cast<std::int64_t>(cap))
+          .field("distinct_vertices_per_sample", unique_mean)
+          .field("cross_sample_jaccard", jaccard / pairs);
     }
     t.print(
         "Degree cap on a skewed R-MAT graph (Section VI-C2): capping hub weight spreads "

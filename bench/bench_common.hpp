@@ -3,16 +3,24 @@
 //
 // Every bench binary prints the paper artifact it regenerates, honours
 // GSGCN_SCALE / GSGCN_MAX_THREADS / GSGCN_SEED, and exits 0 so the whole
-// directory can be executed in a loop.
+// directory can be executed in a loop. When GSGCN_JSON_OUT names a
+// directory, each binary additionally writes BENCH_<artifact>.json there
+// (a machine-readable mirror of its printed tables) via JsonEmitter.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "data/synthetic.hpp"
 #include "util/env.hpp"
+#include "util/json_writer.hpp"
 #include "util/parallel.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -38,9 +46,30 @@ inline std::vector<int> thread_sweep() {
   return out;
 }
 
-/// Median-of-k wall time for a callable (first call warms caches).
+/// Wall-time distribution of repeated runs of a callable. One timing
+/// number hides run-to-run noise; min/median/p90/max make thermal
+/// throttling and co-tenant interference visible in the bench output.
+struct TimingStats {
+  double min_s = 0.0;
+  double median_s = 0.0;
+  double p90_s = 0.0;
+  double max_s = 0.0;
+  int reps = 0;
+
+  /// "12.34ms [min 11.10, p90 13.01, max 14.20, n=5]"
+  std::string str() const {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%.2fms [min %.2f, p90 %.2f, max %.2f, n=%d]",
+                  1e3 * median_s, 1e3 * min_s, 1e3 * p90_s, 1e3 * max_s, reps);
+    return buf;
+  }
+};
+
+/// Timing distribution over `reps` runs (first call warms caches and is
+/// not counted).
 template <typename F>
-double median_seconds(F&& fn, int reps = 3) {
+TimingStats timing_stats(F&& fn, int reps = 3) {
   fn();  // warmup
   std::vector<double> times;
   times.reserve(static_cast<std::size_t>(reps));
@@ -49,8 +78,157 @@ double median_seconds(F&& fn, int reps = 3) {
     fn();
     times.push_back(t.seconds());
   }
-  std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
+  TimingStats s;
+  s.reps = reps;
+  s.min_s = *std::min_element(times.begin(), times.end());
+  s.max_s = *std::max_element(times.begin(), times.end());
+  s.median_s = util::median(times);
+  s.p90_s = util::percentile(times, 90.0);
+  return s;
 }
+
+/// Median-of-k wall time for a callable (first call warms caches).
+template <typename F>
+double median_seconds(F&& fn, int reps = 3) {
+  return timing_stats(std::forward<F>(fn), reps).median_s;
+}
+
+/// Machine-readable bench output. Construct one per binary with the same
+/// artifact string passed to banner(); add flat records with fluent
+/// field() calls; the destructor (or an explicit flush()) writes
+///   $GSGCN_JSON_OUT/BENCH_<artifact-slug>.json
+/// with a header (artifact, scale, max_threads, seed) and the record
+/// list. When GSGCN_JSON_OUT is unset every call is a cheap no-op, so
+/// emission can be wired unconditionally into each bench.
+class JsonEmitter {
+ public:
+  class Record {
+   public:
+    Record& field(std::string_view key, double v) { return raw(key, num(v)); }
+    Record& field(std::string_view key, std::int64_t v) {
+      return raw(key, num(v));
+    }
+    Record& field(std::string_view key, int v) {
+      return field(key, static_cast<std::int64_t>(v));
+    }
+    Record& field(std::string_view key, unsigned v) {
+      return field(key, static_cast<std::int64_t>(v));
+    }
+    Record& field(std::string_view key, bool v) {
+      return raw(key, v ? "true" : "false");
+    }
+    Record& field(std::string_view key, std::string_view v) {
+      std::string quoted;
+      quoted += '"';
+      quoted += util::json_escape(v);
+      quoted += '"';
+      return raw(key, std::move(quoted));
+    }
+    Record& field(std::string_view key, const char* v) {
+      return field(key, std::string_view(v));
+    }
+    Record& field(std::string_view key, const TimingStats& s) {
+      std::string sub;
+      util::JsonWriter w(&sub);
+      w.begin_object();
+      w.key("min_s").value(s.min_s);
+      w.key("median_s").value(s.median_s);
+      w.key("p90_s").value(s.p90_s);
+      w.key("max_s").value(s.max_s);
+      w.key("reps").value(s.reps);
+      w.end_object();
+      return raw(key, sub);
+    }
+
+   private:
+    friend class JsonEmitter;
+    template <typename T>
+    static std::string num(T v) {
+      std::string s;
+      util::JsonWriter w(&s);
+      w.value(v);
+      return s;
+    }
+    Record& raw(std::string_view key, std::string json) {
+      fields_.emplace_back(std::string(key), std::move(json));
+      return *this;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit JsonEmitter(std::string artifact)
+      : artifact_(std::move(artifact)),
+        dir_(util::env_string("GSGCN_JSON_OUT", "")) {}
+
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+  ~JsonEmitter() { flush(); }
+
+  bool enabled() const { return !dir_.empty(); }
+
+  /// Start a new record tagged with a `kind` discriminator; the returned
+  /// reference stays valid until flush() (records live in a deque).
+  Record& record(std::string_view kind) {
+    records_.emplace_back();
+    return records_.back().field("kind", kind);
+  }
+
+  void flush() {
+    if (flushed_ || !enabled()) return;
+    flushed_ = true;
+    std::string out;
+    util::JsonWriter w(&out);
+    w.begin_object();
+    w.key("artifact").value(artifact_);
+    w.key("scale").value(util::dataset_scale());
+    w.key("max_threads").value(util::bench_max_threads());
+    w.key("seed").value(static_cast<std::int64_t>(util::global_seed()));
+    w.key("records").begin_array();
+    for (const Record& r : records_) {
+      w.begin_object();
+      for (const auto& [key, json] : r.fields_) {
+        w.key(key).value_raw(json);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    const std::string path = dir_ + "/BENCH_" + slug(artifact_) + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("json: %s\n", path.c_str());
+  }
+
+ private:
+  static std::string slug(const std::string& s) {
+    std::string out;
+    bool sep = false;
+    for (const char c : s) {
+      if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+        out += c;
+        sep = false;
+      } else if (c >= 'A' && c <= 'Z') {
+        out += static_cast<char>(c - 'A' + 'a');
+        sep = false;
+      } else if (!sep && !out.empty()) {
+        out += '_';
+        sep = true;
+      }
+    }
+    while (!out.empty() && out.back() == '_') out.pop_back();
+    return out.empty() ? "unnamed" : out;
+  }
+
+  std::string artifact_;
+  std::string dir_;
+  std::deque<Record> records_;
+  bool flushed_ = false;
+};
 
 }  // namespace gsgcn::bench

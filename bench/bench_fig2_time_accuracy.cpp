@@ -36,6 +36,7 @@ double time_to_threshold(const gcn::TrainResult& r, double threshold) {
 
 int main() {
   bench::banner("Figure 2", "time-accuracy, sequential (threads = 1)");
+  bench::JsonEmitter json("Figure 2");
   const std::uint64_t seed = util::global_seed();
   // Half the standard preset size: Figure 2 runs three trainers per
   // dataset on one thread.
@@ -92,6 +93,12 @@ int main() {
             .cell(rec.epoch)
             .cell(rec.train_seconds, 3)
             .cell(rec.val_f1, 4);
+        json.record("curve")
+            .field("dataset", name)
+            .field("method", s.method)
+            .field("epoch", rec.epoch)
+            .field("train_seconds", rec.train_seconds)
+            .field("val_f1", rec.val_f1);
       }
     }
     curve.print("Figure 2 series — " + name);
@@ -117,6 +124,12 @@ int main() {
         .cell(t_base, 3)
         .cell(t_ours > 0 && t_base > 0 ? util::speedup_str(t_base / t_ours)
                                        : std::string("n/a"));
+    json.record("serial_speedup")
+        .field("dataset", name)
+        .field("best_baseline", series[best].method)
+        .field("a0", a0)
+        .field("ours_seconds", t_ours)
+        .field("baseline_seconds", t_base);
   }
   speedups.print(
       "Serial training speedup to baseline-accuracy threshold "

@@ -71,6 +71,7 @@ Phases run(const data::Dataset& ds, int hidden, int threads, int iterations) {
 
 int main() {
   bench::banner("Figure 3", "training scaling & execution breakdown");
+  bench::JsonEmitter json("Figure 3");
   const auto threads = bench::thread_sweep();
   const int iterations =
       static_cast<int>(util::env_int("GSGCN_FIG3_ITERS", 6));
@@ -98,6 +99,15 @@ int main() {
             .cell(util::speedup_str(base.featprop / ph.featprop))
             .cell(util::speedup_str(base.weight / ph.weight))
             .cell(breakdown);
+        json.record("scaling")
+            .field("preset", name)
+            .field("hidden", hidden)
+            .field("threads", p)
+            .field("iter_seconds", ph.total)
+            .field("sample_seconds", ph.sample)
+            .field("featprop_seconds", ph.featprop)
+            .field("weight_seconds", ph.weight)
+            .field("iter_speedup", base.total / ph.total);
       }
       t.print("Figure 3 — " + name + ", hidden=" + std::to_string(hidden) +
               " (paper: ~20x iteration / ~25x featprop / ~16x weight at 40 "

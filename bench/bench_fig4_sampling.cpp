@@ -60,6 +60,7 @@ double sampler_ms(const graph::CsrGraph& g, sampling::IntraMode mode,
 
 int main() {
   bench::banner("Figure 4", "sampling scalability & AVX gain");
+  bench::JsonEmitter json("Figure 4");
   const int rounds = static_cast<int>(util::env_int("GSGCN_FIG4_ROUNDS", 4));
 
   // --- A: inter-subgraph parallelism (p_inter sweep) ---
@@ -74,6 +75,11 @@ int main() {
       const double t = p == 1 ? t1 : pool_seconds(ds.graph, p, rounds, m, n);
       const double rate = rounds * static_cast<double>(p) / t;
       ta.row().cell(p).cell(rate, 1).cell(util::speedup_str(rate / base_rate));
+      json.record("inter_parallelism")
+          .field("preset", name)
+          .field("p_inter", p)
+          .field("subgraphs_per_second", rate)
+          .field("speedup", rate / base_rate);
     }
     ta.print("Figure 4A — " + name + " (m=" + std::to_string(m) + ", n=" +
              std::to_string(n) + "; paper: near-linear to 20 cores)");
@@ -95,6 +101,11 @@ int main() {
           .cell(ms_scalar, 3)
           .cell(ms_avx, 3)
           .cell(util::speedup_str(ms_scalar / ms_avx));
+      json.record("avx_gain")
+          .field("avg_degree", static_cast<std::int64_t>(deg))
+          .field("scalar_ms", ms_scalar)
+          .field("avx2_ms", ms_avx)
+          .field("gain", ms_scalar / ms_avx);
     }
     tb.print(
         "Figure 4B — AVX2 gain on raw frontier sampling (m=1000, n=8000, "

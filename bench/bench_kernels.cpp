@@ -4,12 +4,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "graph/generators.hpp"
 #include "graph/subgraph.hpp"
 #include "propagation/feature_partitioned.hpp"
 #include "propagation/spmm.hpp"
 #include "sampling/frontier_dashboard.hpp"
 #include "tensor/gemm.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -138,4 +142,28 @@ BENCHMARK(BM_FrontierSample)->Arg(4000)->Arg(8000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() honouring GSGCN_JSON_OUT: when the env var
+// names a directory, inject google-benchmark's JSON reporter flags so
+// this binary emits BENCH_kernels.json next to the other benches'
+// artifacts. Explicit --benchmark_out flags on the command line win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  const std::string dir = gsgcn::util::env_string("GSGCN_JSON_OUT", "");
+  std::string out_flag, fmt_flag;
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!dir.empty() && !has_out) {
+    out_flag = "--benchmark_out=" + dir + "/BENCH_kernels.json";
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

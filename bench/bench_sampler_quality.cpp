@@ -60,6 +60,7 @@ gcn::SamplerKind trainer_kind(const std::string& kind) {
 int main() {
   bench::banner("Sampler quality",
                 "connectivity preservation (Section III-C) across samplers");
+  bench::JsonEmitter json("Sampler quality");
   const std::uint64_t seed = util::global_seed();
   const char* kinds[] = {"frontier",    "random-walk", "forest-fire",
                          "random-edge", "snowball",    "uniform-node"};
@@ -103,6 +104,13 @@ int main() {
         .cell(clus / 10, 4)
         .cell(tv / 10, 3)
         .cell(static_cast<double>(covered.size()) / g.num_vertices(), 3);
+    json.record("structure")
+        .field("sampler", kind)
+        .field("avg_degree", deg / 10)
+        .field("lcc_share", lcc / 10)
+        .field("clustering", clus / 10)
+        .field("degree_tv_distance", tv / 10)
+        .field("coverage", static_cast<double>(covered.size()) / g.num_vertices());
   }
   t.print(
       "Connectivity preservation per sampler "
@@ -124,6 +132,10 @@ int main() {
     gcn::Trainer trainer(ds, cfg);
     const auto r = trainer.train();
     acc.row().cell(kind).cell(r.final_test_f1, 4).cell(r.train_seconds, 2);
+    json.record("accuracy")
+        .field("sampler", kind)
+        .field("test_f1", r.final_test_f1)
+        .field("train_seconds", r.train_seconds);
   }
   acc.print("Downstream accuracy per sampler (same model & vertex budget)");
   return 0;

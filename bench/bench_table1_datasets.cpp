@@ -10,6 +10,7 @@
 int main() {
   using namespace gsgcn;
   bench::banner("Table I", "dataset statistics (synthetic analogues)");
+  bench::JsonEmitter json("Table I");
 
   util::Table ours({"Dataset", "#Vertices", "#Edges", "Attr", "#Classes",
                     "Mode", "AvgDeg", "MaxDeg", "Train/Val/Test"});
@@ -28,6 +29,15 @@ int main() {
         .cell(std::to_string(ds.train_vertices.size()) + "/" +
               std::to_string(ds.val_vertices.size()) + "/" +
               std::to_string(ds.test_vertices.size()));
+    json.record("dataset")
+        .field("name", name)
+        .field("vertices", static_cast<std::int64_t>(ds.num_vertices()))
+        .field("edges", static_cast<std::int64_t>(ds.graph.num_edges() / 2))
+        .field("attr_dim", static_cast<std::int64_t>(ds.feature_dim()))
+        .field("classes", static_cast<std::int64_t>(ds.num_classes()))
+        .field("multi_label", ds.mode == data::LabelMode::kMulti)
+        .field("avg_degree", stats.mean_degree)
+        .field("max_degree", static_cast<std::int64_t>(stats.max_degree));
   }
   ours.print("This repo's presets (scaled by GSGCN_SCALE)");
 

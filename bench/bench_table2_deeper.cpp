@@ -15,8 +15,9 @@ namespace {
 
 using namespace gsgcn;
 
-/// Seconds per epoch of ours at (layers, threads).
-double ours_epoch_seconds(const data::Dataset& ds, int layers, int threads) {
+/// Per-epoch timing of ours at (layers, threads).
+bench::TimingStats ours_epoch_stats(const data::Dataset& ds, int layers,
+                                    int threads) {
   gcn::TrainerConfig cfg;
   cfg.hidden_dim = 64;
   cfg.num_layers = layers;
@@ -28,11 +29,12 @@ double ours_epoch_seconds(const data::Dataset& ds, int layers, int threads) {
   cfg.seed = util::global_seed();
   cfg.eval_every_epoch = false;
   gcn::Trainer t(ds, cfg);
-  return bench::median_seconds([&] { (void)t.train(); }, 2);
+  return bench::timing_stats([&] { (void)t.train(); }, 2);
 }
 
-/// Seconds per epoch of the layer-sampling baseline at (layers, threads).
-double sage_epoch_seconds(const data::Dataset& ds, int layers, int threads) {
+/// Per-epoch timing of the layer-sampling baseline at (layers, threads).
+bench::TimingStats sage_epoch_stats(const data::Dataset& ds, int layers,
+                                    int threads) {
   baselines::SageConfig cfg;
   cfg.hidden_dim = 64;
   cfg.num_layers = layers;
@@ -43,14 +45,14 @@ double sage_epoch_seconds(const data::Dataset& ds, int layers, int threads) {
   cfg.seed = util::global_seed();
   cfg.eval_every_epoch = false;
   baselines::GraphSageTrainer t(ds, cfg);
-  return bench::median_seconds([&] { (void)t.train(); },
-                               layers >= 3 ? 1 : 2);
+  return bench::timing_stats([&] { (void)t.train(); }, layers >= 3 ? 1 : 2);
 }
 
 }  // namespace
 
 int main() {
   bench::banner("Table II", "speedup vs parallelized layer sampling, by depth");
+  bench::JsonEmitter json("Table II");
   const data::Dataset ds = data::make_preset("reddit-s");
   const auto threads = bench::thread_sweep();
 
@@ -58,14 +60,22 @@ int main() {
                  "speedup"});
   for (const int layers : {1, 2, 3}) {
     for (const int p : threads) {
-      const double ours = ours_epoch_seconds(ds, layers, p);
-      const double sage = sage_epoch_seconds(ds, layers, p);
+      const bench::TimingStats ours = ours_epoch_stats(ds, layers, p);
+      const bench::TimingStats sage = sage_epoch_stats(ds, layers, p);
       t.row()
           .cell(layers)
           .cell(p)
-          .cell(ours, 3)
-          .cell(sage, 3)
-          .cell(util::speedup_str(sage / ours));
+          .cell(ours.median_s, 3)
+          .cell(sage.median_s, 3)
+          .cell(util::speedup_str(sage.median_s / ours.median_s));
+      std::printf("  L=%d p=%-3d ours %s | baseline %s\n", layers, p,
+                  ours.str().c_str(), sage.str().c_str());
+      json.record("speedup")
+          .field("layers", layers)
+          .field("cores", p)
+          .field("ours", ours)
+          .field("baseline", sage)
+          .field("speedup", sage.median_s / ours.median_s);
     }
   }
   t.print(

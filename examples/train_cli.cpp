@@ -22,6 +22,9 @@
 #include "gcn/metrics.hpp"
 #include "gcn/trainer.hpp"
 #include "graph/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
@@ -58,6 +61,13 @@ sampler:
 parallelism / misc:
   --threads T (all)    --p-inter K (all)   --seed S (42)
   --checkpoint FILE    save trained weights, reload, re-evaluate
+
+observability:
+  --trace-out FILE     Chrome trace-event JSON of the whole run; open in
+                       Perfetto or chrome://tracing (spans compile in with
+                       -DGSGCN_OBS=ON, Debug, or sanitizer builds)
+  --metrics-out FILE   JSONL telemetry: one "epoch" record per epoch plus
+                       a final "run_summary" (works in every build)
 )");
 }
 
@@ -205,10 +215,26 @@ int main(int argc, char** argv) {
     cfg.p_inter = cli.get("p-inter", util::max_threads());
     cfg.seed = seed;
     const std::string ckpt = cli.get("checkpoint", std::string());
+    const std::string trace_out = cli.get("trace-out", std::string());
+    const std::string metrics_out = cli.get("metrics-out", std::string());
 
     for (const auto& flag : cli.unused()) {
       std::cerr << "unknown flag: --" << flag << " (see --help)\n";
       return 2;
+    }
+
+    if (!trace_out.empty()) {
+      if (!obs::compiled_in()) {
+        std::fprintf(stderr,
+                     "warning: --trace-out given but instrumentation is "
+                     "compiled out; the trace will be empty (rebuild with "
+                     "-DGSGCN_OBS=ON)\n");
+      }
+      obs::Tracer::instance().start(trace_out);
+    }
+    if (!metrics_out.empty() &&
+        !obs::Telemetry::instance().open(metrics_out)) {
+      return 1;
     }
 
     gcn::Trainer trainer(ds, cfg);
@@ -246,6 +272,18 @@ int main(int argc, char** argv) {
       const float drift = tensor::Matrix::max_abs_diff(logits, logits2);
       std::printf("checkpoint '%s' saved; reload drift %.2g (expect 0)\n",
                   ckpt.c_str(), static_cast<double>(drift));
+    }
+
+    // ---- observability artifacts ----
+    if (!trace_out.empty()) {
+      const std::size_t n_events = obs::Tracer::instance().event_count();
+      if (obs::Tracer::instance().stop()) {
+        std::printf("trace: %zu events -> %s\n", n_events, trace_out.c_str());
+      }
+    }
+    if (!metrics_out.empty()) {
+      obs::Telemetry::instance().close();
+      std::printf("telemetry: %s\n", metrics_out.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

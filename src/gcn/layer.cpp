@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace gsgcn::gcn {
@@ -45,6 +46,7 @@ const tensor::Matrix& GraphConvLayer::forward(const graph::CsrGraph& g,
   }
   const std::size_t n = h_in_raw.rows();
   const std::size_t fo = out_dim();
+  GSGCN_TRACE_SPAN_ID("layer/forward", n);
 
   // Inverted dropout on the input: keep with probability 1-p, scale by
   // 1/(1-p) so eval needs no rescaling.
@@ -110,6 +112,7 @@ const tensor::Matrix& GraphConvLayer::backward(const graph::CsrGraph& g,
     throw std::invalid_argument("GraphConvLayer::backward: grad shape " +
                                 d_out.shape_str());
   }
+  GSGCN_TRACE_SPAN_ID("layer/backward", n);
   ensure_shape(d_pre_, n, 2 * fo);
   ensure_shape(d_self_, n, fo);
   ensure_shape(d_neigh_, n, fo);

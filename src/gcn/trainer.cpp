@@ -1,21 +1,27 @@
 #include "gcn/trainer.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "gcn/inference.hpp"
 #include "gcn/loss.hpp"
 #include "gcn/metrics.hpp"
 #include "graph/subgraph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sampling/frontier_dashboard.hpp"
 #include "sampling/samplers.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
+#include "util/json_writer.hpp"
 #include "util/timer.hpp"
 
 namespace gsgcn::gcn {
 
 const char* sampler_kind_name(SamplerKind kind) {
+  // Exhaustive: -Wswitch flags any SamplerKind added without a name here.
   switch (kind) {
     case SamplerKind::kFrontierDashboard: return "frontier-dashboard";
     case SamplerKind::kFrontierNaive: return "frontier-naive";
@@ -25,7 +31,7 @@ const char* sampler_kind_name(SamplerKind kind) {
     case SamplerKind::kForestFire: return "forest-fire";
     case SamplerKind::kSnowball: return "snowball";
   }
-  return "?";
+  std::abort();  // unreachable for in-range enum values
 }
 
 Trainer::Trainer(const data::Dataset& dataset, const TrainerConfig& config)
@@ -129,39 +135,51 @@ TrainResult Trainer::train() {
   double train_time = 0.0;
   float lr = cfg_.lr;
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    GSGCN_TRACE_SPAN_ID("train/epoch", epoch);
     util::Timer epoch_timer;
     double loss_sum = 0.0;
     for (std::int64_t it = 0; it < iters_per_epoch; ++it) {
+      GSGCN_TRACE_SPAN("train/iteration");
       graph::Subgraph sub = pool_->pop();
       const graph::Vid n_sub = sub.num_vertices();
       GSGCN_ASSERT(n_sub > 0, "pool produced an empty subgraph");
       GSGCN_ASSERT(sub.orig_ids.size() == n_sub,
                    "subgraph id map size disagrees with its CSR");
 
-      ensure_shape(batch_features_, n_sub, ds_.feature_dim());
-      ensure_shape(batch_labels_, n_sub, ds_.num_classes());
-      tensor::gather_rows(train_features_, sub.orig_ids, batch_features_,
-                          cfg_.threads);
-      tensor::gather_rows(train_labels_, sub.orig_ids, batch_labels_,
-                          cfg_.threads);
+      {
+        GSGCN_TRACE_SPAN_ID("train/gather", n_sub);
+        ensure_shape(batch_features_, n_sub, ds_.feature_dim());
+        ensure_shape(batch_labels_, n_sub, ds_.num_classes());
+        tensor::gather_rows(train_features_, sub.orig_ids, batch_features_,
+                            cfg_.threads);
+        tensor::gather_rows(train_labels_, sub.orig_ids, batch_labels_,
+                            cfg_.threads);
+      }
 
       const tensor::Matrix& logits = model_->forward(
           sub.graph, batch_features_, cfg_.threads, &clock, /*training=*/true);
       GSGCN_CHECK_FINITE_RANGE(logits.data(), logits.size(),
                                "training logits");
       ensure_shape(d_logits_, n_sub, ds_.num_classes());
-      if (saint_ != nullptr) {
-        const std::vector<float> w = saint_->batch_weights(sub.orig_ids);
-        loss_sum += classification_loss_weighted(ds_.mode, logits,
-                                                 batch_labels_, w, d_logits_);
-      } else {
-        loss_sum +=
-            classification_loss(ds_.mode, logits, batch_labels_, d_logits_);
+      {
+        GSGCN_TRACE_SPAN("train/loss");
+        if (saint_ != nullptr) {
+          const std::vector<float> w = saint_->batch_weights(sub.orig_ids);
+          loss_sum += classification_loss_weighted(ds_.mode, logits,
+                                                   batch_labels_, w, d_logits_);
+        } else {
+          loss_sum +=
+              classification_loss(ds_.mode, logits, batch_labels_, d_logits_);
+        }
       }
       GSGCN_CHECK_FINITE_RANGE(d_logits_.data(), d_logits_.size(),
                                "loss gradient");
       model_->backward(sub.graph, d_logits_, cfg_.threads, &clock);
-      model_->apply_gradients(*opt_);
+      {
+        GSGCN_TRACE_SPAN("train/adam");
+        model_->apply_gradients(*opt_);
+      }
+      GSGCN_COUNTER_INC("train.iterations");
       ++result.iterations;
     }
     train_time += epoch_timer.seconds();
@@ -172,6 +190,7 @@ TrainResult Trainer::train() {
     rec.train_seconds = train_time;
     if (eval_epochs) rec.val_f1 = evaluate(ds_.val_vertices);
     result.history.push_back(rec);
+    emit_epoch_record(rec);
 
     // Per-epoch learning-rate decay.
     if (cfg_.lr_decay != 1.0f) {
@@ -201,11 +220,64 @@ TrainResult Trainer::train() {
   result.weight_seconds = clock.weight_apply.total_seconds();
   result.final_val_f1 = evaluate(ds_.val_vertices);
   result.final_test_f1 = evaluate(ds_.test_vertices);
+  emit_run_summary(result);
   return result;
+}
+
+void Trainer::emit_epoch_record(const EpochRecord& rec) const {
+  obs::Telemetry& sink = obs::Telemetry::instance();
+  if (!sink.enabled()) return;
+  std::string line;
+  util::JsonWriter w(&line);
+  w.begin_object();
+  w.key("type").value("epoch");
+  w.key("epoch").value(rec.epoch);
+  w.key("train_loss").value(rec.train_loss);
+  w.key("val_f1").value(rec.val_f1);
+  w.key("train_seconds").value(rec.train_seconds);
+  w.end_object();
+  sink.emit(line);
+}
+
+void Trainer::emit_run_summary(const TrainResult& result) const {
+  obs::Telemetry& sink = obs::Telemetry::instance();
+  if (!sink.enabled()) return;
+  std::string line;
+  util::JsonWriter w(&line);
+  w.begin_object();
+  w.key("type").value("run_summary");
+  w.key("sampler").value(sampler_kind_name(cfg_.sampler));
+  // Requested vs. effective sampler parameters: the constructor clamps
+  // budget/frontier against the training-graph size, and a silent clamp
+  // has bitten small-dataset experiments before — make it visible.
+  w.key("requested_budget").value(static_cast<std::int64_t>(cfg_.budget));
+  w.key("effective_budget").value(static_cast<std::int64_t>(budget_));
+  w.key("requested_frontier")
+      .value(static_cast<std::int64_t>(cfg_.frontier_size));
+  w.key("effective_frontier").value(static_cast<std::int64_t>(frontier_));
+  w.key("params_clamped")
+      .value(budget_ != cfg_.budget || frontier_ != cfg_.frontier_size);
+  w.key("train_graph_vertices")
+      .value(static_cast<std::int64_t>(train_graph_.num_vertices()));
+  w.key("epochs_run").value(static_cast<std::int64_t>(result.history.size()));
+  w.key("iterations").value(result.iterations);
+  w.key("early_stopped").value(result.early_stopped);
+  w.key("train_seconds").value(result.train_seconds);
+  w.key("sample_seconds").value(result.sample_seconds);
+  w.key("featprop_seconds").value(result.featprop_seconds);
+  w.key("weight_seconds").value(result.weight_seconds);
+  w.key("final_val_f1").value(result.final_val_f1);
+  w.key("final_test_f1").value(result.final_test_f1);
+  // Full metrics scrape (counters/gauges/histograms) — empty collections
+  // in builds where the instrumentation macros compile out.
+  w.key("metrics").value_raw(obs::Registry::instance().scrape().to_json());
+  w.end_object();
+  sink.emit(line);
 }
 
 double Trainer::evaluate(const std::vector<graph::Vid>& subset) {
   if (subset.empty()) return 0.0;
+  GSGCN_TRACE_SPAN_ID("train/evaluate", subset.size());
   // Cache-free full-graph inference: identical numerics to model forward
   // in eval mode, but it does not disturb the training buffers.
   const tensor::Matrix& logits =

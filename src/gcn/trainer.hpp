@@ -119,6 +119,10 @@ class Trainer {
  private:
   std::unique_ptr<sampling::VertexSampler> make_sampler(int instance) const;
 
+  // Structured telemetry (obs::Telemetry JSONL); no-ops when no sink is open.
+  void emit_epoch_record(const EpochRecord& rec) const;
+  void emit_run_summary(const TrainResult& result) const;
+
   const data::Dataset& ds_;
   TrainerConfig cfg_;
   graph::Vid frontier_ = 0;

@@ -1,0 +1,180 @@
+#pragma once
+// gsgcn::obs metrics registry — counters, gauges, fixed-bucket histograms.
+//
+// Design goals, in priority order:
+//   1. Zero cost when observability is compiled out: the GSGCN_COUNTER_* /
+//      GSGCN_GAUGE_* / GSGCN_HISTOGRAM_* macros below expand to
+//      static_cast<void>(0) with UNEVALUATED operands (same contract as
+//      util/check.hpp), so Release builds carry no instructions, no
+//      branches, and no string literals for instrumentation sites.
+//   2. No atomics or locks on the hot path when compiled in: counter adds
+//      and histogram observations land in a per-thread shard; gauges
+//      store a (sequence, value) pair in the same shard, stamped from one
+//      relaxed atomic clock so scrape() can pick the latest write.
+//      Shards are merged only at scrape time. A thread that exits (the
+//      TSan std::thread backend creates fresh teams per region) retires
+//      its shard into a registry-held accumulator, so nothing is lost.
+//   3. Registration is name-keyed and idempotent: the macros cache the
+//      handle in a function-local static, so each site resolves its name
+//      exactly once per process.
+//
+// Scrape discipline: scrape()/reset() merge live shards without
+// synchronizing against their owner threads. Call them at quiescent
+// points only — after a parallel region has joined, at epoch/run
+// boundaries — which is where every caller in this repo sits.
+//
+// Naming convention: dot-separated "<subsystem>.<metric>", e.g.
+// "pool.occupancy", "dashboard.probes" (see DESIGN.md "Observability").
+//
+// The registry classes are always compiled (tests exercise the math in
+// every build flavor); only the instrumentation macros are conditional.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(GSGCN_OBS_ENABLED)
+#define GSGCN_OBS_COMPILED 1
+#else
+#define GSGCN_OBS_COMPILED 0
+#endif
+
+namespace gsgcn::obs {
+
+/// True when instrumentation macros are live in this build
+/// (-DGSGCN_OBS=ON, Debug, or any sanitizer configuration).
+constexpr bool compiled_in() { return GSGCN_OBS_COMPILED != 0; }
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;          // ascending upper bounds; +inf implicit
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (last = overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  /// Estimate the p-th percentile (p in [0, 100]) by linear interpolation
+  /// inside the bucket holding that rank; the first bucket's lower edge is
+  /// the observed min and the overflow bucket's upper edge the observed
+  /// max. Returns 0 for an empty histogram.
+  double percentile(double p) const;
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+  bool ever_set = false;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+  /// Lookup helpers for tests; throw std::out_of_range on unknown names.
+  double counter(const std::string& name) const;
+  const GaugeSnapshot& gauge(const std::string& name) const;
+  const HistogramSnapshot& histogram(const std::string& name) const;
+};
+
+class Registry {
+ public:
+  /// Process-wide instance (the macros below always target it).
+  static Registry& instance();
+
+  Registry();  // defined in metrics.cpp: Shard is incomplete here
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+  // --- registration (mutex-protected, idempotent by name) ---
+  // Re-registering a name as a different metric kind, or a histogram with
+  // different bounds, throws std::logic_error.
+  int counter(const std::string& name);
+  int gauge(const std::string& name);
+  int histogram(const std::string& name, std::vector<double> bounds);
+
+  // --- hot path (per-thread shard; no locks unless the shard must grow
+  //     to cover handles registered after its creation) ---
+  void add(int counter_handle, double v);
+  void set(int gauge_handle, double v);
+  void observe(int histogram_handle, double v);
+
+  // --- scrape-time (quiescent points only; see header note) ---
+  MetricsSnapshot scrape();
+  void reset();
+
+  struct Shard;  // per-thread storage; defined in metrics.cpp
+
+ private:
+  friend struct ThreadShards;
+  Shard& local_shard();
+  void register_shard(Shard* s);
+  void retire_shard(Shard* s);
+  void grow_shard(Shard& s);  // locks; aligns shard vectors with the defs
+
+  struct HistogramDef {
+    std::string name;
+    std::vector<double> bounds;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<HistogramDef> histogram_defs_;
+  std::vector<Shard*> shards_;          // live per-thread shards
+  std::unique_ptr<Shard> retired_;      // merged shards of exited threads
+  // name -> (kind, handle); kind: 0 counter, 1 gauge, 2 histogram.
+  std::vector<std::pair<std::string, std::pair<int, int>>> index_;
+};
+
+}  // namespace gsgcn::obs
+
+#if GSGCN_OBS_COMPILED
+
+#define GSGCN_COUNTER_ADD(name, v)                                        \
+  do {                                                                    \
+    static const int gsgcn_obs_handle =                                   \
+        ::gsgcn::obs::Registry::instance().counter(name);                 \
+    ::gsgcn::obs::Registry::instance().add(gsgcn_obs_handle,              \
+                                           static_cast<double>(v));       \
+  } while (false)
+
+#define GSGCN_COUNTER_INC(name) GSGCN_COUNTER_ADD(name, 1.0)
+
+#define GSGCN_GAUGE_SET(name, v)                                          \
+  do {                                                                    \
+    static const int gsgcn_obs_handle =                                   \
+        ::gsgcn::obs::Registry::instance().gauge(name);                   \
+    ::gsgcn::obs::Registry::instance().set(gsgcn_obs_handle,              \
+                                           static_cast<double>(v));       \
+  } while (false)
+
+/// Trailing arguments are the ascending bucket upper bounds, fixed at the
+/// first execution of the site.
+#define GSGCN_HISTOGRAM_OBSERVE(name, v, ...)                             \
+  do {                                                                    \
+    static const int gsgcn_obs_handle =                                   \
+        ::gsgcn::obs::Registry::instance().histogram(                     \
+            name, std::vector<double>{__VA_ARGS__});                      \
+    ::gsgcn::obs::Registry::instance().observe(gsgcn_obs_handle,          \
+                                               static_cast<double>(v));   \
+  } while (false)
+
+#else
+
+// Compiled out: operands are NOT evaluated (check.hpp contract).
+#define GSGCN_COUNTER_ADD(name, v) static_cast<void>(0)
+#define GSGCN_COUNTER_INC(name) static_cast<void>(0)
+#define GSGCN_GAUGE_SET(name, v) static_cast<void>(0)
+#define GSGCN_HISTOGRAM_OBSERVE(name, v, ...) static_cast<void>(0)
+
+#endif  // GSGCN_OBS_COMPILED

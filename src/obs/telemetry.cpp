@@ -1,0 +1,65 @@
+#include "obs/telemetry.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace gsgcn::obs {
+
+struct Telemetry::Impl {
+  std::mutex mu;
+  std::FILE* f = nullptr;
+  std::atomic<bool> open{false};
+};
+
+Telemetry& Telemetry::instance() {
+  static Telemetry t;
+  return t;
+}
+
+Telemetry::~Telemetry() {
+  close();
+  delete impl_;
+}
+
+bool Telemetry::open(const std::string& path) {
+  if (impl_ == nullptr) impl_ = new Impl;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->f != nullptr) {
+    std::fclose(impl_->f);
+    impl_->f = nullptr;
+    impl_->open.store(false, std::memory_order_release);
+  }
+  impl_->f = std::fopen(path.c_str(), "wb");
+  if (impl_->f == nullptr) {
+    std::fprintf(stderr, "obs::Telemetry: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  impl_->open.store(true, std::memory_order_release);
+  return true;
+}
+
+bool Telemetry::enabled() const {
+  return impl_ != nullptr && impl_->open.load(std::memory_order_acquire);
+}
+
+void Telemetry::emit(const std::string& json_object) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->f == nullptr) return;
+  std::fwrite(json_object.data(), 1, json_object.size(), impl_->f);
+  std::fputc('\n', impl_->f);
+  std::fflush(impl_->f);
+}
+
+void Telemetry::close() {
+  if (impl_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->f != nullptr) {
+    std::fclose(impl_->f);
+    impl_->f = nullptr;
+  }
+  impl_->open.store(false, std::memory_order_release);
+}
+
+}  // namespace gsgcn::obs

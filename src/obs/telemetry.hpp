@@ -1,0 +1,44 @@
+#pragma once
+// gsgcn::obs structured telemetry — JSONL record stream.
+//
+// One line per record, each a self-contained JSON object with a "type"
+// discriminator ("epoch", "run_summary", ...). The trainer emits records
+// whenever the sink is open; this is a RUNTIME switch (cold path, one
+// line per epoch), unlike the compile-time-gated span/counter macros, so
+// `train_cli --metrics-out` works in every build flavor.
+//
+// Records are produced with util::JsonWriter by the instrumented code;
+// the sink only appends lines, serialized by a mutex, flushing after
+// each write so a killed run keeps everything emitted so far.
+
+#include <string>
+
+namespace gsgcn::obs {
+
+class Telemetry {
+ public:
+  static Telemetry& instance();
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Open (truncate) the JSONL sink. Returns false if the file cannot be
+  /// created; an earlier sink, if any, is closed first.
+  bool open(const std::string& path);
+
+  bool enabled() const;
+
+  /// Append one record (a complete JSON object, no trailing newline).
+  /// No-op while closed.
+  void emit(const std::string& json_object);
+
+  void close();
+
+ private:
+  Telemetry() = default;
+  ~Telemetry();
+  struct Impl;
+  Impl* impl_ = nullptr;  // lazily created by open()
+};
+
+}  // namespace gsgcn::obs

@@ -1,0 +1,209 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "util/json_writer.hpp"
+
+namespace gsgcn::obs {
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::uint64_t t0_ns;
+  std::uint64_t t1_ns;
+  std::int64_t arg;
+  std::uint32_t tid;
+  bool has_arg;
+};
+
+/// Per-thread event buffer; registers with the tracer on first use and
+/// retires its events on thread exit. Mirrors the metrics shard design.
+struct ThreadBuffer {
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+  bool registered = false;
+  ~ThreadBuffer();
+};
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::mutex mu;
+  std::atomic<bool> active{false};
+  std::string path;
+  std::vector<ThreadBuffer*> buffers;   // live threads
+  std::vector<Event> retired;           // events of exited threads
+  std::atomic<std::uint32_t> next_tid{1};
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  ThreadBuffer& local_buffer() {
+    static thread_local ThreadBuffer tb;
+    if (!tb.registered) {
+      std::lock_guard<std::mutex> lock(mu);
+      tb.tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+      buffers.push_back(&tb);
+      tb.registered = true;
+    }
+    return tb;
+  }
+
+  void retire(ThreadBuffer* tb) {
+    std::lock_guard<std::mutex> lock(mu);
+    buffers.erase(std::remove(buffers.begin(), buffers.end(), tb),
+                  buffers.end());
+    retired.insert(retired.end(), tb->events.begin(), tb->events.end());
+  }
+
+  /// Merged copy of every buffer; caller must NOT hold mu.
+  std::vector<Event> collect() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<Event> all = retired;
+    for (const ThreadBuffer* tb : buffers) {
+      all.insert(all.end(), tb->events.begin(), tb->events.end());
+    }
+    return all;
+  }
+
+  void discard() {
+    std::lock_guard<std::mutex> lock(mu);
+    retired.clear();
+    for (ThreadBuffer* tb : buffers) tb->events.clear();
+  }
+};
+
+namespace {
+
+Tracer::Impl* g_impl = nullptr;  // set once by the singleton constructor
+
+ThreadBuffer::~ThreadBuffer() {
+  if (registered && g_impl != nullptr) g_impl->retire(this);
+}
+
+std::string serialize(const std::vector<Event>& events) {
+  std::string out;
+  util::JsonWriter w(&out);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  w.begin_object()
+      .key("name").value("process_name")
+      .key("ph").value("M")
+      .key("pid").value(1)
+      .key("tid").value(0)
+      .key("args").begin_object().key("name").value("gsgcn").end_object()
+      .end_object();
+  for (const Event& e : events) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value("gsgcn");
+    w.key("ph").value("X");
+    w.key("pid").value(1);
+    w.key("tid").value(static_cast<std::int64_t>(e.tid));
+    w.key("ts").value(static_cast<double>(e.t0_ns) * 1e-3);   // microseconds
+    w.key("dur").value(static_cast<double>(e.t1_ns - e.t0_ns) * 1e-3);
+    if (e.has_arg) {
+      w.key("args").begin_object().key("v").value(e.arg).end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Tracer() : impl_(new Impl) { g_impl = impl_; }
+
+Tracer::~Tracer() {
+  // Best-effort flush if the process exits mid-capture (train_cli calls
+  // stop() explicitly; this covers abnormal unwinds).
+  if (impl_->active.load(std::memory_order_acquire)) stop();
+  g_impl = nullptr;
+  delete impl_;
+}
+
+bool Tracer::active() const {
+  return impl_->active.load(std::memory_order_acquire);
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - impl_->epoch)
+          .count());
+}
+
+bool Tracer::start(const std::string& path) {
+  if (active()) return false;
+  impl_->discard();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->path = path;
+  }
+  impl_->active.store(true, std::memory_order_release);
+  return true;
+}
+
+bool Tracer::stop() {
+  if (!active()) return false;
+  impl_->active.store(false, std::memory_order_release);
+  const std::vector<Event> events = impl_->collect();
+  impl_->discard();  // the capture is consumed; event_count() drops to 0
+  const std::string json = serialize(events);
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    path = impl_->path;
+  }
+  if (path.empty()) return true;  // test-driven capture via dump_json()
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs::Tracer: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = n == json.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "obs::Tracer: short write to '%s'\n", path.c_str());
+  return ok;
+}
+
+std::size_t Tracer::event_count() { return impl_->collect().size(); }
+
+std::string Tracer::dump_json() { return serialize(impl_->collect()); }
+
+void Tracer::record(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns,
+                    std::int64_t arg, bool has_arg) {
+  ThreadBuffer& tb = impl_->local_buffer();
+  tb.events.push_back(Event{name, t0_ns, t1_ns, arg, tb.tid, has_arg});
+}
+
+Span::Span(const char* name, std::int64_t arg, bool has_arg)
+    : name_(name), arg_(arg), has_arg_(has_arg) {
+  Tracer& t = Tracer::instance();
+  if (t.active()) {
+    armed_ = true;
+    t0_ns_ = t.now_ns();
+  }
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  Tracer& t = Tracer::instance();
+  if (!t.active()) return;  // stopped mid-span; drop the partial interval
+  t.record(name_, t0_ns_, t.now_ns(), arg_, has_arg_);
+}
+
+}  // namespace gsgcn::obs

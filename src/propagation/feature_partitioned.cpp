@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 
@@ -111,6 +112,7 @@ int propagate_feature_partitioned(const graph::CsrGraph& g,
   GSGCN_ASSERT(q >= 1 && static_cast<std::size_t>(q) <= std::max<std::size_t>(
                                                            in.cols(), 1),
                "feature partition count out of range");
+  GSGCN_TRACE_SPAN_ID("featprop/forward", q);
   // Q/C rounds of C concurrent slices (Algorithm 6 lines 4-6). A single
   // collapsed parallel-for gives the same schedule with less fork/join.
   util::parallel_for(q, c, [&](std::int64_t i) {
@@ -127,6 +129,7 @@ int propagate_feature_partitioned_backward(const graph::CsrGraph& g,
   check(g, d_out, d_in);
   const int c = util::resolve_threads(opts.threads);
   const int q = pick_q(g, d_out.cols(), opts, c);
+  GSGCN_TRACE_SPAN_ID("featprop/backward", q);
   util::parallel_for(q, c, [&](std::int64_t i) {
     backward_slice(g, opts.aggregator, d_out, d_in,
                    feature_slice(d_out.cols(), q, static_cast<int>(i)));
@@ -154,6 +157,7 @@ void propagate_2d(const graph::CsrGraph& g, const graph::Partition& parts,
   }
 #endif
   const int total = p * q;
+  GSGCN_TRACE_SPAN_ID("propagate_2d", total);
   // Tiles are irregular (part sizes vary): hand them out dynamically.
   util::parallel_for_dynamic(total, threads, [&](std::int64_t t) {
     const int pi = static_cast<int>(t) / q;

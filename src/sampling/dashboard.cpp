@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 #ifdef GSGCN_AVX2
@@ -293,6 +294,10 @@ void Dashboard::cleanup() {
   used_ = write;
   valid_ = write;
   live_vertices_ = ia_write;
+  // `write` is the number of entries relocated/kept — the paper's cleanup
+  // copy cost (Section IV-B amortization argument).
+  GSGCN_COUNTER_INC("dashboard.cleanups");
+  GSGCN_COUNTER_ADD("dashboard.cleanup_copied_entries", write);
 }
 
 void Dashboard::grow_to_fit(graph::Eid degree) {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace gsgcn::sampling {
 
 namespace {
@@ -62,6 +64,7 @@ std::vector<graph::Vid> DashboardFrontierSampler::sample_vertices(
     if (vpop == Dashboard::kNoVertex) {
       // All frontier vertices have degree 0 — reseed (mirrors the naive
       // sampler's degenerate-case handling).
+      GSGCN_COUNTER_INC("sampler.frontier_restarts");
       db_.clear();
       seed = util::sample_without_replacement(g_.num_vertices(), m, rng);
       bool any_edges = false;
@@ -89,6 +92,17 @@ std::vector<graph::Vid> DashboardFrontierSampler::sample_vertices(
 
   last_probes_ = db_.probes() - probes0;
   last_cleanups_ = db_.cleanups() - cleanups0;
+  GSGCN_COUNTER_INC("sampler.samples");
+  GSGCN_COUNTER_ADD("dashboard.probes", last_probes_);
+  // Theorem 1 bounds the expected probes per pop by η/(η−1); the
+  // histogram makes the bound observable. Pops ≈ budget − m (one per
+  // main-loop iteration; reseeds add at most one more each).
+  if (p_.budget > m) {
+    GSGCN_HISTOGRAM_OBSERVE(
+        "sampler.probes_per_pop",
+        static_cast<double>(last_probes_) / static_cast<double>(p_.budget - m),
+        1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0, 32.0);
+  }
   return sampled;
 }
 

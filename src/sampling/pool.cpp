@@ -2,9 +2,12 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace gsgcn::sampling {
 
@@ -21,6 +24,8 @@ SubgraphPool::SubgraphPool(const graph::CsrGraph& g, SamplerFactory factory,
 }
 
 void SubgraphPool::refill() {
+  GSGCN_TRACE_SPAN("pool/refill");
+  [[maybe_unused]] const util::Timer refill_timer;
   util::ScopedPhase phase(sample_time_);
   const int p = p_inter();
   const std::size_t base = queue_.size();
@@ -36,22 +41,36 @@ void SubgraphPool::refill() {
     // index: slot k produces the same subgraph no matter which instance
     // (or p_inter configuration) executes it.
     auto rng = util::Xoshiro256::stream(seed_, slot_base + static_cast<std::uint64_t>(i));
-    const auto vertices =
-        samplers_[static_cast<std::size_t>(i)]->sample_vertices(rng);
+    std::vector<graph::Vid> vertices;
+    {
+      GSGCN_TRACE_SPAN_ID("pool/sample", slot_base + static_cast<std::uint64_t>(i));
+      vertices = samplers_[static_cast<std::size_t>(i)]->sample_vertices(rng);
+    }
     GSGCN_ASSERT(!vertices.empty(), "sampler returned an empty vertex set");
     // Induction stays single-threaded here: the parallelism budget is
     // already spent across instances (paper: p_intra is vector lanes).
+    GSGCN_TRACE_SPAN_ID("pool/induce", slot_base + static_cast<std::uint64_t>(i));
     queue_[base + static_cast<std::size_t>(i)] =
         inducers_[static_cast<std::size_t>(i)]->induce(vertices, 1);
   });
   next_slot_ += static_cast<std::uint64_t>(p);
+  GSGCN_COUNTER_INC("pool.refills");
+  GSGCN_HISTOGRAM_OBSERVE("pool.refill_seconds", refill_timer.seconds(), 0.001,
+                          0.005, 0.02, 0.1, 0.5, 2.0);
+  GSGCN_GAUGE_SET("pool.occupancy", queue_.size());
 }
 
 graph::Subgraph SubgraphPool::pop() {
-  if (queue_.empty()) refill();
+  if (queue_.empty()) {
+    // A pop hitting an empty queue means the consumer outran the pool and
+    // must wait for a full refill — the stall the pool exists to hide.
+    GSGCN_COUNTER_INC("pool.stalls");
+    refill();
+  }
   GSGCN_ASSERT(!queue_.empty(), "refill produced no subgraphs");
   graph::Subgraph out = std::move(queue_.front());
   queue_.pop_front();
+  GSGCN_GAUGE_SET("pool.occupancy", queue_.size());
   return out;
 }
 

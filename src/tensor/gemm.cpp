@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 #ifdef GSGCN_AVX2
@@ -90,6 +91,7 @@ void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
              float beta, int threads) {
   check_nn(a, b, c);
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  GSGCN_TRACE_SPAN_ID("gemm/nn", 2 * m * n * k);  // args.v = flops
   util::parallel_for(
       static_cast<std::int64_t>(m), threads, [&](std::int64_t ii) {
         const auto i = static_cast<std::size_t>(ii);
@@ -110,6 +112,7 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
              float beta, int threads) {
   check_tn(a, b, c);
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  GSGCN_TRACE_SPAN_ID("gemm/tn", 2 * m * n * k);
   util::parallel_for(
       static_cast<std::int64_t>(m), threads, [&](std::int64_t ii) {
         const auto i = static_cast<std::size_t>(ii);
@@ -129,6 +132,7 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
              float beta, int threads) {
   check_nt(a, b, c);
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  GSGCN_TRACE_SPAN_ID("gemm/nt", 2 * m * n * k);
   util::parallel_for(
       static_cast<std::int64_t>(m), threads, [&](std::int64_t ii) {
         const auto i = static_cast<std::size_t>(ii);

@@ -1,0 +1,297 @@
+#include "util/json_writer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace gsgcn::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::string* out) : out_(out) {}
+
+void JsonWriter::before_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the key already placed the comma
+  }
+  if (!comma_due_.empty()) {
+    if (comma_due_.back()) out_->push_back(',');
+    comma_due_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_->push_back('{');
+  comma_due_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  comma_due_.pop_back();
+  out_->push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_->push_back('[');
+  comma_due_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  comma_due_.pop_back();
+  out_->push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (!comma_due_.empty()) {
+    if (comma_due_.back()) out_->push_back(',');
+    comma_due_.back() = true;
+  }
+  out_->push_back('"');
+  *out_ += json_escape(k);
+  out_->push_back('"');
+  out_->push_back(':');
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return value_null();  // JSON has no NaN/Inf
+  before_value();
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out_->append(buf, res.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out_->append(buf, res.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  *out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_->push_back('"');
+  *out_ += json_escape(v);
+  out_->push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  before_value();
+  *out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_raw(std::string_view json) {
+  before_value();
+  *out_ += json;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Validator: recursive descent over the grammar of RFC 8259, depth-capped.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  bool eof() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+
+  void skip_ws() {
+    while (!eof() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                      s[i] == '\r')) {
+      ++i;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (s.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || s[i] != '"') return false;
+    ++i;
+    while (!eof()) {
+      const char c = s[i];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '"') {
+        ++i;
+        return true;
+      }
+      if (c == '\\') {
+        ++i;
+        if (eof()) return false;
+        const char e = s[i];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (i + static_cast<std::size_t>(k) >= s.size() ||
+                !std::isxdigit(static_cast<unsigned char>(
+                    s[i + static_cast<std::size_t>(k)]))) {
+              return false;
+            }
+          }
+          i += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++i;
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    return true;
+  }
+
+  bool number() {
+    if (!eof() && s[i] == '-') ++i;
+    if (eof()) return false;
+    if (s[i] == '0') {
+      ++i;
+    } else if (!digits()) {
+      return false;
+    }
+    if (!eof() && s[i] == '.') {
+      ++i;
+      if (!digits()) return false;
+    }
+    if (!eof() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (!eof() && (s[i] == '+' || s[i] == '-')) ++i;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = number(); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool object() {
+    ++i;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++i;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || s[i] != ':') return false;
+      ++i;
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == '}') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++i;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++i;
+      return true;
+    }
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == ']') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Parser p{text};
+  if (!p.value()) return false;
+  p.skip_ws();
+  return p.eof();
+}
+
+}  // namespace gsgcn::util

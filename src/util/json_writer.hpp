@@ -1,0 +1,64 @@
+#pragma once
+// Minimal streaming JSON emission (and a validator for tests/CI).
+//
+// Everything machine-readable this library writes — Chrome trace files,
+// JSONL telemetry records, the benches' BENCH_*.json artifacts — goes
+// through JsonWriter so escaping and number formatting are correct in
+// exactly one place. The writer appends to a caller-owned std::string;
+// comma placement is tracked with a small nesting stack, so call order is
+// the only contract: key() before every value inside an object, values
+// back-to-back inside an array.
+//
+// Doubles are emitted shortest-round-trip (std::to_chars); NaN/Inf have
+// no JSON encoding and are written as null.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gsgcn::util {
+
+/// Escape for use inside a JSON string literal (quotes not included).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// Appends to *out; the caller keeps ownership and may interleave
+  /// multiple writers only sequentially.
+  explicit JsonWriter(std::string* out);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value_null();
+  /// Splice an already-encoded JSON value verbatim (e.g. a nested
+  /// document produced by another writer).
+  JsonWriter& value_raw(std::string_view json);
+
+ private:
+  void before_value();
+  std::string* out_;
+  // One entry per open container: whether a comma is due before the next
+  // element at that depth.
+  std::vector<bool> comma_due_;
+  bool key_pending_ = false;
+};
+
+/// True iff `text` is exactly one syntactically valid JSON value
+/// (surrounding whitespace allowed). Recursive descent with a depth cap;
+/// no allocation. Used by the obs tests and available to tooling.
+bool json_valid(std::string_view text);
+
+}  // namespace gsgcn::util

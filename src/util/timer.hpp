@@ -3,6 +3,8 @@
 
 #include <chrono>
 
+#include "util/check.hpp"
+
 namespace gsgcn::util {
 
 /// Monotonic wall timer. start() on construction; seconds()/ms() read the
@@ -29,14 +31,28 @@ class Timer {
 /// execution-time breakdown of Figure 3D.
 class PhaseTimer {
  public:
-  void start() { t_.restart(); }
-  void stop() { total_ += t_.seconds(); }
+  void start() {
+    t_.restart();
+#if GSGCN_CHECKS_ENABLED
+    running_ = true;
+#endif
+  }
+  void stop() {
+    GSGCN_ASSERT(running_, "PhaseTimer::stop() without a matching start()");
+#if GSGCN_CHECKS_ENABLED
+    running_ = false;
+#endif
+    total_ += t_.seconds();
+  }
   double total_seconds() const { return total_; }
   void reset() { total_ = 0.0; }
 
  private:
   Timer t_;
   double total_ = 0.0;
+#if GSGCN_CHECKS_ENABLED
+  bool running_ = false;
+#endif
 };
 
 /// RAII guard adding an interval to a PhaseTimer.

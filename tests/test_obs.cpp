@@ -1,0 +1,318 @@
+// The observability layer: JSON writer/validator, metrics registry
+// (bucket + percentile math, per-thread shard merging under parallel_for,
+// gauge last-write-wins, kind-mismatch rejection), span tracer JSON
+// well-formedness, the JSONL telemetry sink, and the compile-out
+// contract — in a disabled build the instrumentation macros must leave
+// no side effects (operands unevaluated), which the same test source
+// asserts by branching on obs::compiled_in().
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/json_writer.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace gsgcn {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(JsonWriter, NestedDocumentRoundTrips) {
+  std::string out;
+  util::JsonWriter w(&out);
+  w.begin_object();
+  w.key("name").value("a \"quoted\" \n string");
+  w.key("pi").value(3.25);
+  w.key("n").value(std::int64_t{-7});
+  w.key("flag").value(true);
+  w.key("nothing").value_null();
+  w.key("xs").begin_array().value(1).value(2).value(3).end_array();
+  w.key("nested").begin_object().key("k").value("v").end_object();
+  w.end_object();
+  EXPECT_TRUE(util::json_valid(out));
+  EXPECT_NE(out.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("[1,2,3]"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::string out;
+  util::JsonWriter w(&out);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(out, "[null,null]");
+  EXPECT_TRUE(util::json_valid(out));
+}
+
+TEST(JsonValid, AcceptsAndRejects) {
+  EXPECT_TRUE(util::json_valid("{}"));
+  EXPECT_TRUE(util::json_valid("  [1, 2.5e-3, \"x\", null, true] "));
+  EXPECT_TRUE(util::json_valid("{\"a\":{\"b\":[{}]}}"));
+  EXPECT_FALSE(util::json_valid(""));
+  EXPECT_FALSE(util::json_valid("{"));
+  EXPECT_FALSE(util::json_valid("{} {}"));       // two values
+  EXPECT_FALSE(util::json_valid("{'a':1}"));     // single quotes
+  EXPECT_FALSE(util::json_valid("[1,]"));        // trailing comma
+  EXPECT_FALSE(util::json_valid("{\"a\" 1}"));   // missing colon
+  EXPECT_FALSE(util::json_valid("nul"));
+}
+
+// ------------------------------------------------------------- metrics --
+
+TEST(Metrics, CounterAccumulatesAcrossScrapes) {
+  obs::Registry reg;
+  const int h = reg.counter("t.counter");
+  reg.add(h, 2.0);
+  reg.add(h, 3.0);
+  EXPECT_DOUBLE_EQ(reg.scrape().counter("t.counter"), 5.0);
+  reg.add(h, 1.0);
+  // scrape() is a snapshot, not a drain.
+  EXPECT_DOUBLE_EQ(reg.scrape().counter("t.counter"), 6.0);
+  reg.reset();
+  EXPECT_DOUBLE_EQ(reg.scrape().counter("t.counter"), 0.0);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  obs::Registry reg;
+  const int h = reg.gauge("t.gauge");
+  EXPECT_FALSE(reg.scrape().gauge("t.gauge").ever_set);
+  reg.set(h, 10.0);
+  reg.set(h, 4.0);
+  const auto g = reg.scrape().gauge("t.gauge");
+  EXPECT_TRUE(g.ever_set);
+  EXPECT_DOUBLE_EQ(g.value, 4.0);
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  obs::Registry reg;
+  const int h = reg.histogram("t.hist", {1.0, 2.0, 4.0});
+  for (const double v : {0.5, 1.5, 1.5, 3.0, 100.0}) reg.observe(h, v);
+  const auto hist = reg.scrape().histogram("t.hist");
+  ASSERT_EQ(hist.buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(hist.buckets[0], 1u);      // <= 1
+  EXPECT_EQ(hist.buckets[1], 2u);      // (1, 2]
+  EXPECT_EQ(hist.buckets[2], 1u);      // (2, 4]
+  EXPECT_EQ(hist.buckets[3], 1u);      // > 4
+  EXPECT_EQ(hist.count, 5u);
+  EXPECT_DOUBLE_EQ(hist.sum, 106.5);
+  EXPECT_DOUBLE_EQ(hist.min, 0.5);
+  EXPECT_DOUBLE_EQ(hist.max, 100.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 21.3);
+}
+
+TEST(Metrics, PercentileInterpolatesWithinBuckets) {
+  obs::Registry reg;
+  const int h = reg.histogram("t.pct", {10.0, 20.0});
+  // 10 observations spread evenly in (0, 10]: ranks land in bucket 0,
+  // whose lower edge is the observed min.
+  for (int i = 1; i <= 10; ++i) reg.observe(h, static_cast<double>(i));
+  const auto hist = reg.scrape().histogram("t.pct");
+  EXPECT_DOUBLE_EQ(hist.percentile(0.0), 1.0);     // observed min
+  EXPECT_DOUBLE_EQ(hist.percentile(100.0), 10.0);  // observed max
+  const double p50 = hist.percentile(50.0);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 10.0);
+  // All mass in one bucket: interpolation stays inside [min, bound].
+  EXPECT_GT(hist.percentile(90.0), p50);
+}
+
+TEST(Metrics, EmptyHistogramPercentileIsZero) {
+  obs::Registry reg;
+  const int h = reg.histogram("t.empty", {1.0});
+  static_cast<void>(h);
+  EXPECT_DOUBLE_EQ(reg.scrape().histogram("t.empty").percentile(50.0), 0.0);
+}
+
+TEST(Metrics, RegistrationIsIdempotentByName) {
+  obs::Registry reg;
+  EXPECT_EQ(reg.counter("t.c"), reg.counter("t.c"));
+  EXPECT_EQ(reg.gauge("t.g"), reg.gauge("t.g"));
+  EXPECT_EQ(reg.histogram("t.h", {1.0, 2.0}), reg.histogram("t.h", {1.0, 2.0}));
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  obs::Registry reg;
+  reg.counter("t.kind");
+  EXPECT_THROW(reg.gauge("t.kind"), std::logic_error);
+  EXPECT_THROW(reg.histogram("t.kind", {1.0}), std::logic_error);
+  reg.histogram("t.hist", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("t.hist", {3.0}), std::logic_error);  // bounds
+}
+
+TEST(Metrics, ShardsMergeUnderParallelFor) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.reset();
+  const int c = reg.counter("t.par.counter");
+  const int h = reg.histogram("t.par.hist", {100.0, 1000.0});
+  constexpr std::int64_t kN = 10000;
+  util::parallel_for(kN, 0, [&](std::int64_t i) {
+    reg.add(c, 1.0);
+    reg.observe(h, static_cast<double>(i));
+  });
+  // Quiescent point: the parallel region has joined.
+  const auto snap = reg.scrape();
+  EXPECT_DOUBLE_EQ(snap.counter("t.par.counter"), static_cast<double>(kN));
+  const auto hist = snap.histogram("t.par.hist");
+  EXPECT_EQ(hist.count, static_cast<std::uint64_t>(kN));
+  EXPECT_DOUBLE_EQ(hist.min, 0.0);
+  EXPECT_DOUBLE_EQ(hist.max, static_cast<double>(kN - 1));
+  EXPECT_EQ(hist.buckets[0], 101u);   // 0..100
+  EXPECT_EQ(hist.buckets[1], 900u);   // 101..1000
+  EXPECT_EQ(hist.buckets[2], static_cast<std::uint64_t>(kN) - 1001u);
+  reg.reset();
+}
+
+TEST(Metrics, SnapshotToJsonIsValid) {
+  obs::Registry reg;
+  reg.add(reg.counter("t.c"), 7.0);
+  reg.set(reg.gauge("t.g"), 1.5);
+  reg.observe(reg.histogram("t.h", {1.0}), 0.5);
+  const std::string json = reg.scrape().to_json();
+  EXPECT_TRUE(util::json_valid(json));
+  EXPECT_NE(json.find("\"t.c\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// --------------------------------------------------------------- trace --
+
+TEST(Trace, SpansProduceWellFormedChromeJson) {
+  obs::Tracer& tr = obs::Tracer::instance();
+  const std::string path = ::testing::TempDir() + "gsgcn_trace_test.json";
+  ASSERT_TRUE(tr.start(path));
+  EXPECT_TRUE(tr.active());
+  EXPECT_FALSE(tr.start(path));  // nested start rejected
+  {
+    obs::Span outer("test/outer", 42);
+    obs::Span inner("test/inner");
+  }
+  util::parallel_for(64, 0, [&](std::int64_t i) {
+    obs::Span s("test/parallel", i);
+  });
+  EXPECT_GE(tr.event_count(), 2u + 64u);
+  const std::string json = tr.dump_json();
+  EXPECT_TRUE(util::json_valid(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/parallel\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  ASSERT_TRUE(tr.stop());
+  EXPECT_FALSE(tr.active());
+  EXPECT_FALSE(tr.stop());  // double stop rejected
+  std::ifstream in(path);
+  std::stringstream file;
+  file << in.rdbuf();
+  EXPECT_TRUE(util::json_valid(file.str()));
+  std::remove(path.c_str());
+}
+
+TEST(Trace, InactiveTracerRecordsNothing) {
+  obs::Tracer& tr = obs::Tracer::instance();
+  ASSERT_FALSE(tr.active());
+  { obs::Span s("test/ignored"); }
+  EXPECT_EQ(tr.event_count(), 0u);
+}
+
+// ----------------------------------------------------------- telemetry --
+
+TEST(Telemetry, JsonlRoundTrip) {
+  obs::Telemetry& sink = obs::Telemetry::instance();
+  EXPECT_FALSE(sink.enabled());
+  sink.emit("{\"dropped\":true}");  // no-op while closed
+  const std::string path = ::testing::TempDir() + "gsgcn_telemetry_test.jsonl";
+  ASSERT_TRUE(sink.open(path));
+  EXPECT_TRUE(sink.enabled());
+  sink.emit("{\"type\":\"epoch\",\"epoch\":0}");
+  sink.emit("{\"type\":\"run_summary\"}");
+  sink.close();
+  EXPECT_FALSE(sink.enabled());
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(util::json_valid(line)) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, OpenFailsOnBadPath) {
+  EXPECT_FALSE(obs::Telemetry::instance().open("/nonexistent-dir/x.jsonl"));
+  EXPECT_FALSE(obs::Telemetry::instance().enabled());
+}
+
+// ------------------------------------------------- compile-out contract --
+
+TEST(ObsCompileOut, ModeMatchesBuildDefinition) {
+#if defined(GSGCN_OBS_ENABLED)
+  EXPECT_TRUE(obs::compiled_in());
+#else
+  EXPECT_FALSE(obs::compiled_in());
+#endif
+}
+
+TEST(ObsCompileOut, MacrosHaveNoSideEffectsWhenDisabled) {
+  // The macros must not evaluate their operands when compiled out — the
+  // check.hpp contract. When compiled in, each evaluates exactly once.
+  int evals = 0;
+  [[maybe_unused]] auto tick = [&evals] { return ++evals; };
+  GSGCN_COUNTER_ADD("t.side.c", tick());
+  GSGCN_GAUGE_SET("t.side.g", tick());
+  GSGCN_HISTOGRAM_OBSERVE("t.side.h", tick(), 1.0, 2.0);
+  if (obs::compiled_in()) {
+    EXPECT_EQ(evals, 3);
+  } else {
+    EXPECT_EQ(evals, 0);
+    // And nothing was registered in the process registry.
+    EXPECT_THROW(obs::Registry::instance().scrape().counter("t.side.c"),
+                 std::out_of_range);
+  }
+}
+
+TEST(ObsCompileOut, TraceMacroCompilesToNothingWhenDisabled) {
+  obs::Tracer& tr = obs::Tracer::instance();
+  ASSERT_FALSE(tr.active());
+  if (!obs::compiled_in()) {
+    const std::string path = ::testing::TempDir() + "gsgcn_disabled_trace.json";
+    ASSERT_TRUE(tr.start(path));
+    { GSGCN_TRACE_SPAN("t.side/span"); }
+    EXPECT_EQ(tr.event_count(), 0u);  // macro expanded to void(0)
+    tr.stop();
+    std::remove(path.c_str());
+  }
+}
+
+// -------------------------------------------------------- PhaseTimer --
+
+TEST(PhaseTimerDeathTest, StopWithoutStartFiresWhenChecked) {
+  if (!util::checks_enabled()) GTEST_SKIP() << "checks compiled out";
+  util::PhaseTimer t;
+  EXPECT_DEATH(t.stop(), "PhaseTimer::stop");
+}
+
+TEST(PhaseTimer, BalancedStartStopAccumulates) {
+  util::PhaseTimer t;
+  t.start();
+  t.stop();
+  t.start();
+  t.stop();
+  EXPECT_GE(t.total_seconds(), 0.0);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace gsgcn
