@@ -27,7 +27,7 @@ struct Series {
 /// negative if never reached.
 double time_to_threshold(const gcn::TrainResult& r, double threshold) {
   for (const auto& rec : r.history) {
-    if (rec.val_f1 >= threshold) return std::max(rec.train_seconds, 1e-9);
+    if (rec.val_f1 >= threshold) return std::max(rec.cumulative_seconds, 1e-9);
   }
   return -1.0;
 }
@@ -91,13 +91,14 @@ int main() {
         curve.row()
             .cell(s.method)
             .cell(rec.epoch)
-            .cell(rec.train_seconds, 3)
+            .cell(rec.cumulative_seconds, 3)
             .cell(rec.val_f1, 4);
         json.record("curve")
             .field("dataset", name)
             .field("method", s.method)
             .field("epoch", rec.epoch)
-            .field("train_seconds", rec.train_seconds)
+            .field("epoch_seconds", rec.epoch_seconds)
+            .field("cumulative_seconds", rec.cumulative_seconds)
             .field("val_f1", rec.val_f1);
       }
     }

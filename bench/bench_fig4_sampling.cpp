@@ -36,7 +36,7 @@ double pool_seconds(const graph::CsrGraph& g, int p_inter, int rounds,
       },
       p_inter, util::global_seed());
   pool.refill();  // warm
-  pool.reset_timer();
+  pool.reset_accounting();
   for (int r = 0; r < rounds; ++r) pool.refill();
   return pool.sampling_seconds();
 }

@@ -58,7 +58,8 @@ int main(int argc, char** argv) {
     const gcn::TrainResult result = trainer.train();
     for (const auto& rec : result.history) {
       std::printf("  epoch %2d  loss %.4f  val F1 %.4f  (%.2fs train)\n",
-                  rec.epoch, rec.train_loss, rec.val_f1, rec.train_seconds);
+                  rec.epoch, rec.train_loss, rec.val_f1,
+                  rec.cumulative_seconds);
     }
     std::printf(
         "Done in %.2fs (sampling %.2fs, feature prop %.2fs, weights %.2fs)\n",

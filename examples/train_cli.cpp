@@ -60,6 +60,9 @@ sampler:
 
 parallelism / misc:
   --threads T (all)    --p-inter K (all)   --seed S (42)
+  --async-sampling     sample on a background producer thread overlapped
+                       with training (same subgraph sequence as sync)
+  --pool-capacity N    subgraph queue bound in async mode (0 = 2*p_inter)
   --checkpoint FILE    save trained weights, reload, re-evaluate
 
 observability:
@@ -213,6 +216,9 @@ int main(int argc, char** argv) {
     cfg.degree_cap = cli.get("degree-cap", 0);
     cfg.threads = cli.get("threads", util::max_threads());
     cfg.p_inter = cli.get("p-inter", util::max_threads());
+    cfg.async_sampling = cli.get("async-sampling", false);
+    cfg.pool_capacity =
+        static_cast<std::size_t>(cli.get("pool-capacity", 0));
     cfg.seed = seed;
     const std::string ckpt = cli.get("checkpoint", std::string());
     const std::string trace_out = cli.get("trace-out", std::string());
@@ -244,10 +250,19 @@ int main(int argc, char** argv) {
                 trainer.effective_frontier(), trainer.effective_budget());
     const gcn::TrainResult result = trainer.train();
     for (const auto& rec : result.history) {
-      std::printf("  epoch %2d  loss %.4f  val F1 %.4f  (%.2fs)\n", rec.epoch,
-                  rec.train_loss, rec.val_f1, rec.train_seconds);
+      std::printf("  epoch %2d  loss %.4f  val F1 %.4f  (%.2fs, total %.2fs)\n",
+                  rec.epoch, rec.train_loss, rec.val_f1, rec.epoch_seconds,
+                  rec.cumulative_seconds);
     }
     if (result.early_stopped) std::printf("  (early stopped)\n");
+    if (cfg.async_sampling) {
+      std::printf(
+          "async pipeline: %lld stalls, %lld cold starts, "
+          "%.2fs sampler wait vs %.2fs overlapped sampling\n",
+          static_cast<long long>(result.pool_stalls),
+          static_cast<long long>(result.pool_cold_starts),
+          result.sampler_wait_seconds, result.sample_seconds);
+    }
 
     // ---- report ----
     const tensor::Matrix& logits =

@@ -50,12 +50,14 @@ gcn::TrainResult FullBatchTrainer::train() {
     model_->backward(train_graph_, d_logits_, cfg_.threads, &clock);
     model_->apply_gradients(*opt_);
     ++result.iterations;
-    train_time += timer.seconds();
+    const double epoch_seconds = timer.seconds();
+    train_time += epoch_seconds;
 
     gcn::EpochRecord rec;
     rec.epoch = epoch;
     rec.train_loss = loss;
-    rec.train_seconds = train_time;
+    rec.epoch_seconds = epoch_seconds;
+    rec.cumulative_seconds = train_time;
     if (cfg_.eval_every_epoch) rec.val_f1 = evaluate(ds_.val_vertices);
     result.history.push_back(rec);
   }

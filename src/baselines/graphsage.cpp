@@ -211,12 +211,14 @@ gcn::TrainResult GraphSageTrainer::train() {
       ++batches;
       ++result.iterations;
     }
-    train_time += timer.seconds();
+    const double epoch_seconds = timer.seconds();
+    train_time += epoch_seconds;
 
     gcn::EpochRecord rec;
     rec.epoch = epoch;
     rec.train_loss = loss_sum / std::max<std::int64_t>(1, batches);
-    rec.train_seconds = train_time;
+    rec.epoch_seconds = epoch_seconds;
+    rec.cumulative_seconds = train_time;
     if (cfg_.eval_every_epoch) rec.val_f1 = evaluate(ds_.val_vertices);
     result.history.push_back(rec);
   }

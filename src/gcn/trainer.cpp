@@ -74,9 +74,13 @@ Trainer::Trainer(const data::Dataset& dataset, const TrainerConfig& config)
   opt_ = std::make_unique<Adam>(ac);
   model_->attach(*opt_);
 
+  sampling::PoolOptions pool_opt;
+  pool_opt.p_inter = std::max(1, cfg_.p_inter);
+  pool_opt.seed = cfg_.seed;
+  pool_opt.async = cfg_.async_sampling;
+  pool_opt.capacity = cfg_.pool_capacity;
   pool_ = std::make_unique<sampling::SubgraphPool>(
-      train_graph_, [this](int i) { return make_sampler(i); },
-      std::max(1, cfg_.p_inter), cfg_.seed);
+      train_graph_, [this](int i) { return make_sampler(i); }, pool_opt);
 
   if (cfg_.saint_loss_norm) {
     saint_ = std::make_unique<SaintNormalizer>(train_graph_.num_vertices());
@@ -122,7 +126,13 @@ std::unique_ptr<sampling::VertexSampler> Trainer::make_sampler(
 TrainResult Trainer::train() {
   TrainResult result;
   PhaseClock clock;
-  pool_->reset_timer();
+  pool_->reset_accounting();
+  // Start (or restart, on a repeated train() call) the producer and take
+  // the unavoidable first fill off the timed path: it is a cold start,
+  // not a starvation stall, so `pool.stalls` measures only genuine
+  // starvation during training.
+  pool_->start_async();
+  pool_->prefill();
 
   const std::int64_t iters_per_epoch = std::max<std::int64_t>(
       1, train_graph_.num_vertices() / std::max<graph::Vid>(budget_, 1));
@@ -133,10 +143,17 @@ TrainResult Trainer::train() {
   std::vector<tensor::Matrix> best_weights;
   int stale_epochs = 0;
   double train_time = 0.0;
+  double sampler_wait = 0.0;
   float lr = cfg_.lr;
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
     GSGCN_TRACE_SPAN_ID("train/epoch", epoch);
     util::Timer epoch_timer;
+    // Pop wait (cv blocks in async mode, inline refills in sync mode) is
+    // accounted by the pool; the delta over this epoch is subtracted from
+    // the epoch wall time so train_seconds is pure compute — previously
+    // inline refill time was double-counted into both train_seconds and
+    // sample_seconds.
+    const double wait_before = pool_->pop_wait_seconds();
     double loss_sum = 0.0;
     for (std::int64_t it = 0; it < iters_per_epoch; ++it) {
       GSGCN_TRACE_SPAN("train/iteration");
@@ -182,12 +199,17 @@ TrainResult Trainer::train() {
       GSGCN_COUNTER_INC("train.iterations");
       ++result.iterations;
     }
-    train_time += epoch_timer.seconds();
+    const double epoch_wall = epoch_timer.seconds();
+    const double epoch_wait = pool_->pop_wait_seconds() - wait_before;
+    const double epoch_compute = std::max(0.0, epoch_wall - epoch_wait);
+    train_time += epoch_compute;
+    sampler_wait += epoch_wait;
 
     EpochRecord rec;
     rec.epoch = epoch;
     rec.train_loss = loss_sum / static_cast<double>(iters_per_epoch);
-    rec.train_seconds = train_time;
+    rec.epoch_seconds = epoch_compute;
+    rec.cumulative_seconds = train_time;
     if (eval_epochs) rec.val_f1 = evaluate(ds_.val_vertices);
     result.history.push_back(rec);
     emit_epoch_record(rec);
@@ -214,8 +236,15 @@ TrainResult Trainer::train() {
     model_->restore_weights(best_weights);
   }
 
+  // Quiesce the producer before scraping metrics (obs scrape contract);
+  // a later train() call restarts it. Any queued subgraphs stay FIFO.
+  pool_->stop_async();
+
   result.train_seconds = train_time;
+  result.sampler_wait_seconds = sampler_wait;
   result.sample_seconds = pool_->sampling_seconds();
+  result.pool_stalls = static_cast<std::int64_t>(pool_->stalls());
+  result.pool_cold_starts = static_cast<std::int64_t>(pool_->cold_starts());
   result.featprop_seconds = clock.feature_prop.total_seconds();
   result.weight_seconds = clock.weight_apply.total_seconds();
   result.final_val_f1 = evaluate(ds_.val_vertices);
@@ -234,7 +263,10 @@ void Trainer::emit_epoch_record(const EpochRecord& rec) const {
   w.key("epoch").value(rec.epoch);
   w.key("train_loss").value(rec.train_loss);
   w.key("val_f1").value(rec.val_f1);
-  w.key("train_seconds").value(rec.train_seconds);
+  // Both granularities, explicitly named: the old record emitted the
+  // cumulative value under "train_seconds", which read as per-epoch.
+  w.key("epoch_seconds").value(rec.epoch_seconds);
+  w.key("cumulative_seconds").value(rec.cumulative_seconds);
   w.end_object();
   sink.emit(line);
 }
@@ -262,7 +294,15 @@ void Trainer::emit_run_summary(const TrainResult& result) const {
   w.key("epochs_run").value(static_cast<std::int64_t>(result.history.size()));
   w.key("iterations").value(result.iterations);
   w.key("early_stopped").value(result.early_stopped);
+  // Pipeline configuration + health: stall-free async runs report
+  // pool_stalls == 0 (asserted by the CI obs smoke job).
+  w.key("async_sampling").value(cfg_.async_sampling);
+  w.key("pool_capacity")
+      .value(static_cast<std::int64_t>(pool_->capacity()));
+  w.key("pool_stalls").value(result.pool_stalls);
+  w.key("pool_cold_starts").value(result.pool_cold_starts);
   w.key("train_seconds").value(result.train_seconds);
+  w.key("sampler_wait_seconds").value(result.sampler_wait_seconds);
   w.key("sample_seconds").value(result.sample_seconds);
   w.key("featprop_seconds").value(result.featprop_seconds);
   w.key("weight_seconds").value(result.weight_seconds);

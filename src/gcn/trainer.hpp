@@ -68,6 +68,14 @@ struct TrainerConfig {
   int p_inter = 1;
   int threads = 1;
 
+  // Async pipeline: sample on a background producer thread so the
+  // trainer never waits for a refill (Algorithm 5's inter-subgraph
+  // overlap taken across the sampler/trainer boundary). The subgraph
+  // sequence is identical to sync mode — the pool draws slot k from RNG
+  // stream (seed, k) in both — so this is a pure throughput knob.
+  bool async_sampling = false;
+  std::size_t pool_capacity = 0;  // subgraph queue bound; 0 → 2·p_inter
+
   std::uint64_t seed = 1;
   bool eval_every_epoch = true;
 
@@ -84,19 +92,30 @@ struct EpochRecord {
   int epoch = 0;
   double train_loss = 0.0;
   double val_f1 = 0.0;
-  double train_seconds = 0.0;  // cumulative training time, eval excluded
+  // Compute time only: eval and sampler wait (blocked in pool pop, incl.
+  // inline refills) are both excluded, so the phase breakdown sums
+  // correctly instead of double-counting refill time into training.
+  double epoch_seconds = 0.0;       // this epoch
+  double cumulative_seconds = 0.0;  // running sum over epochs so far
 };
 
 struct TrainResult {
   std::vector<EpochRecord> history;
   bool early_stopped = false;
-  double train_seconds = 0.0;     // total training wall time (no eval)
-  double sample_seconds = 0.0;    // Figure-3D "Sampling"
-  double featprop_seconds = 0.0;  // Figure-3D "Feat Propagation"
-  double weight_seconds = 0.0;    // Figure-3D "Weight Application"
+  double train_seconds = 0.0;        // total compute time (no eval, no
+                                     // sampler wait)
+  double sampler_wait_seconds = 0.0; // trainer time blocked in pool pop
+                                     // (train_seconds + this = loop wall)
+  double sample_seconds = 0.0;       // Figure-3D "Sampling"; producer-side
+                                     // time, overlapped in async mode
+  double featprop_seconds = 0.0;     // Figure-3D "Feat Propagation"
+  double weight_seconds = 0.0;       // Figure-3D "Weight Application"
   double final_val_f1 = 0.0;
   double final_test_f1 = 0.0;
   std::int64_t iterations = 0;
+  std::int64_t pool_stalls = 0;       // pops that hit an empty pool after
+                                      // warmup (0 = pipeline kept up)
+  std::int64_t pool_cold_starts = 0;  // warmup fills (prefill; expect 1)
 };
 
 class Trainer {

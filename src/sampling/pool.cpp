@@ -1,6 +1,7 @@
 #include "sampling/pool.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -12,66 +13,280 @@
 namespace gsgcn::sampling {
 
 SubgraphPool::SubgraphPool(const graph::CsrGraph& g, SamplerFactory factory,
-                           int p_inter, std::uint64_t seed, bool pin_threads)
-    : g_(g), seed_(seed), pin_threads_(pin_threads) {
-  if (p_inter <= 0) throw std::invalid_argument("SubgraphPool: p_inter <= 0");
-  samplers_.reserve(static_cast<std::size_t>(p_inter));
-  inducers_.reserve(static_cast<std::size_t>(p_inter));
-  for (int i = 0; i < p_inter; ++i) {
+                           PoolOptions options)
+    : g_(g),
+      seed_(options.seed),
+      pin_threads_(options.pin_threads),
+      async_(options.async) {
+  if (options.p_inter <= 0) {
+    throw std::invalid_argument("SubgraphPool: p_inter <= 0");
+  }
+  const auto p = static_cast<std::size_t>(options.p_inter);
+  capacity_ = options.capacity == 0 ? 2 * p : std::max(options.capacity, p);
+  samplers_.reserve(p);
+  inducers_.reserve(p);
+  for (int i = 0; i < options.p_inter; ++i) {
     samplers_.push_back(factory(i));
     inducers_.push_back(std::make_unique<graph::Inducer>(g_));
   }
+  if (async_) start_async();
+}
+
+SubgraphPool::SubgraphPool(const graph::CsrGraph& g, SamplerFactory factory,
+                           int p_inter, std::uint64_t seed, bool pin_threads)
+    : SubgraphPool(g, std::move(factory), [&] {
+        PoolOptions o;
+        o.p_inter = p_inter;
+        o.seed = seed;
+        o.pin_threads = pin_threads;
+        return o;
+      }()) {}
+
+SubgraphPool::~SubgraphPool() { stop_async(); }
+
+std::vector<graph::Subgraph> SubgraphPool::produce_batch(
+    std::uint64_t slot_base) {
+  GSGCN_TRACE_SPAN("pool/refill");
+  const util::Timer batch_timer;
+  const int p = p_inter();
+  std::vector<graph::Subgraph> batch(static_cast<std::size_t>(p));
+  // An exception escaping an OpenMP region body would terminate the
+  // process; collect the first one and rethrow it on this thread instead.
+  util::ExceptionCollector errors;
+  util::parallel_for(p, p, [&](std::int64_t i) {
+    errors.run([&] {
+      // Pin for the duration of this sample only; the guard restores the
+      // thread's previous mask so pooled worker threads are not left
+      // confined to one CPU after the batch completes.
+      util::ScopedAffinity affinity;
+      if (pin_threads_) (void)affinity.pin(static_cast<int>(i));
+      // The RNG is derived from the global slot index, not the instance
+      // index: slot k produces the same subgraph no matter which instance
+      // (or p_inter / sync vs async configuration) executes it.
+      auto rng = util::Xoshiro256::stream(
+          seed_, slot_base + static_cast<std::uint64_t>(i));
+      std::vector<graph::Vid> vertices;
+      {
+        GSGCN_TRACE_SPAN_ID("pool/sample",
+                            slot_base + static_cast<std::uint64_t>(i));
+        vertices = samplers_[static_cast<std::size_t>(i)]->sample_vertices(rng);
+      }
+      GSGCN_ASSERT(!vertices.empty(), "sampler returned an empty vertex set");
+      // Induction stays single-threaded here: the parallelism budget is
+      // already spent across instances (paper: p_intra is vector lanes).
+      GSGCN_TRACE_SPAN_ID("pool/induce",
+                          slot_base + static_cast<std::uint64_t>(i));
+      batch[static_cast<std::size_t>(i)] =
+          inducers_[static_cast<std::size_t>(i)]->induce(vertices, 1);
+    });
+  });
+  errors.rethrow_if_any();
+  const double elapsed = batch_timer.seconds();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    sample_seconds_ += elapsed;
+  }
+  GSGCN_COUNTER_INC("pool.refills");
+  GSGCN_HISTOGRAM_OBSERVE("pool.refill_seconds", elapsed, 0.001, 0.005, 0.02,
+                          0.1, 0.5, 2.0);
+  return batch;
+}
+
+void SubgraphPool::push_batch_locked(std::vector<graph::Subgraph>&& batch) {
+  for (graph::Subgraph& s : batch) queue_.push_back(std::move(s));
+  cold_ = false;
+  GSGCN_GAUGE_SET("pool.occupancy", queue_.size());
+  not_empty_.notify_all();
 }
 
 void SubgraphPool::refill() {
-  GSGCN_TRACE_SPAN("pool/refill");
-  [[maybe_unused]] const util::Timer refill_timer;
-  util::ScopedPhase phase(sample_time_);
-  const int p = p_inter();
-  const std::size_t base = queue_.size();
-  queue_.resize(base + static_cast<std::size_t>(p));
-  const std::uint64_t slot_base = next_slot_;
-  util::parallel_for(p, p, [&](std::int64_t i) {
-    // Pin for the duration of this sample only; the guard restores the
-    // thread's previous mask so pooled worker threads are not left
-    // confined to one CPU after refill returns.
-    util::ScopedAffinity affinity;
-    if (pin_threads_) (void)affinity.pin(static_cast<int>(i));
-    // The RNG is derived from the global slot index, not the instance
-    // index: slot k produces the same subgraph no matter which instance
-    // (or p_inter configuration) executes it.
-    auto rng = util::Xoshiro256::stream(seed_, slot_base + static_cast<std::uint64_t>(i));
-    std::vector<graph::Vid> vertices;
+  std::uint64_t slot_base;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    GSGCN_ASSERT(!producer_live_,
+                 "refill() while the async producer is live would race on "
+                 "the sampler instances");
+    slot_base = next_slot_;
+    next_slot_ += static_cast<std::uint64_t>(p_inter());
+  }
+  std::vector<graph::Subgraph> batch = produce_batch(slot_base);
+  std::lock_guard<std::mutex> lk(mu_);
+  push_batch_locked(std::move(batch));
+}
+
+void SubgraphPool::producer_main() {
+  const auto p = static_cast<std::uint64_t>(p_inter());
+  for (;;) {
+    std::uint64_t slot_base;
     {
-      GSGCN_TRACE_SPAN_ID("pool/sample", slot_base + static_cast<std::uint64_t>(i));
-      vertices = samplers_[static_cast<std::size_t>(i)]->sample_vertices(rng);
+      std::unique_lock<std::mutex> lk(mu_);
+      const util::Timer idle_timer;
+      space_.wait(lk, [&] {
+        return stop_ || queue_.size() + static_cast<std::size_t>(p) <= capacity_;
+      });
+      producer_idle_seconds_ += idle_timer.seconds();
+      if (stop_) {
+        producer_live_ = false;
+        not_empty_.notify_all();
+        return;
+      }
+      slot_base = next_slot_;
+      next_slot_ += p;
     }
-    GSGCN_ASSERT(!vertices.empty(), "sampler returned an empty vertex set");
-    // Induction stays single-threaded here: the parallelism budget is
-    // already spent across instances (paper: p_intra is vector lanes).
-    GSGCN_TRACE_SPAN_ID("pool/induce", slot_base + static_cast<std::uint64_t>(i));
-    queue_[base + static_cast<std::size_t>(i)] =
-        inducers_[static_cast<std::size_t>(i)]->induce(vertices, 1);
-  });
-  next_slot_ += static_cast<std::uint64_t>(p);
-  GSGCN_COUNTER_INC("pool.refills");
-  GSGCN_HISTOGRAM_OBSERVE("pool.refill_seconds", refill_timer.seconds(), 0.001,
-                          0.005, 0.02, 0.1, 0.5, 2.0);
-  GSGCN_GAUGE_SET("pool.occupancy", queue_.size());
+    std::vector<graph::Subgraph> batch;
+    try {
+      batch = produce_batch(slot_base);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+      producer_live_ = false;
+      not_empty_.notify_all();
+      return;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    // Push even when a stop raced in: the slots were already claimed, and
+    // dropping them would put a hole in the deterministic sequence. The
+    // queue may briefly exceed capacity by at most one batch.
+    push_batch_locked(std::move(batch));
+    if (stop_) {
+      producer_live_ = false;
+      return;
+    }
+  }
+}
+
+void SubgraphPool::start_async() {
+  if (!async_) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (producer_live_) return;
+  if (producer_.joinable()) {
+    lk.unlock();
+    producer_.join();  // reap a previously stopped producer
+    lk.lock();
+  }
+  stop_ = false;
+  producer_live_ = true;
+  producer_ = std::thread([this] { producer_main(); });
+}
+
+void SubgraphPool::stop_async() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  space_.notify_all();
+  if (producer_.joinable()) producer_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  producer_live_ = false;
+}
+
+bool SubgraphPool::async_running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return producer_live_;
+}
+
+void SubgraphPool::prefill() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!queue_.empty()) return;
+  ++cold_start_count_;
+  GSGCN_COUNTER_INC("pool.cold_start");
+  if (producer_live_) {
+    GSGCN_TRACE_SPAN("pool/prefill_wait");
+    not_empty_.wait(lk, [&] {
+      return !queue_.empty() || error_ || !producer_live_;
+    });
+  }
+  if (queue_.empty()) {
+    if (error_) std::rethrow_exception(error_);
+    const std::uint64_t slot_base = next_slot_;
+    next_slot_ += static_cast<std::uint64_t>(p_inter());
+    lk.unlock();
+    std::vector<graph::Subgraph> batch = produce_batch(slot_base);
+    lk.lock();
+    push_batch_locked(std::move(batch));
+  }
 }
 
 graph::Subgraph SubgraphPool::pop() {
+  std::unique_lock<std::mutex> lk(mu_);
   if (queue_.empty()) {
-    // A pop hitting an empty queue means the consumer outran the pool and
-    // must wait for a full refill — the stall the pool exists to hide.
-    GSGCN_COUNTER_INC("pool.stalls");
-    refill();
+    // Classify the wait: the first-ever fill is a cold start (the pool
+    // could not have kept up with anything yet); afterwards an empty
+    // queue means the consumer genuinely outran the producer — the stall
+    // the async pipeline exists to hide.
+    if (cold_) {
+      ++cold_start_count_;
+      GSGCN_COUNTER_INC("pool.cold_start");
+    } else {
+      ++stall_count_;
+      GSGCN_COUNTER_INC("pool.stalls");
+    }
+    const util::Timer wait_timer;
+    if (producer_live_) {
+      GSGCN_TRACE_SPAN("pool/pop_wait");
+      not_empty_.wait(lk, [&] {
+        return !queue_.empty() || error_ || !producer_live_;
+      });
+    }
+    if (queue_.empty()) {
+      // No producer to wait on (sync mode, stopped, or failed): rethrow a
+      // producer error once its surviving output has drained, otherwise
+      // continue the slot sequence with an inline refill.
+      if (error_) std::rethrow_exception(error_);
+      const std::uint64_t slot_base = next_slot_;
+      next_slot_ += static_cast<std::uint64_t>(p_inter());
+      lk.unlock();
+      std::vector<graph::Subgraph> batch = produce_batch(slot_base);
+      lk.lock();
+      push_batch_locked(std::move(batch));
+    }
+    pop_wait_seconds_ += wait_timer.seconds();
   }
   GSGCN_ASSERT(!queue_.empty(), "refill produced no subgraphs");
   graph::Subgraph out = std::move(queue_.front());
   queue_.pop_front();
   GSGCN_GAUGE_SET("pool.occupancy", queue_.size());
+  space_.notify_one();
   return out;
+}
+
+std::size_t SubgraphPool::available() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+double SubgraphPool::sampling_seconds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sample_seconds_;
+}
+
+double SubgraphPool::pop_wait_seconds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pop_wait_seconds_;
+}
+
+double SubgraphPool::producer_idle_seconds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return producer_idle_seconds_;
+}
+
+std::uint64_t SubgraphPool::stalls() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stall_count_;
+}
+
+std::uint64_t SubgraphPool::cold_starts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cold_start_count_;
+}
+
+void SubgraphPool::reset_accounting() {
+  std::lock_guard<std::mutex> lk(mu_);
+  sample_seconds_ = 0.0;
+  pop_wait_seconds_ = 0.0;
+  producer_idle_seconds_ = 0.0;
+  stall_count_ = 0;
+  cold_start_count_ = 0;
 }
 
 }  // namespace gsgcn::sampling

@@ -3,28 +3,53 @@
 //
 // Sampling and GCN computation have no dependency across iterations (the
 // training graph is fixed), so the scheduler keeps a pool { G_i } of
-// pre-sampled subgraphs: when the pool runs dry it launches p_inter
-// sampler instances in parallel (inter-subgraph parallelism), each of
-// which parallelizes internally with AVX2 (intra-subgraph parallelism).
-// The trainer pops one subgraph per weight update.
+// pre-sampled subgraphs: p_inter sampler instances run in parallel
+// (inter-subgraph parallelism), each of which parallelizes internally
+// with AVX2 (intra-subgraph parallelism). The trainer pops one subgraph
+// per weight update.
+//
+// Two operating modes share one FIFO queue:
+//
+//  - Synchronous (default): pop() on an empty queue produces a batch of
+//    p_inter subgraphs inline — the consumer pays the full sampling
+//    latency every p_inter iterations.
+//  - Asynchronous (`PoolOptions::async`): a background producer thread
+//    continuously refills the queue up to `capacity` while the trainer
+//    consumes, so sampling overlaps with training and the consumer only
+//    blocks when it genuinely outruns the producer. The producer claims
+//    slot ranges under the queue mutex, samples outside it, and appends
+//    whole batches in slot order; a stop request lets an in-flight batch
+//    land (briefly exceeding capacity by at most one batch) so no claimed
+//    slot is ever dropped. Sampler exceptions are captured on the
+//    producer and rethrown from pop() once the queue drains.
 //
 // Determinism contract: the k-th subgraph ever popped is drawn from RNG
 // stream (seed, k), where k is a global slot counter that advances with
 // every sample produced — NOT from a per-instance stream. Combined with
 // FIFO pop order, the popped sequence is a pure function of `seed`:
-// identical for p_inter = 1, 2, 4, ... regardless of OS scheduling. This
-// is what makes sanitizer/debug/release runs comparable bit-for-bit and
-// is asserted by tests/test_pool.cpp.
+// identical for p_inter = 1, 2, 4, ..., identical between sync and async
+// mode, regardless of OS scheduling. This is what makes sanitizer/debug/
+// release and sync/async runs comparable bit-for-bit and is asserted by
+// tests/test_pool.cpp.
+//
+// Stall accounting: the unavoidable first fill of an empty pool is a
+// cold start (`pool.cold_start`), not a stall — call prefill() before a
+// timed loop to take it off the critical path. `pool.stalls` counts only
+// genuine starvation: a pop that found the queue empty after the pool
+// had already been filled once.
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "graph/subgraph.hpp"
 #include "sampling/sampler.hpp"
-#include "util/timer.hpp"
 
 namespace gsgcn::sampling {
 
@@ -33,42 +58,127 @@ namespace gsgcn::sampling {
 using SamplerFactory =
     std::function<std::unique_ptr<VertexSampler>(int instance)>;
 
-class SubgraphPool {
- public:
-  /// p_inter = number of concurrent sampler instances (paper's p_inter).
+struct PoolOptions {
+  /// Number of concurrent sampler instances (paper's p_inter); also the
+  /// batch size of every refill.
+  int p_inter = 1;
+  std::uint64_t seed = 1;
   /// With `pin_threads` (default on), each sampler thread is bound to a
-  /// core for the duration of refill — as the paper prescribes, so its
-  /// Dashboard stays resident in that core's private cache — and its
+  /// core for the duration of its sample — as the paper prescribes, so
+  /// its Dashboard stays resident in that core's private cache — and its
   /// previous affinity mask is restored afterwards (OpenMP reuses worker
   /// threads across regions; leaking a one-CPU mask would serialize every
   /// later parallel region). Pinning failures (e.g. inside restrictive
   /// containers) are silently tolerated.
+  bool pin_threads = true;
+  /// Run a background producer thread (see header note).
+  bool async = false;
+  /// Queue bound for async mode: the producer sleeps while fewer than
+  /// p_inter free slots remain. 0 → 2·p_inter; values below p_inter are
+  /// raised to p_inter (a batch must fit).
+  std::size_t capacity = 0;
+};
+
+class SubgraphPool {
+ public:
+  SubgraphPool(const graph::CsrGraph& g, SamplerFactory factory,
+               PoolOptions options);
+
+  /// Legacy synchronous constructor (p_inter samplers, inline refills).
   SubgraphPool(const graph::CsrGraph& g, SamplerFactory factory, int p_inter,
                std::uint64_t seed, bool pin_threads = true);
 
-  /// Pop the oldest pooled subgraph, refilling first if the pool is empty.
+  /// Stops and joins the producer; subgraphs still queued are discarded.
+  ~SubgraphPool();
+
+  /// Pop the oldest pooled subgraph. Blocks on the producer in async
+  /// mode; refills inline otherwise. Rethrows a producer-side sampler
+  /// exception once the already-produced subgraphs have drained.
   graph::Subgraph pop();
 
-  /// Sample p_inter subgraphs in parallel and append them to the pool.
+  /// Synchronously produce one batch of p_inter subgraphs and append
+  /// them. Invalid while the async producer is live (checked build
+  /// assert): both sides would mutate the shared sampler instances.
   void refill();
 
-  std::size_t available() const { return queue_.size(); }
+  /// Warm the pool before a timed loop: ensures at least one batch is
+  /// queued, tagging the fill as `pool.cold_start` rather than a stall.
+  /// In async mode this waits for the producer's first batch.
+  void prefill();
+
+  /// Start the background producer (no-op unless constructed with
+  /// `async`, idempotent). The async constructor starts it already; this
+  /// restarts production after stop_async().
+  void start_async();
+
+  /// Stop and join the producer. An in-flight batch is appended first,
+  /// so the slot sequence has no holes; queued subgraphs stay poppable
+  /// and later pops continue the sequence with inline refills. Called by
+  /// the trainer before scraping metrics (obs quiescent-point contract)
+  /// and by the destructor.
+  void stop_async();
+
+  /// True while the producer thread is accepting work.
+  bool async_running() const;
+
+  std::size_t available() const;
+  std::size_t capacity() const { return capacity_; }
   int p_inter() const { return static_cast<int>(samplers_.size()); }
 
-  /// Total wall time spent inside refill() — the "Sampling" slice of the
-  /// Figure-3D execution breakdown.
-  double sampling_seconds() const { return sample_time_.total_seconds(); }
-  void reset_timer() { sample_time_.reset(); }
+  /// Total wall time spent producing batches — the "Sampling" slice of
+  /// the Figure-3D execution breakdown. In async mode this overlaps with
+  /// training, so it is *not* consumer critical-path time (that is
+  /// pop_wait_seconds()).
+  double sampling_seconds() const;
+  /// Consumer time blocked inside pop(): cv waits in async mode, inline
+  /// refills in sync mode. This is the sampler's true contribution to the
+  /// training critical path.
+  double pop_wait_seconds() const;
+  /// Producer time spent waiting for queue space (async only) — high
+  /// values mean the pool is over-provisioned, zero means it can barely
+  /// keep up.
+  double producer_idle_seconds() const;
+
+  /// Pops that found the queue empty after the pool had been filled once
+  /// (genuine starvation; excludes the cold start).
+  std::uint64_t stalls() const;
+  /// Cold-start fills: first refill of an empty pool, incl. prefill().
+  std::uint64_t cold_starts() const;
+
+  /// Reset all timing and stall accounting (queue and slot counter keep
+  /// their state — the popped sequence is unaffected).
+  void reset_accounting();
 
  private:
+  /// Sample the batch for slots [slot_base, slot_base + p_inter) outside
+  /// the queue lock; worker exceptions are collected and rethrown here.
+  std::vector<graph::Subgraph> produce_batch(std::uint64_t slot_base);
+  void producer_main();
+  void push_batch_locked(std::vector<graph::Subgraph>&& batch);
+
   const graph::CsrGraph& g_;
   std::vector<std::unique_ptr<VertexSampler>> samplers_;
   std::vector<std::unique_ptr<graph::Inducer>> inducers_;
-  std::deque<graph::Subgraph> queue_;
-  util::PhaseTimer sample_time_;
   std::uint64_t seed_;
-  std::uint64_t next_slot_ = 0;  // global sample counter; see header note
   bool pin_threads_;
+  bool async_;
+  std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;  // producer → consumer
+  std::condition_variable space_;      // consumer → producer
+  std::deque<graph::Subgraph> queue_;
+  std::uint64_t next_slot_ = 0;  // global sample counter; see header note
+  bool cold_ = true;             // no batch has ever landed in the queue
+  bool stop_ = false;            // producer shutdown request
+  bool producer_live_ = false;   // producer thread is producing
+  std::exception_ptr error_;     // first producer-side exception (sticky)
+  double sample_seconds_ = 0.0;
+  double pop_wait_seconds_ = 0.0;
+  double producer_idle_seconds_ = 0.0;
+  std::uint64_t stall_count_ = 0;
+  std::uint64_t cold_start_count_ = 0;
+  std::thread producer_;
 };
 
 }  // namespace gsgcn::sampling

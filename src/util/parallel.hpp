@@ -26,6 +26,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
+#include <mutex>
 
 #ifdef GSGCN_THREAD_BACKEND
 #include <atomic>
@@ -110,6 +112,47 @@ struct Range {
   std::int64_t end;
 };
 Range split_range(std::int64_t n, int p, int i);
+
+/// Collects the first exception thrown inside a parallel team so it can
+/// be rethrown on the launching thread. An exception escaping an OpenMP
+/// region body terminates the process (and escaping a plain std::thread
+/// calls std::terminate), so team members wrap their body in run() and
+/// the launcher calls rethrow_if_any() after the join:
+///
+///   ExceptionCollector errors;
+///   parallel_for(n, p, [&](std::int64_t i) { errors.run([&] { work(i); }); });
+///   errors.rethrow_if_any();
+class ExceptionCollector {
+ public:
+  template <class F>
+  void run(F&& body) noexcept {
+    try {
+      body();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_) first_ = std::current_exception();
+    }
+  }
+
+  bool failed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return static_cast<bool>(first_);
+  }
+
+  /// Rethrow the first captured exception, if any (call after the join).
+  void rethrow_if_any() {
+    std::exception_ptr e;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      e = first_;
+    }
+    if (e) std::rethrow_exception(e);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::exception_ptr first_;
+};
 
 /// SPMD region: body(tid, num_threads) runs once on each of `threads`
 /// team members (threads <= 0 → max_threads()).

@@ -47,11 +47,11 @@ double chi_square_statistic(const std::vector<double>& observed,
 
 double chi_square_critical(std::size_t df, double alpha) {
   // Wilson–Hilferty: chi2_df ≈ df * (1 - 2/(9df) + z*sqrt(2/(9df)))^3,
-  // where z is the standard-normal quantile at 1-alpha.
-  // Normal quantile via Acklam-style rational approximation (central branch
-  // is enough: tests use alpha in [1e-4, 0.1]).
+  // where z is the standard-normal quantile at 1-alpha, computed with the
+  // Beasley–Springer–Moro rational approximation (central branch plus the
+  // log-log tail; covers the alpha range the tests use, [1e-4, 0.1]).
+  if (df == 0) return 0.0;  // chi-square with 0 dof is a point mass at 0
   const double p = 1.0 - alpha;
-  // Beasley-Springer-Moro approximation for the normal quantile.
   static const double a[] = {2.50662823884, -18.61500062529, 41.39119773534,
                              -25.44106049637};
   static const double b[] = {-8.47351093090, 23.08336743743, -21.06224101826,

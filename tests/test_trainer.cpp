@@ -5,6 +5,7 @@
 
 #include "data/synthetic.hpp"
 #include "gcn/trainer.hpp"
+#include "util/timer.hpp"
 
 namespace gsgcn::gcn {
 namespace {
@@ -71,15 +72,24 @@ TEST(Trainer, PhaseTimersPopulated) {
   cfg.epochs = 2;
   cfg.eval_every_epoch = false;
   Trainer trainer(ds, cfg);
+  util::Timer wall;
   const TrainResult result = trainer.train();
+  const double wall_seconds = wall.seconds();
   EXPECT_GT(result.train_seconds, 0.0);
   EXPECT_GT(result.sample_seconds, 0.0);
+  EXPECT_GE(result.sampler_wait_seconds, 0.0);
   EXPECT_GT(result.featprop_seconds, 0.0);
   EXPECT_GT(result.weight_seconds, 0.0);
   EXPECT_GT(result.iterations, 0);
+  // The cold-start fill is absorbed by prefill(), never counted a stall.
+  EXPECT_EQ(result.pool_cold_starts, 1);
   // Phases are subsets of total training time (allow scheduling noise).
   EXPECT_LT(result.featprop_seconds + result.weight_seconds,
             result.train_seconds * 1.5 + 0.1);
+  // No double-counting: compute time and sampler wait partition the epoch
+  // loop, so together they cannot exceed the whole train() wall time.
+  EXPECT_LE(result.train_seconds + result.sampler_wait_seconds,
+            wall_seconds + 0.05);
 }
 
 TEST(Trainer, HistoryTimesMonotone) {
@@ -89,10 +99,57 @@ TEST(Trainer, HistoryTimesMonotone) {
   Trainer trainer(ds, cfg);
   const TrainResult result = trainer.train();
   for (std::size_t i = 1; i < result.history.size(); ++i) {
-    EXPECT_GT(result.history[i].train_seconds,
-              result.history[i - 1].train_seconds);
+    EXPECT_GT(result.history[i].cumulative_seconds,
+              result.history[i - 1].cumulative_seconds);
     EXPECT_EQ(result.history[i].epoch, static_cast<int>(i));
   }
+  // Per-epoch and cumulative views agree.
+  double sum = 0.0;
+  for (const auto& rec : result.history) {
+    EXPECT_GT(rec.epoch_seconds, 0.0);
+    sum += rec.epoch_seconds;
+    EXPECT_NEAR(rec.cumulative_seconds, sum, 1e-12);
+  }
+  EXPECT_NEAR(result.train_seconds, sum, 1e-12);
+}
+
+TEST(Trainer, AsyncSamplingMatchesSyncExactly) {
+  // The pool's determinism contract lifts to training: with the same
+  // seed the async pipeline consumes the identical subgraph sequence, so
+  // losses and final weights match bit-for-bit.
+  const data::Dataset ds = easy_dataset();
+  TrainerConfig cfg = fast_config();
+  cfg.epochs = 3;
+  cfg.eval_every_epoch = false;
+  Trainer sync_trainer(ds, cfg);
+  cfg.async_sampling = true;
+  Trainer async_trainer(ds, cfg);
+  const TrainResult rs = sync_trainer.train();
+  const TrainResult ra = async_trainer.train();
+  ASSERT_EQ(rs.history.size(), ra.history.size());
+  for (std::size_t i = 0; i < rs.history.size(); ++i) {
+    EXPECT_EQ(rs.history[i].train_loss, ra.history[i].train_loss)
+        << "epoch " << i;
+  }
+  EXPECT_EQ(rs.final_val_f1, ra.final_val_f1);
+  EXPECT_EQ(rs.final_test_f1, ra.final_test_f1);
+}
+
+TEST(Trainer, AsyncSamplingRepeatedTrainRestartsProducer) {
+  const data::Dataset ds = easy_dataset();
+  TrainerConfig cfg = fast_config();
+  cfg.epochs = 1;
+  cfg.eval_every_epoch = false;
+  cfg.async_sampling = true;
+  cfg.pool_capacity = 8;
+  Trainer trainer(ds, cfg);
+  const TrainResult r1 = trainer.train();
+  const TrainResult r2 = trainer.train();  // producer restarted
+  EXPECT_GT(r1.iterations, 0);
+  EXPECT_GT(r2.iterations, 0);
+  // Accounting resets per train(); run 2 may find leftovers already
+  // queued, so at most one cold start.
+  EXPECT_LE(r2.pool_cold_starts, 1);
 }
 
 TEST(Trainer, ClampsOversizedSamplerParams) {

@@ -161,6 +161,13 @@ TEST(Stats, ChiSquareCriticalMonotone) {
   EXPECT_NEAR(chi_square_critical(10, 0.05), 18.307, 0.5);
 }
 
+TEST(Stats, ChiSquareCriticalZeroDegreesOfFreedom) {
+  // df = 0 is a point mass at 0; the Wilson–Hilferty formula would divide
+  // by zero without the guard.
+  EXPECT_DOUBLE_EQ(chi_square_critical(0, 0.05), 0.0);
+  EXPECT_DOUBLE_EQ(chi_square_critical(0, 0.001), 0.0);
+}
+
 TEST(Stats, ChiSquareStatisticZeroWhenEqual) {
   EXPECT_DOUBLE_EQ(chi_square_statistic({5, 5}, {5, 5}), 0.0);
   EXPECT_DOUBLE_EQ(chi_square_statistic({6, 4}, {5, 5}), 0.4);
