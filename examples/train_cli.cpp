@@ -65,6 +65,19 @@ parallelism / misc:
   --pool-capacity N    subgraph queue bound in async mode (0 = 2*p_inter)
   --checkpoint FILE    save trained weights, reload, re-evaluate
 
+fault tolerance:
+  --checkpoint-dir D   write full training checkpoints (weights + Adam +
+                       RNG streams + pool cursor) into D, atomically
+  --checkpoint-every N checkpoint cadence in epochs (1)
+  --resume             continue from the newest valid checkpoint in
+                       --checkpoint-dir; reproduces the uninterrupted
+                       run's subgraph and loss sequence byte for byte
+  --no-guard           disable the divergence guard (rollback + lr
+                       backoff on non-finite or exploding loss)
+  --guard-loss-limit L |epoch loss| that counts as divergence (1e8)
+  --max-retries K      rollback budget before giving up (3)
+  --lr-backoff M       lr multiplier per divergence rollback (0.5)
+
 observability:
   --trace-out FILE     Chrome trace-event JSON of the whole run; open in
                        Perfetto or chrome://tracing (spans compile in with
@@ -220,6 +233,17 @@ int main(int argc, char** argv) {
     cfg.pool_capacity =
         static_cast<std::size_t>(cli.get("pool-capacity", 0));
     cfg.seed = seed;
+    cfg.checkpoint_dir = cli.get("checkpoint-dir", std::string());
+    cfg.checkpoint_every = cli.get("checkpoint-every", 1);
+    cfg.resume = cli.get("resume", false);
+    cfg.guard = !cli.get("no-guard", false);
+    cfg.guard_loss_limit = cli.get("guard-loss-limit", 1e8);
+    cfg.guard_max_retries = cli.get("max-retries", 3);
+    cfg.guard_lr_backoff = static_cast<float>(cli.get("lr-backoff", 0.5));
+    if (cfg.resume && cfg.checkpoint_dir.empty()) {
+      std::cerr << "error: --resume requires --checkpoint-dir\n";
+      return 2;
+    }
     const std::string ckpt = cli.get("checkpoint", std::string());
     const std::string trace_out = cli.get("trace-out", std::string());
     const std::string metrics_out = cli.get("metrics-out", std::string());
@@ -249,12 +273,24 @@ int main(int argc, char** argv) {
                 gcn::sampler_kind_name(cfg.sampler),
                 trainer.effective_frontier(), trainer.effective_budget());
     const gcn::TrainResult result = trainer.train();
+    if (result.resumed_from_epoch >= 0) {
+      std::printf("resumed from checkpoint at epoch %d\n",
+                  result.resumed_from_epoch);
+    }
     for (const auto& rec : result.history) {
       std::printf("  epoch %2d  loss %.4f  val F1 %.4f  (%.2fs, total %.2fs)\n",
                   rec.epoch, rec.train_loss, rec.val_f1, rec.epoch_seconds,
                   rec.cumulative_seconds);
     }
     if (result.early_stopped) std::printf("  (early stopped)\n");
+    if (result.rollbacks > 0 || result.checkpoints_written > 0) {
+      std::printf(
+          "fault tolerance: %lld checkpoints, %lld guard trips, "
+          "%lld rollbacks (%.2fs in discarded epochs)\n",
+          static_cast<long long>(result.checkpoints_written),
+          static_cast<long long>(result.guard_trips),
+          static_cast<long long>(result.rollbacks), result.recovery_seconds);
+    }
     if (cfg.async_sampling) {
       std::printf(
           "async pipeline: %lld stalls, %lld cold starts, "

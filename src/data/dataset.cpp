@@ -5,6 +5,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace gsgcn::data {
@@ -76,6 +77,12 @@ std::vector<graph::Vid> read_ids(std::istream& in) {
   std::uint64_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   if (!in) throw std::runtime_error("load_dataset: truncated split header");
+  if (n > 0xFFFFFFFFULL) {
+    // Vertex ids are uint32, so no split can exceed this — a larger count
+    // is a corrupt size field and must not drive the allocation below.
+    throw std::runtime_error("load_dataset: implausible split size " +
+                             std::to_string(n));
+  }
   std::vector<graph::Vid> ids(n);
   in.read(reinterpret_cast<char*>(ids.data()),
           static_cast<std::streamsize>(n * sizeof(graph::Vid)));
@@ -130,8 +137,12 @@ void save_dataset(const Dataset& ds, const std::string& path) {
 }
 
 Dataset load_dataset(const std::string& path) {
+  util::fault_point("io.load_dataset");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_dataset: cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
   std::uint64_t magic = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   if (!in || magic != kDatasetMagic) {
@@ -147,6 +158,24 @@ Dataset load_dataset(const std::string& path) {
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&m), sizeof(m));
   if (!in) throw std::runtime_error("load_dataset: truncated graph header");
+  // The graph section alone must fit in what remains of the file; a
+  // corrupt (n, m) otherwise turns into a multi-gigabyte allocation
+  // followed by a short read. (Full structural validation — monotonic
+  // offsets, in-range adjacency — happens in ds.validate() below.)
+  if (n > 0xFFFFFFFEULL) {
+    throw std::runtime_error("load_dataset: vertex count " +
+                             std::to_string(n) + " exceeds uint32 range");
+  }
+  const std::uint64_t graph_bytes =
+      (n + 1) * sizeof(graph::Eid) + m * sizeof(graph::Vid);
+  const auto pos = static_cast<std::uint64_t>(in.tellg());
+  if (graph_bytes > file_size - pos) {
+    throw std::runtime_error(
+        "load_dataset: graph header (n=" + std::to_string(n) +
+        ", m=" + std::to_string(m) + ") requires " +
+        std::to_string(graph_bytes) + " bytes but only " +
+        std::to_string(file_size - pos) + " remain in " + path);
+  }
   std::vector<graph::Eid> offsets(n + 1);
   std::vector<graph::Vid> adj(m);
   in.read(reinterpret_cast<char*>(offsets.data()),

@@ -1,7 +1,10 @@
 #include "gcn/adam.hpp"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+#include <utility>
 
 namespace gsgcn::gcn {
 
@@ -52,6 +55,50 @@ void Adam::update(std::size_t slot, tensor::Matrix& param,
     vp[i] = b2 * vp[i] + (1.0f - b2) * gi * gi;
     p[i] -= step * mp[i] / (std::sqrt(vp[i] * inv_bc2) + cfg_.epsilon);
   }
+}
+
+void Adam::save_state(std::ostream& out) const {
+  const std::int64_t t = t_;
+  const std::uint64_t slots = m_.size();
+  out.write(reinterpret_cast<const char*>(&t), sizeof(t));
+  out.write(reinterpret_cast<const char*>(&slots), sizeof(slots));
+  for (std::size_t s = 0; s < m_.size(); ++s) {
+    tensor::write_matrix(out, m_[s]);
+    tensor::write_matrix(out, v_[s]);
+  }
+  if (!out) throw std::runtime_error("Adam::save_state: write failed");
+}
+
+void Adam::load_state(std::istream& in) {
+  std::int64_t t = 0;
+  std::uint64_t slots = 0;
+  in.read(reinterpret_cast<char*>(&t), sizeof(t));
+  in.read(reinterpret_cast<char*>(&slots), sizeof(slots));
+  if (!in || t < 0) throw std::runtime_error("Adam::load_state: bad header");
+  if (slots != m_.size()) {
+    throw std::runtime_error("Adam::load_state: slot count mismatch: file has " +
+                             std::to_string(slots) + ", optimizer has " +
+                             std::to_string(m_.size()));
+  }
+  // Parse and validate everything before mutating, so a bad stream leaves
+  // the optimizer exactly as it was.
+  std::vector<tensor::Matrix> m_in, v_in;
+  m_in.reserve(m_.size());
+  v_in.reserve(v_.size());
+  for (std::size_t s = 0; s < m_.size(); ++s) {
+    tensor::Matrix m = tensor::read_matrix(in);
+    tensor::Matrix v = tensor::read_matrix(in);
+    if (m.rows() != m_[s].rows() || m.cols() != m_[s].cols() ||
+        v.rows() != v_[s].rows() || v.cols() != v_[s].cols()) {
+      throw std::runtime_error("Adam::load_state: shape mismatch at slot " +
+                               std::to_string(s));
+    }
+    m_in.push_back(std::move(m));
+    v_in.push_back(std::move(v));
+  }
+  m_ = std::move(m_in);
+  v_ = std::move(v_in);
+  t_ = t;
 }
 
 }  // namespace gsgcn::gcn

@@ -3,6 +3,7 @@
 // tensor; the shared step counter lives in the Adam object so bias
 // correction is consistent across parameters.
 
+#include <iosfwd>
 #include <vector>
 
 #include "tensor/matrix.hpp"
@@ -39,6 +40,15 @@ class Adam {
 
   /// Adjust the learning rate between steps (LR schedules).
   void set_lr(float lr) { cfg_.lr = lr; }
+
+  /// Serialize the full optimizer state (step counter + both moment
+  /// tensors per slot) to a binary stream; load_state restores it into an
+  /// optimizer with the same registered slots, so a checkpointed training
+  /// run continues bit-identically instead of restarting the moment
+  /// estimates from zero. load_state throws std::runtime_error on slot
+  /// count or shape mismatch and on truncation.
+  void save_state(std::ostream& out) const;
+  void load_state(std::istream& in);
 
  private:
   AdamConfig cfg_;

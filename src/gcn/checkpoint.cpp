@@ -1,0 +1,269 @@
+#include "gcn/checkpoint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/crc32.hpp"
+#include "util/fault.hpp"
+
+namespace gsgcn::gcn {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint64_t kCkptMagic = 0x6773676e636b7031ULL;  // "gsgnckp1"
+constexpr std::uint32_t kCkptVersion = 1;
+constexpr std::uint32_t kPayloadVersion = 1;
+// A checkpoint larger than this is a corrupt size field, not a model.
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 34;
+
+template <class T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <class T>
+void take(std::istream& in, T& v, const char* what) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) {
+    throw std::runtime_error(std::string("checkpoint: truncated at ") + what);
+  }
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const CheckpointCursors& c,
+                              const GcnModel& model, const Adam& opt) {
+  std::ostringstream out(std::ios::binary);
+  put(out, kPayloadVersion);
+  put(out, c.next_epoch);
+  put(out, c.iterations);
+  put(out, c.lr);
+  put(out, c.best_val);
+  put(out, c.stale_epochs);
+  put(out, c.pool_slot);
+
+  const std::uint64_t n_hist = c.history.size();
+  put(out, n_hist);
+  for (const EpochRecord& r : c.history) {
+    put(out, static_cast<std::int32_t>(r.epoch));
+    put(out, r.train_loss);
+    put(out, r.val_f1);
+    put(out, r.epoch_seconds);
+    put(out, r.cumulative_seconds);
+  }
+
+  const std::uint64_t n_layers = model.layers().size();
+  put(out, n_layers);
+  for (const GraphConvLayer& layer : model.layers()) {
+    for (const std::uint64_t word : layer.dropout_rng().state()) {
+      put(out, word);
+    }
+  }
+
+  const std::vector<tensor::Matrix> weights = model.snapshot_weights();
+  const std::uint64_t n_weights = weights.size();
+  put(out, n_weights);
+  for (const tensor::Matrix& w : weights) tensor::write_matrix(out, w);
+
+  opt.save_state(out);
+  if (!out) throw std::runtime_error("encode_checkpoint: stream failure");
+  return std::move(out).str();
+}
+
+CheckpointCursors decode_checkpoint(const std::string& payload,
+                                    GcnModel& model, Adam& opt) {
+  std::istringstream in(payload, std::ios::binary);
+  std::uint32_t version = 0;
+  take(in, version, "version");
+  if (version != kPayloadVersion) {
+    throw std::runtime_error("checkpoint: unsupported payload version " +
+                             std::to_string(version));
+  }
+  CheckpointCursors c;
+  take(in, c.next_epoch, "next_epoch");
+  take(in, c.iterations, "iterations");
+  take(in, c.lr, "lr");
+  take(in, c.best_val, "best_val");
+  take(in, c.stale_epochs, "stale_epochs");
+  take(in, c.pool_slot, "pool_slot");
+
+  std::uint64_t n_hist = 0;
+  take(in, n_hist, "history count");
+  if (n_hist > (1u << 24)) {
+    throw std::runtime_error("checkpoint: implausible history count");
+  }
+  c.history.resize(n_hist);
+  for (EpochRecord& r : c.history) {
+    std::int32_t epoch = 0;
+    take(in, epoch, "history epoch");
+    r.epoch = epoch;
+    take(in, r.train_loss, "history loss");
+    take(in, r.val_f1, "history val_f1");
+    take(in, r.epoch_seconds, "history epoch_seconds");
+    take(in, r.cumulative_seconds, "history cumulative_seconds");
+  }
+
+  std::uint64_t n_layers = 0;
+  take(in, n_layers, "layer count");
+  if (n_layers != model.layers().size()) {
+    throw std::runtime_error("checkpoint: layer count mismatch: file has " +
+                             std::to_string(n_layers) + ", model has " +
+                             std::to_string(model.layers().size()));
+  }
+  std::vector<std::array<std::uint64_t, 4>> rng_states(n_layers);
+  for (auto& state : rng_states) {
+    for (std::uint64_t& word : state) take(in, word, "dropout rng");
+  }
+
+  std::uint64_t n_weights = 0;
+  take(in, n_weights, "weight count");
+  const std::vector<tensor::Matrix> expected = model.snapshot_weights();
+  if (n_weights != expected.size()) {
+    throw std::runtime_error("checkpoint: weight count mismatch");
+  }
+  std::vector<tensor::Matrix> weights;
+  weights.reserve(n_weights);
+  for (std::size_t i = 0; i < n_weights; ++i) {
+    tensor::Matrix w = tensor::read_matrix(in);
+    if (w.rows() != expected[i].rows() || w.cols() != expected[i].cols()) {
+      throw std::runtime_error("checkpoint: weight shape mismatch at tensor " +
+                               std::to_string(i) + ": file " + w.shape_str() +
+                               " vs model " + expected[i].shape_str());
+    }
+    weights.push_back(std::move(w));
+  }
+
+  // Everything parsed and shape-checked — only now mutate model/opt, so a
+  // corrupt payload can never leave them half-restored.
+  opt.load_state(in);  // validates its own slot shapes before mutating
+  model.restore_weights(weights);
+  for (std::size_t l = 0; l < rng_states.size(); ++l) {
+    model.layers()[l].dropout_rng().set_state(rng_states[l]);
+  }
+  return c;
+}
+
+CheckpointManager::CheckpointManager(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(std::max(keep, 2)) {
+  if (dir_.empty()) {
+    throw std::invalid_argument("CheckpointManager: empty directory");
+  }
+  fs::create_directories(dir_);
+}
+
+void CheckpointManager::write_file(const std::string& path,
+                                   const std::string& payload) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("checkpoint: cannot open " + path + " for write");
+  }
+  const std::uint64_t size = payload.size();
+  const std::uint32_t crc = util::crc32(payload.data(), payload.size());
+  put(out, kCkptMagic);
+  put(out, kCkptVersion);
+  put(out, size);
+  put(out, crc);
+  if (util::fault_point("ckpt.torn_write")) {
+    // Simulated crash mid-write: half the payload lands, then the writer
+    // "dies". The temp file is left behind exactly as a real torn write
+    // would leave it; the rename never happens.
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size() / 2));
+    out.flush();
+    throw util::InjectedFault("torn checkpoint write: " + path);
+  }
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("checkpoint: write failed: " + path);
+}
+
+bool CheckpointManager::read_file(const std::string& path,
+                                  std::string& payload) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::uint64_t magic = 0, size = 0;
+  std::uint32_t version = 0, crc = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  if (!in || magic != kCkptMagic || version != kCkptVersion ||
+      size > kMaxPayloadBytes) {
+    return false;
+  }
+  std::string buf(size, '\0');
+  in.read(buf.data(), static_cast<std::streamsize>(size));
+  if (!in) return false;  // truncated payload
+  if (util::crc32(buf.data(), buf.size()) != crc) return false;
+  payload = std::move(buf);
+  return true;
+}
+
+std::string CheckpointManager::write(int epoch, const std::string& payload) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt_%06d.bin", epoch);
+  const std::string final_path = dir_ + "/" + name;
+  const std::string tmp_path = final_path + ".tmp";
+  write_file(tmp_path, payload);
+  // Crash window between a complete temp file and the publish rename —
+  // armed by tests to prove the previous checkpoint stays authoritative.
+  util::fault_point("ckpt.pre_rename");
+  fs::rename(tmp_path, final_path);
+
+  // Bounded retention: newest `keep_` survive.
+  const std::vector<std::string> all = list();
+  for (std::size_t i = static_cast<std::size_t>(keep_); i < all.size(); ++i) {
+    std::error_code ec;
+    fs::remove(all[i], ec);  // best-effort; a leftover file is harmless
+  }
+  return final_path;
+}
+
+std::vector<std::string> CheckpointManager::list() const {
+  std::vector<std::pair<int, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    int epoch = 0;
+    if (std::sscanf(name.c_str(), "ckpt_%d.bin", &epoch) == 1 &&
+        name.size() > 4 && name.compare(name.size() - 4, 4, ".bin") == 0) {
+      found.emplace_back(epoch, entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [epoch, path] : found) {
+    (void)epoch;
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+bool CheckpointManager::load_latest(std::string& payload, int* epoch) {
+  for (const std::string& path : list()) {
+    if (read_file(path, payload)) {
+      if (epoch != nullptr) {
+        int e = 0;
+        const std::string name = fs::path(path).filename().string();
+        std::sscanf(name.c_str(), "ckpt_%d.bin", &e);
+        *epoch = e;
+      }
+      return true;
+    }
+    ++fallbacks_;  // corrupt/torn/truncated — skip to the previous one
+  }
+  return false;
+}
+
+}  // namespace gsgcn::gcn

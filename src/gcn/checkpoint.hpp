@@ -1,0 +1,94 @@
+#pragma once
+// Fault-tolerant training checkpoints.
+//
+// A checkpoint is everything the trainer needs to continue the
+// *byte-identical* run the uninterrupted process would have produced:
+//
+//   - cursors: next epoch, iteration count, current learning rate,
+//     early-stopping state, and the pool's consumed-slot cursor (slot k is
+//     drawn from RNG stream (seed, k), so one integer checkpoints every
+//     per-slot sampler RNG stream at once — see sampling/pool.hpp);
+//   - the full epoch history so a resumed run reports the complete loss
+//     sequence, not just its own epochs;
+//   - model weights (every layer + classifier head);
+//   - Adam state (step counter + both moment tensors per slot), fixing
+//     the "optimizer state excluded" gap of GcnModel::save;
+//   - each layer's dropout-mask RNG stream.
+//
+// The payload is plain binary (encode/decode below). On disk the manager
+// wraps it in a magic + version + size + CRC-32 header and writes it via
+// temp-file-then-rename, so a crash mid-write can never replace a good
+// checkpoint with a torn one; load_latest() walks checkpoints newest
+// first and falls back past any file that fails the magic/size/CRC gate.
+// The same payload doubles as the in-memory rollback anchor the
+// divergence guard restores from (see gcn/trainer.cpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gcn/model.hpp"
+#include "gcn/trainer.hpp"
+
+namespace gsgcn::gcn {
+
+/// Scalar training cursors carried alongside the tensors.
+struct CheckpointCursors {
+  std::int32_t next_epoch = 0;     // first epoch the resumed run executes
+  std::int64_t iterations = 0;     // optimizer steps taken so far
+  float lr = 0.01f;                // current (possibly decayed) rate
+  double best_val = -1.0;          // early-stopping bookkeeping
+  std::int32_t stale_epochs = 0;
+  std::uint64_t pool_slot = 0;     // SubgraphPool::consumed() at the boundary
+  std::vector<EpochRecord> history;
+};
+
+/// Serialize cursors + model weights + Adam state + per-layer dropout RNG
+/// streams into a self-contained payload (header/CRC are the manager's
+/// job, so the same bytes serve as the in-memory rollback anchor).
+std::string encode_checkpoint(const CheckpointCursors& cursors,
+                              const GcnModel& model, const Adam& opt);
+
+/// Restore `payload` into model/opt in place (every tensor shape is
+/// validated first — a mismatched payload throws std::runtime_error and
+/// leaves both untouched) and return the cursors.
+CheckpointCursors decode_checkpoint(const std::string& payload,
+                                    GcnModel& model, Adam& opt);
+
+/// On-disk checkpoint directory: versioned files `ckpt_<epoch>.bin`,
+/// atomic writes, bounded retention, corruption-tolerant loads.
+class CheckpointManager {
+ public:
+  /// `keep` >= 2 so one corrupt newest file still leaves a fallback.
+  explicit CheckpointManager(std::string dir, int keep = 2);
+
+  /// Write `payload` for `epoch` atomically (temp file + rename), then
+  /// prune to the `keep` newest. Returns the final path. Fault sites:
+  /// "ckpt.torn_write" (report-kind) truncates the temp mid-payload and
+  /// throws as a simulated crash; "ckpt.pre_rename" fires between the
+  /// completed temp write and the rename.
+  std::string write(int epoch, const std::string& payload);
+
+  /// Newest-first scan for the first checkpoint passing the
+  /// magic/version/size/CRC gate. Invalid files are skipped (counted in
+  /// fallbacks()), never deleted — they are evidence. Returns false when
+  /// no valid checkpoint exists.
+  bool load_latest(std::string& payload, int* epoch = nullptr);
+
+  /// Checkpoint files, newest epoch first.
+  std::vector<std::string> list() const;
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t fallbacks() const { return fallbacks_; }
+
+  /// Single-file header+CRC validation/IO, exposed for tests.
+  static void write_file(const std::string& path, const std::string& payload);
+  static bool read_file(const std::string& path, std::string& payload);
+
+ private:
+  std::string dir_;
+  int keep_;
+  std::uint64_t fallbacks_ = 0;
+};
+
+}  // namespace gsgcn::gcn

@@ -44,6 +44,11 @@ class GraphConvLayer {
   void set_dropout(float rate);
   float dropout() const { return dropout_rate_; }
 
+  /// The dropout mask stream. Checkpointing saves/restores its state so a
+  /// resumed run draws the same masks the uninterrupted run would have.
+  util::Xoshiro256& dropout_rng() { return dropout_rng_; }
+  const util::Xoshiro256& dropout_rng() const { return dropout_rng_; }
+
   /// Forward over the (sub)graph g. Keeps the activations needed by
   /// backward. `h_in` must stay alive until backward() returns. With
   /// `training` set, input dropout is applied (if configured).

@@ -96,6 +96,11 @@ constexpr std::uint64_t kCheckpointMagic = 0x6773676e6d646c31ULL;  // gsgnmdl1
 void GcnModel::save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("GcnModel::save: cannot open " + path);
+  save(out);
+  if (!out) throw std::runtime_error("GcnModel::save: write failed: " + path);
+}
+
+void GcnModel::save(std::ostream& out) const {
   out.write(reinterpret_cast<const char*>(&kCheckpointMagic),
             sizeof(kCheckpointMagic));
   const std::uint64_t fields[] = {
@@ -110,22 +115,36 @@ void GcnModel::save(const std::string& path) const {
   }
   tensor::write_matrix(out, w_cls_);
   tensor::write_matrix(out, b_cls_);
-  if (!out) throw std::runtime_error("GcnModel::save: write failed: " + path);
+  if (!out) throw std::runtime_error("GcnModel::save: write failed");
 }
 
 GcnModel GcnModel::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("GcnModel::load: cannot open " + path);
+  try {
+    return load(in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(e.what()) + ": " + path);
+  }
+}
+
+GcnModel GcnModel::load(std::istream& in) {
   std::uint64_t magic = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   if (!in || magic != kCheckpointMagic) {
-    throw std::runtime_error("GcnModel::load: bad checkpoint: " + path);
+    throw std::runtime_error("GcnModel::load: bad checkpoint");
   }
   std::uint64_t fields[6] = {};
   float dropout = 0.0f;
   in.read(reinterpret_cast<char*>(fields), sizeof(fields));
   in.read(reinterpret_cast<char*>(&dropout), sizeof(dropout));
-  if (!in) throw std::runtime_error("GcnModel::load: truncated: " + path);
+  if (!in) throw std::runtime_error("GcnModel::load: truncated");
+  // Plausibility caps before constructing: a corrupt header must throw,
+  // not drive a multi-terabyte allocation.
+  if (fields[0] > (1ull << 24) || fields[1] > (1ull << 24) ||
+      fields[2] > (1ull << 24) || fields[3] > 1024) {
+    throw std::runtime_error("GcnModel::load: implausible header dims");
+  }
   ModelConfig cfg;
   cfg.in_dim = fields[0];
   cfg.hidden_dim = fields[1];

@@ -6,6 +6,7 @@
 // neigh concat), so with hidden = h the layer widths run
 // in_dim → 2h → 2h → … → num_classes.
 
+#include <iosfwd>
 #include <vector>
 
 #include "gcn/adam.hpp"
@@ -58,10 +59,17 @@ class GcnModel {
   /// Total trainable parameter count.
   std::size_t num_parameters() const;
 
-  /// Checkpointing: binary dump of the config and every weight tensor.
-  /// load() reconstructs an identical model (optimizer state excluded).
+  /// Weights-only persistence: binary dump of the config and every weight
+  /// tensor; load() reconstructs an identical model for inference. For
+  /// resuming *training* use gcn/checkpoint.hpp, which additionally
+  /// carries the Adam moments/step, the sampler slot cursor, and the
+  /// dropout RNG streams (this format alone would restart the optimizer
+  /// cold). The stream overloads serialize into an open binary stream so
+  /// composite formats (checkpoints) can embed a model section.
   void save(const std::string& path) const;
+  void save(std::ostream& out) const;
   static GcnModel load(const std::string& path);
+  static GcnModel load(std::istream& in);
 
   /// In-memory weight snapshot (layers then classifier then bias) and its
   /// inverse — the trainer's restore-best-epoch mechanism.

@@ -1,9 +1,13 @@
 #include "gcn/trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
+#include "gcn/checkpoint.hpp"
 #include "gcn/inference.hpp"
 #include "gcn/loss.hpp"
 #include "gcn/metrics.hpp"
@@ -15,6 +19,7 @@
 #include "sampling/samplers.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/json_writer.hpp"
 #include "util/timer.hpp"
 
@@ -33,6 +38,20 @@ const char* sampler_kind_name(SamplerKind kind) {
   }
   std::abort();  // unreachable for in-range enum values
 }
+
+namespace {
+
+// Divergence-guard scan. The GSGCN_CHECK_* invariants compile out of
+// Release builds, so the guard carries its own check: one linear pass per
+// tensor per iteration, trivial next to the layer GEMMs that produced it.
+bool all_finite(const float* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Trainer::Trainer(const data::Dataset& dataset, const TrainerConfig& config)
     : ds_(dataset), cfg_(config) {
@@ -127,12 +146,11 @@ TrainResult Trainer::train() {
   TrainResult result;
   PhaseClock clock;
   pool_->reset_accounting();
-  // Start (or restart, on a repeated train() call) the producer and take
-  // the unavoidable first fill off the timed path: it is a cold start,
-  // not a starvation stall, so `pool.stalls` measures only genuine
-  // starvation during training.
-  pool_->start_async();
-  pool_->prefill();
+
+  std::unique_ptr<CheckpointManager> mgr;
+  if (!cfg_.checkpoint_dir.empty()) {
+    mgr = std::make_unique<CheckpointManager>(cfg_.checkpoint_dir);
+  }
 
   const std::int64_t iters_per_epoch = std::max<std::int64_t>(
       1, train_graph_.num_vertices() / std::max<graph::Vid>(budget_, 1));
@@ -145,7 +163,93 @@ TrainResult Trainer::train() {
   double train_time = 0.0;
   double sampler_wait = 0.0;
   float lr = cfg_.lr;
-  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+  int epoch = 0;
+  int retries_used = 0;         // shared rollback budget, whole run
+  int divergence_backoffs = 0;  // lr-backoff exponent since the last anchor
+
+  // Resume: restore the newest valid checkpoint, then seek the pool to the
+  // consumed-slot cursor so the subgraph sequence continues exactly where
+  // the checkpointed run left off (slot k always draws from RNG stream
+  // (seed, k), independent of p_inter or sync/async mode).
+  if (cfg_.resume && mgr != nullptr) {
+    std::string payload;
+    int ck_epoch = -1;
+    if (mgr->load_latest(payload, &ck_epoch)) {
+      const CheckpointCursors c = decode_checkpoint(payload, *model_, *opt_);
+      epoch = c.next_epoch;
+      result.iterations = c.iterations;
+      lr = c.lr;
+      opt_->set_lr(lr);
+      best_val = c.best_val;
+      stale_epochs = c.stale_epochs;
+      result.history = c.history;
+      if (!result.history.empty()) {
+        train_time = result.history.back().cumulative_seconds;
+      }
+      pool_->seek(c.pool_slot);
+      result.resumed_from_epoch = epoch;
+      GSGCN_COUNTER_INC("ckpt.restored");
+      // Re-emit the restored records so the telemetry stream carries the
+      // complete per-epoch sequence, not just the post-resume suffix —
+      // downstream consumers can diff a resumed run against an
+      // uninterrupted one line by line.
+      for (const EpochRecord& rec : result.history) emit_epoch_record(rec);
+    }
+  }
+
+  // Start (or restart, on a repeated train() call) the producer and take
+  // the unavoidable first fill off the timed path: it is a cold start,
+  // not a starvation stall, so `pool.stalls` measures only genuine
+  // starvation during training.
+  pool_->start_async();
+  pool_->prefill();
+
+  // The encoded checkpoint payload doubles as the guard's in-memory
+  // rollback anchor, refreshed after every healthy epoch. Taking it before
+  // epoch 0 (or right after a resume) means recovery works even with no
+  // checkpoint_dir at all. Encoding is one serialization of the model +
+  // optimizer per epoch — small next to an epoch of GEMMs.
+  auto snapshot = [&]() {
+    CheckpointCursors c;
+    c.next_epoch = epoch;
+    c.iterations = result.iterations;
+    c.lr = lr;
+    c.best_val = best_val;
+    c.stale_epochs = stale_epochs;
+    c.pool_slot = pool_->consumed();
+    c.history = result.history;
+    return encode_checkpoint(c, *model_, *opt_);
+  };
+  std::string last_good = snapshot();
+
+  // Restore the anchor. For numeric divergence the learning rate is the
+  // prime suspect, so it is backed off multiplicatively — compounding
+  // across consecutive failed retries of the same epoch. Transient
+  // sampler/pool faults skip the backoff: replaying the epoch with the
+  // anchor's lr keeps the run bit-identical to an uninterrupted one.
+  auto rollback = [&](bool lr_at_fault) {
+    ++result.rollbacks;
+    GSGCN_COUNTER_INC("guard.rollbacks");
+    const CheckpointCursors c = decode_checkpoint(last_good, *model_, *opt_);
+    epoch = c.next_epoch;
+    result.iterations = c.iterations;
+    best_val = c.best_val;
+    stale_epochs = c.stale_epochs;
+    result.history = c.history;
+    lr = c.lr;
+    if (lr_at_fault) {
+      ++divergence_backoffs;
+      for (int i = 0; i < divergence_backoffs; ++i) {
+        lr *= cfg_.guard_lr_backoff;
+      }
+    }
+    opt_->set_lr(lr);
+    pool_->seek(c.pool_slot);
+    pool_->start_async();
+    pool_->prefill();
+  };
+
+  while (epoch < cfg_.epochs) {
     GSGCN_TRACE_SPAN_ID("train/epoch", epoch);
     util::Timer epoch_timer;
     // Pop wait (cv blocks in async mode, inline refills in sync mode) is
@@ -155,50 +259,109 @@ TrainResult Trainer::train() {
     // sample_seconds.
     const double wait_before = pool_->pop_wait_seconds();
     double loss_sum = 0.0;
-    for (std::int64_t it = 0; it < iters_per_epoch; ++it) {
-      GSGCN_TRACE_SPAN("train/iteration");
-      graph::Subgraph sub = pool_->pop();
-      const graph::Vid n_sub = sub.num_vertices();
-      GSGCN_ASSERT(n_sub > 0, "pool produced an empty subgraph");
-      GSGCN_ASSERT(sub.orig_ids.size() == n_sub,
-                   "subgraph id map size disagrees with its CSR");
+    const char* trip = nullptr;  // non-null: this epoch must be discarded
+    bool lr_at_fault = false;    // divergence vs transient infra fault
+    std::string trip_what;
+    try {
+      for (std::int64_t it = 0; it < iters_per_epoch; ++it) {
+        GSGCN_TRACE_SPAN("train/iteration");
+        graph::Subgraph sub = pool_->pop();
+        const graph::Vid n_sub = sub.num_vertices();
+        GSGCN_ASSERT(n_sub > 0, "pool produced an empty subgraph");
+        GSGCN_ASSERT(sub.orig_ids.size() == n_sub,
+                     "subgraph id map size disagrees with its CSR");
 
-      {
-        GSGCN_TRACE_SPAN_ID("train/gather", n_sub);
-        ensure_shape(batch_features_, n_sub, ds_.feature_dim());
-        ensure_shape(batch_labels_, n_sub, ds_.num_classes());
-        tensor::gather_rows(train_features_, sub.orig_ids, batch_features_,
-                            cfg_.threads);
-        tensor::gather_rows(train_labels_, sub.orig_ids, batch_labels_,
-                            cfg_.threads);
-      }
-
-      const tensor::Matrix& logits = model_->forward(
-          sub.graph, batch_features_, cfg_.threads, &clock, /*training=*/true);
-      GSGCN_CHECK_FINITE_RANGE(logits.data(), logits.size(),
-                               "training logits");
-      ensure_shape(d_logits_, n_sub, ds_.num_classes());
-      {
-        GSGCN_TRACE_SPAN("train/loss");
-        if (saint_ != nullptr) {
-          const std::vector<float> w = saint_->batch_weights(sub.orig_ids);
-          loss_sum += classification_loss_weighted(ds_.mode, logits,
-                                                   batch_labels_, w, d_logits_);
-        } else {
-          loss_sum +=
-              classification_loss(ds_.mode, logits, batch_labels_, d_logits_);
+        {
+          GSGCN_TRACE_SPAN_ID("train/gather", n_sub);
+          ensure_shape(batch_features_, n_sub, ds_.feature_dim());
+          ensure_shape(batch_labels_, n_sub, ds_.num_classes());
+          tensor::gather_rows(train_features_, sub.orig_ids, batch_features_,
+                              cfg_.threads);
+          tensor::gather_rows(train_labels_, sub.orig_ids, batch_labels_,
+                              cfg_.threads);
         }
+
+        const tensor::Matrix& logits = model_->forward(
+            sub.graph, batch_features_, cfg_.threads, &clock,
+            /*training=*/true);
+        GSGCN_CHECK_FINITE_RANGE(logits.data(), logits.size(),
+                                 "training logits");
+        ensure_shape(d_logits_, n_sub, ds_.num_classes());
+        double iter_loss = 0.0;
+        {
+          GSGCN_TRACE_SPAN("train/loss");
+          if (saint_ != nullptr) {
+            const std::vector<float> w = saint_->batch_weights(sub.orig_ids);
+            iter_loss = classification_loss_weighted(
+                ds_.mode, logits, batch_labels_, w, d_logits_);
+          } else {
+            iter_loss =
+                classification_loss(ds_.mode, logits, batch_labels_, d_logits_);
+          }
+        }
+        // Report-kind fault site: poisons the observed loss so tests and
+        // CI can trip the guard on demand without real numeric blowup.
+        if (util::fault_point("trainer.poison_loss")) {
+          iter_loss = std::numeric_limits<double>::quiet_NaN();
+        }
+        loss_sum += iter_loss;
+        GSGCN_CHECK_FINITE_RANGE(d_logits_.data(), d_logits_.size(),
+                                 "loss gradient");
+        if (cfg_.guard &&
+            (!std::isfinite(iter_loss) ||
+             !all_finite(logits.data(), logits.size()) ||
+             !all_finite(d_logits_.data(), d_logits_.size()))) {
+          // Stop before backward/apply: the optimizer must not step on
+          // poisoned gradients.
+          trip = "non-finite loss/logits/gradient";
+          lr_at_fault = true;
+          break;
+        }
+        model_->backward(sub.graph, d_logits_, cfg_.threads, &clock);
+        {
+          GSGCN_TRACE_SPAN("train/adam");
+          model_->apply_gradients(*opt_);
+        }
+        GSGCN_COUNTER_INC("train.iterations");
+        ++result.iterations;
       }
-      GSGCN_CHECK_FINITE_RANGE(d_logits_.data(), d_logits_.size(),
-                               "loss gradient");
-      model_->backward(sub.graph, d_logits_, cfg_.threads, &clock);
-      {
-        GSGCN_TRACE_SPAN("train/adam");
-        model_->apply_gradients(*opt_);
-      }
-      GSGCN_COUNTER_INC("train.iterations");
-      ++result.iterations;
+    } catch (const std::exception& e) {
+      // Transient infra fault (sampler/pool exceptions surface here via
+      // pop()). With the guard off the old contract holds: it propagates.
+      if (!cfg_.guard) throw;
+      trip = "sampler/pool exception";
+      trip_what = e.what();
     }
+
+    if (trip == nullptr && cfg_.guard) {
+      const double mean_loss =
+          loss_sum / static_cast<double>(iters_per_epoch);
+      if (!std::isfinite(mean_loss) ||
+          std::abs(mean_loss) > cfg_.guard_loss_limit) {
+        trip = "epoch loss beyond guard_loss_limit";
+        lr_at_fault = true;
+      }
+    }
+
+    if (trip != nullptr) {
+      result.recovery_seconds += epoch_timer.seconds();
+      if (lr_at_fault) {
+        ++result.guard_trips;
+        GSGCN_COUNTER_INC("guard.trips");
+      }
+      if (retries_used >= cfg_.guard_max_retries) {
+        pool_->stop_async();
+        throw std::runtime_error(
+            "trainer: rollback budget exhausted (" +
+            std::to_string(cfg_.guard_max_retries) + " retries) at epoch " +
+            std::to_string(epoch) + "; last trip: " + trip +
+            (trip_what.empty() ? std::string() : ": " + trip_what));
+      }
+      ++retries_used;
+      rollback(lr_at_fault);
+      continue;  // replay the rolled-back epoch
+    }
+
     const double epoch_wall = epoch_timer.seconds();
     const double epoch_wait = pool_->pop_wait_seconds() - wait_before;
     const double epoch_compute = std::max(0.0, epoch_wall - epoch_wait);
@@ -228,9 +391,32 @@ TrainResult Trainer::train() {
       } else if (cfg_.early_stop_patience > 0 &&
                  ++stale_epochs >= cfg_.early_stop_patience) {
         result.early_stopped = true;
-        break;
       }
     }
+    ++epoch;
+
+    // Healthy epoch: refresh the rollback anchor (its lr now includes any
+    // backoff, so the exponent resets) and, on cadence, publish it to disk.
+    last_good = snapshot();
+    divergence_backoffs = 0;
+    if (mgr != nullptr && cfg_.checkpoint_every > 0 &&
+        (epoch % cfg_.checkpoint_every == 0 || epoch == cfg_.epochs ||
+         result.early_stopped)) {
+      try {
+        mgr->write(epoch, last_good);
+        ++result.checkpoints_written;
+        GSGCN_COUNTER_INC("ckpt.written");
+      } catch (const std::exception&) {
+        // A failed write must not kill training: the temp-file publish
+        // protocol leaves the previous checkpoint authoritative.
+        GSGCN_COUNTER_INC("ckpt.write_failures");
+      }
+    }
+    // Post-checkpoint crash window: CI arms this site abort-kind to kill
+    // the process here and prove --resume reproduces the uninterrupted
+    // run's loss sequence byte for byte.
+    util::fault_point("trainer.epoch_end");
+    if (result.early_stopped) break;
   }
   if (cfg_.restore_best && !best_weights.empty()) {
     model_->restore_weights(best_weights);
@@ -249,6 +435,10 @@ TrainResult Trainer::train() {
   result.weight_seconds = clock.weight_apply.total_seconds();
   result.final_val_f1 = evaluate(ds_.val_vertices);
   result.final_test_f1 = evaluate(ds_.test_vertices);
+  if (mgr != nullptr && mgr->fallbacks() > 0) {
+    GSGCN_COUNTER_ADD("ckpt.fallbacks",
+                      static_cast<double>(mgr->fallbacks()));
+  }
   emit_run_summary(result);
   return result;
 }
@@ -308,6 +498,18 @@ void Trainer::emit_run_summary(const TrainResult& result) const {
   w.key("weight_seconds").value(result.weight_seconds);
   w.key("final_val_f1").value(result.final_val_f1);
   w.key("final_test_f1").value(result.final_test_f1);
+  // Fault-tolerance accounting: all zero / -1 on a clean fresh run. The
+  // CI recovery job asserts on these (rollbacks after an injected poison,
+  // resumed_from_epoch after a kill + --resume).
+  w.key("checkpoints_written").value(result.checkpoints_written);
+  w.key("guard_trips").value(result.guard_trips);
+  w.key("rollbacks").value(result.rollbacks);
+  w.key("resumed_from_epoch")
+      .value(static_cast<std::int64_t>(result.resumed_from_epoch));
+  w.key("recovery_seconds").value(result.recovery_seconds);
+  w.key("faults_injected")
+      .value(static_cast<std::int64_t>(
+          util::FaultInjector::instance().fired_total()));
   // Full metrics scrape (counters/gauges/histograms) — empty collections
   // in builds where the instrumentation macros compile out.
   w.key("metrics").value_raw(obs::Registry::instance().scrape().to_json());

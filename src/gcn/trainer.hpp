@@ -79,6 +79,30 @@ struct TrainerConfig {
   std::uint64_t seed = 1;
   bool eval_every_epoch = true;
 
+  // Fault tolerance (gcn/checkpoint.hpp; DESIGN.md "Fault tolerance").
+  // With a checkpoint_dir set, a versioned CRC-protected checkpoint is
+  // written atomically every `checkpoint_every` healthy epochs; `resume`
+  // restores the newest valid one and continues the byte-identical
+  // subgraph/loss sequence the uninterrupted run would have produced.
+  std::string checkpoint_dir;  // empty = no on-disk checkpoints
+  int checkpoint_every = 1;    // epoch cadence (<= 0 disables writes)
+  bool resume = false;         // load newest valid checkpoint before training
+
+  // Divergence guard — active in every build, *including* Release, where
+  // the GSGCN_CHECK_* invariants compile out: long training campaigns
+  // need cheap always-on detection, not just debug aborts. A non-finite
+  // iteration loss / logits / loss gradient, or an epoch loss beyond
+  // guard_loss_limit, trips the guard: the trainer rolls back to the last
+  // good state (on-disk checkpoint payload or the in-memory anchor),
+  // applies multiplicative learning-rate backoff, and retries, up to
+  // guard_max_retries restores per run. Transient sampler/pool faults
+  // (exceptions out of pop()) take the same rollback path but skip the
+  // backoff — the learning rate was not at fault.
+  bool guard = true;
+  double guard_loss_limit = 1e8;  // |epoch mean loss| beyond this trips
+  int guard_max_retries = 3;      // total rollbacks before giving up
+  float guard_lr_backoff = 0.5f;  // lr multiplier per divergence rollback
+
   // GraphSAINT-style loss normalization (the paper's future-work
   // direction): pre-sample `saint_presamples` subgraphs to estimate each
   // vertex's inclusion probability, then weight minibatch losses by its
@@ -116,6 +140,13 @@ struct TrainResult {
   std::int64_t pool_stalls = 0;       // pops that hit an empty pool after
                                       // warmup (0 = pipeline kept up)
   std::int64_t pool_cold_starts = 0;  // warmup fills (prefill; expect 1)
+
+  // Fault-tolerance accounting (all zero on a clean, fresh run).
+  std::int64_t checkpoints_written = 0;
+  std::int64_t guard_trips = 0;      // divergence detections
+  std::int64_t rollbacks = 0;        // state restores (divergence + transient)
+  int resumed_from_epoch = -1;       // epoch a --resume continued from; -1 = fresh
+  double recovery_seconds = 0.0;     // wall time burnt in discarded epochs
 };
 
 class Trainer {

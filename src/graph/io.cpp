@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/fault.hpp"
+
 namespace gsgcn::graph {
 
 namespace {
@@ -69,6 +71,7 @@ void save_csr_binary(const CsrGraph& g, const std::string& path) {
 }
 
 CsrGraph load_csr_binary(const std::string& path) {
+  util::fault_point("io.load_csr");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
   std::uint64_t magic = 0, n = 0, m = 0;
@@ -76,6 +79,25 @@ CsrGraph load_csr_binary(const std::string& path) {
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&m), sizeof(m));
   if (!in || magic != kMagic) throw std::runtime_error("bad csr binary: " + path);
+  // Header sanity before any allocation: ids are uint32 (n + 1 must fit),
+  // and the declared sizes must agree exactly with the bytes on disk — a
+  // flipped size field must fail here, not as a giant allocation or a
+  // silent short read.
+  if (n > 0xFFFFFFFEULL) {
+    throw std::runtime_error(path + ": vertex count " + std::to_string(n) +
+                             " exceeds uint32 range");
+  }
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  const std::uint64_t expect =
+      3 * sizeof(std::uint64_t) + (n + 1) * sizeof(Eid) + m * sizeof(Vid);
+  if (file_size != expect) {
+    throw std::runtime_error(
+        path + ": file is " + std::to_string(file_size) + " bytes, header (n=" +
+        std::to_string(n) + ", m=" + std::to_string(m) + ") requires " +
+        std::to_string(expect));
+  }
+  in.seekg(3 * sizeof(std::uint64_t), std::ios::beg);
   std::vector<Eid> offsets(n + 1);
   std::vector<Vid> adj(m);
   in.read(reinterpret_cast<char*>(offsets.data()),
@@ -83,6 +105,33 @@ CsrGraph load_csr_binary(const std::string& path) {
   in.read(reinterpret_cast<char*>(adj.data()),
           static_cast<std::streamsize>(adj.size() * sizeof(Vid)));
   if (!in) throw std::runtime_error("truncated csr binary: " + path);
+  // Structural invariants, with the offending element named: a corrupt
+  // graph must never reach the samplers, where an out-of-range neighbor
+  // id is a heap overread.
+  if (offsets[0] != 0) {
+    throw std::runtime_error(path + ": offsets[0] = " +
+                             std::to_string(offsets[0]) + ", expected 0");
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (offsets[v + 1] < offsets[v]) {
+      throw std::runtime_error(
+          path + ": non-monotonic offsets at vertex " + std::to_string(v) +
+          ": offsets[" + std::to_string(v + 1) + "] = " +
+          std::to_string(offsets[v + 1]) + " < " + std::to_string(offsets[v]));
+    }
+  }
+  if (static_cast<std::uint64_t>(offsets[n]) != m) {
+    throw std::runtime_error(path + ": offsets[" + std::to_string(n) + "] = " +
+                             std::to_string(offsets[n]) +
+                             " disagrees with edge count " + std::to_string(m));
+  }
+  for (std::uint64_t e = 0; e < m; ++e) {
+    if (adj[e] >= n) {
+      throw std::runtime_error(path + ": adjacency[" + std::to_string(e) +
+                               "] = " + std::to_string(adj[e]) +
+                               " out of range (n = " + std::to_string(n) + ")");
+    }
+  }
   return CsrGraph::from_csr(std::move(offsets), std::move(adj));
 }
 

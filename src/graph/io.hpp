@@ -19,6 +19,11 @@ CsrGraph load_edgelist_text(const std::string& path);
 void save_edgelist_text(const CsrGraph& g, const std::string& path);
 
 /// Binary CSR round trip (little-endian host format, magic-checked).
+/// load_csr_binary fully validates the structure before returning: the
+/// file size must match the header's (n, m) exactly, offsets must start at
+/// 0, be monotonic, and end at m, and every adjacency id must be < n.
+/// Violations throw std::runtime_error naming the offending element.
+/// Fault site: "io.load_csr".
 void save_csr_binary(const CsrGraph& g, const std::string& path);
 CsrGraph load_csr_binary(const std::string& path);
 

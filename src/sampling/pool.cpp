@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -52,9 +53,15 @@ std::vector<graph::Subgraph> SubgraphPool::produce_batch(
   std::vector<graph::Subgraph> batch(static_cast<std::size_t>(p));
   // An exception escaping an OpenMP region body would terminate the
   // process; collect the first one and rethrow it on this thread instead.
+  // Batch-level fault site: fires on the producer thread in async mode,
+  // on the consumer during inline refills — both rethrow through pop().
+  util::fault_point("pool.produce");
   util::ExceptionCollector errors;
   util::parallel_for(p, p, [&](std::int64_t i) {
     errors.run([&] {
+      // Per-slot fault site inside the worker body: exercises the
+      // ExceptionCollector path an organic sampler failure would take.
+      util::fault_point("pool.sample");
       // Pin for the duration of this sample only; the guard restores the
       // thread's previous mask so pooled worker threads are not left
       // confined to one CPU after the batch completes.
@@ -245,6 +252,7 @@ graph::Subgraph SubgraphPool::pop() {
   GSGCN_ASSERT(!queue_.empty(), "refill produced no subgraphs");
   graph::Subgraph out = std::move(queue_.front());
   queue_.pop_front();
+  ++popped_;
   GSGCN_GAUGE_SET("pool.occupancy", queue_.size());
   space_.notify_one();
   return out;
@@ -253,6 +261,22 @@ graph::Subgraph SubgraphPool::pop() {
 std::size_t SubgraphPool::available() const {
   std::lock_guard<std::mutex> lk(mu_);
   return queue_.size();
+}
+
+std::uint64_t SubgraphPool::consumed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return popped_;
+}
+
+void SubgraphPool::seek(std::uint64_t slot) {
+  stop_async();  // joins the producer; an in-flight batch lands first
+  std::lock_guard<std::mutex> lk(mu_);
+  queue_.clear();
+  next_slot_ = slot;
+  popped_ = slot;
+  error_ = nullptr;
+  cold_ = true;  // the next fill is a warmup, not a starvation stall
+  GSGCN_GAUGE_SET("pool.occupancy", queue_.size());
 }
 
 double SubgraphPool::sampling_seconds() const {

@@ -125,6 +125,20 @@ class SubgraphPool {
   std::size_t capacity() const { return capacity_; }
   int p_inter() const { return static_cast<int>(samplers_.size()); }
 
+  /// Number of subgraphs popped so far. Because pops are FIFO and slot k
+  /// is drawn from RNG stream (seed, k), this single cursor IS the full
+  /// sampler state: checkpointing it (and later seek()ing to it) replays
+  /// the byte-identical subgraph sequence.
+  std::uint64_t consumed() const;
+
+  /// Rewind/fast-forward the slot cursor to `slot`: stops the producer,
+  /// discards queued-but-unpopped subgraphs (they are regenerated
+  /// deterministically), clears any sticky producer error, and marks the
+  /// pool cold so the next fill counts as a cold start. The caller
+  /// restarts the pipeline with start_async()/prefill(). This is the
+  /// checkpoint-restore and divergence-rollback primitive.
+  void seek(std::uint64_t slot);
+
   /// Total wall time spent producing batches — the "Sampling" slice of
   /// the Figure-3D execution breakdown. In async mode this overlaps with
   /// training, so it is *not* consumer critical-path time (that is
@@ -169,6 +183,7 @@ class SubgraphPool {
   std::condition_variable space_;      // consumer → producer
   std::deque<graph::Subgraph> queue_;
   std::uint64_t next_slot_ = 0;  // global sample counter; see header note
+  std::uint64_t popped_ = 0;     // subgraphs consumed; see consumed()
   bool cold_ = true;             // no batch has ever landed in the queue
   bool stop_ = false;            // producer shutdown request
   bool producer_live_ = false;   // producer thread is producing

@@ -1,6 +1,9 @@
 #include "util/cli.hpp"
 
+#include <limits>
 #include <stdexcept>
+
+#include "util/env.hpp"
 
 namespace gsgcn::util {
 
@@ -37,17 +40,35 @@ std::string Cli::get(const std::string& key, const std::string& fallback) const 
 std::int64_t Cli::get(const std::string& key, std::int64_t fallback) const {
   used_[key] = true;
   const auto it = kv_.find(key);
-  return it == kv_.end() ? fallback : std::stoll(it->second);
+  if (it == kv_.end()) return fallback;
+  std::int64_t out = 0;
+  if (!parse_int64(it->second, out)) {
+    throw std::invalid_argument("--" + key + ": invalid integer '" +
+                                it->second + "'");
+  }
+  return out;
 }
 
 int Cli::get(const std::string& key, int fallback) const {
-  return static_cast<int>(get(key, static_cast<std::int64_t>(fallback)));
+  const std::int64_t v = get(key, static_cast<std::int64_t>(fallback));
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument("--" + key + ": value " + std::to_string(v) +
+                                " out of int range");
+  }
+  return static_cast<int>(v);
 }
 
 double Cli::get(const std::string& key, double fallback) const {
   used_[key] = true;
   const auto it = kv_.find(key);
-  return it == kv_.end() ? fallback : std::stod(it->second);
+  if (it == kv_.end()) return fallback;
+  double out = 0.0;
+  if (!parse_double(it->second, out)) {
+    throw std::invalid_argument("--" + key + ": invalid number '" +
+                                it->second + "'");
+  }
+  return out;
 }
 
 bool Cli::get(const std::string& key, bool fallback) const {

@@ -18,6 +18,8 @@ class Cli {
 
   bool has(const std::string& key) const;
   std::string get(const std::string& key, const std::string& fallback) const;
+  /// Numeric getters are strict: trailing garbage or out-of-range values
+  /// throw std::invalid_argument naming the flag, never truncate.
   std::int64_t get(const std::string& key, std::int64_t fallback) const;
   int get(const std::string& key, int fallback) const;
   double get(const std::string& key, double fallback) const;

@@ -1,0 +1,41 @@
+#pragma once
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — integrity check for the
+// checkpoint and cache file formats. Table-driven, one byte per step;
+// checkpoint payloads are a few MB at most, so throughput is a non-issue
+// next to the disk write they protect.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace gsgcn::util {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace detail
+
+/// CRC-32 of `n` bytes. Pass a previous result as `seed` to checksum a
+/// buffer in chunks; the default matches the standard one-shot value.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  static constexpr std::array<std::uint32_t, 256> kTable =
+      detail::make_crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace gsgcn::util

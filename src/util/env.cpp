@@ -1,11 +1,39 @@
 #include "util/env.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "util/parallel.hpp"
 
 namespace gsgcn::util {
+
+bool parse_int64(const std::string& s, std::int64_t& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE) return false;               // over/underflow
+  if (end != s.c_str() + s.size()) return false;   // trailing garbage
+  if (end == s.c_str()) return false;              // nothing consumed
+  out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno == ERANGE) return false;
+  if (end != s.c_str() + s.size()) return false;
+  if (end == s.c_str()) return false;
+  if (!std::isfinite(v)) return false;  // reject "inf"/"nan" knob values
+  out = v;
+  return true;
+}
 
 std::string env_string(const char* name, const std::string& fallback) {
   const char* v = std::getenv(name);
@@ -14,12 +42,24 @@ std::string env_string(const char* name, const std::string& fallback) {
 
 std::int64_t env_int(const char* name, std::int64_t fallback) {
   const char* v = std::getenv(name);
-  return v != nullptr ? std::strtoll(v, nullptr, 10) : fallback;
+  if (v == nullptr) return fallback;
+  std::int64_t out = 0;
+  if (!parse_int64(v, out)) {
+    throw std::runtime_error(std::string(name) + ": invalid integer '" + v +
+                             "'");
+  }
+  return out;
 }
 
 double env_double(const char* name, double fallback) {
   const char* v = std::getenv(name);
-  return v != nullptr ? std::strtod(v, nullptr) : fallback;
+  if (v == nullptr) return fallback;
+  double out = 0.0;
+  if (!parse_double(v, out)) {
+    throw std::runtime_error(std::string(name) + ": invalid number '" + v +
+                             "'");
+  }
+  return out;
 }
 
 double dataset_scale() {

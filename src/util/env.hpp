@@ -12,7 +12,17 @@
 
 namespace gsgcn::util {
 
+/// Strict whole-string numeric parsing: the entire token must be one
+/// finite, in-range number — trailing garbage ("12x"), empty strings, and
+/// overflow all return false instead of a silently truncated value.
+/// These back every numeric env/CLI knob; unchecked strtoll turning a
+/// typo'd "1O0" into 1 has mis-sized experiments before.
+bool parse_int64(const std::string& s, std::int64_t& out);
+bool parse_double(const std::string& s, double& out);
+
 std::string env_string(const char* name, const std::string& fallback);
+/// Numeric env knobs throw std::runtime_error (naming the variable and
+/// the offending text) when the variable is set but not a valid number.
 std::int64_t env_int(const char* name, std::int64_t fallback);
 double env_double(const char* name, double fallback);
 

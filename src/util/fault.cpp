@@ -1,0 +1,164 @@
+#include "util/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "util/env.hpp"
+
+namespace gsgcn::util {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  seed_ = static_cast<std::uint64_t>(env_int("GSGCN_FAULT_SEED", 1));
+  const std::string spec = env_string("GSGCN_FAULTS", "");
+  if (!spec.empty()) configure(spec);
+}
+
+void FaultInjector::arm(const std::string& site, std::uint64_t nth,
+                        FaultKind kind) {
+  if (site.empty() || nth == 0) {
+    throw std::invalid_argument("FaultInjector::arm: empty site or nth == 0");
+  }
+  Arm a;
+  a.nth = nth;
+  a.kind = kind;
+  std::lock_guard<std::mutex> lk(mu_);
+  arms_[site] = a;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm_probability(const std::string& site, double p,
+                                    FaultKind kind) {
+  if (site.empty() || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(
+        "FaultInjector::arm_probability: bad site or p outside [0, 1]");
+  }
+  Arm a;
+  a.probability = p;
+  a.kind = kind;
+  std::lock_guard<std::mutex> lk(mu_);
+  // Site-keyed stream: the firing pattern depends only on (seed, site),
+  // never on how many other sites are armed or hit.
+  std::uint64_t h = std::hash<std::string>{}(site);
+  a.rng = Xoshiro256::stream(seed_, splitmix64(h));
+  arms_[site] = a;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t c1 = entry.find(':');
+    if (c1 == std::string::npos || c1 == 0) {
+      throw std::invalid_argument("GSGCN_FAULTS: expected site:trigger in '" +
+                                  entry + "'");
+    }
+    const std::string site = entry.substr(0, c1);
+    const std::size_t c2 = entry.find(':', c1 + 1);
+    const std::string trigger =
+        entry.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
+                                                     : c2 - c1 - 1);
+    FaultKind kind = FaultKind::kThrow;
+    if (c2 != std::string::npos) {
+      const std::string k = entry.substr(c2 + 1);
+      if (k == "throw") {
+        kind = FaultKind::kThrow;
+      } else if (k == "abort") {
+        kind = FaultKind::kAbort;
+      } else if (k == "report") {
+        kind = FaultKind::kReport;
+      } else {
+        throw std::invalid_argument("GSGCN_FAULTS: unknown kind '" + k +
+                                    "' in '" + entry + "'");
+      }
+    }
+    if (trigger.empty()) {
+      throw std::invalid_argument("GSGCN_FAULTS: empty trigger in '" + entry +
+                                  "'");
+    }
+    if (trigger[0] == 'p') {
+      double p = 0.0;
+      if (!parse_double(trigger.substr(1), p)) {
+        throw std::invalid_argument("GSGCN_FAULTS: bad probability in '" +
+                                    entry + "'");
+      }
+      arm_probability(site, p, kind);
+    } else {
+      std::int64_t nth = 0;
+      if (!parse_int64(trigger, nth) || nth <= 0) {
+        throw std::invalid_argument("GSGCN_FAULTS: bad hit count in '" + entry +
+                                    "'");
+      }
+      arm(site, static_cast<std::uint64_t>(nth), kind);
+    }
+  }
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  arms_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::set_seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  seed_ = seed;
+}
+
+bool FaultInjector::hit(const char* site) {
+  FaultKind kind;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = arms_.find(site);
+    if (it == arms_.end()) return false;
+    Arm& a = it->second;
+    ++a.hit_count;
+    const bool fire = a.nth != 0 ? a.hit_count == a.nth
+                                 : a.rng.uniform() < a.probability;
+    if (!fire) return false;
+    ++a.fired;
+    kind = a.kind;
+  }
+  switch (kind) {
+    case FaultKind::kThrow:
+      throw InjectedFault(std::string("injected fault at ") + site);
+    case FaultKind::kAbort:
+      // Crash-stop: no unwinding, no destructors, no atexit flushing — the
+      // in-process equivalent of kill -9 for resume tests.
+      std::fprintf(stderr, "injected crash at %s\n", site);
+      std::fflush(stderr);
+      std::_Exit(kFaultExitCode);
+    case FaultKind::kReport:
+      return true;
+  }
+  return true;  // unreachable for in-range enum values
+}
+
+std::uint64_t FaultInjector::fired_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [site, a] : arms_) {
+    (void)site;
+    total += a.fired;
+  }
+  return total;
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = arms_.find(site);
+  return it == arms_.end() ? 0 : it->second.hit_count;
+}
+
+}  // namespace gsgcn::util

@@ -1,0 +1,119 @@
+#pragma once
+// Deterministic fault injection — the test harness for the fault-tolerance
+// layer. Production code marks recoverable failure sites with a named
+// fault point:
+//
+//   util::fault_point("pool.sample");            // throw/abort sites
+//   if (util::fault_point("ckpt.torn_write")) {  // caller-handled sites
+//     /* simulate the torn write */
+//   }
+//
+// When the injector is disabled (the default) a fault point costs one
+// relaxed atomic load. Tests (or the GSGCN_FAULTS environment variable)
+// arm sites to fire deterministically:
+//
+//   - count trigger: fire exactly once, on the nth hit of the site;
+//   - probability trigger: fire each hit with probability p, drawn from a
+//     site-keyed RNG stream (seed, hash(site)) so the firing pattern is a
+//     pure function of the seed — reruns inject the same faults.
+//
+// What firing does is the arm's kind:
+//   kThrow  — throw util::InjectedFault (default; exercises exception
+//             recovery, e.g. the async pool's producer error path)
+//   kAbort  — std::_Exit(kFaultExitCode): a crash-stop with no unwinding,
+//             destructors, or atexit flushing — the closest in-process
+//             stand-in for kill -9 (used by the kill/resume CI test)
+//   kReport — return true and let the call site implement the fault
+//             (torn checkpoint writes, poisoned losses)
+//
+// Env grammar: GSGCN_FAULTS="site:trigger[:kind][,site:trigger[:kind]]..."
+// where trigger is an integer n >= 1 or "p<prob>", and kind is
+// throw|abort|report. GSGCN_FAULT_SEED seeds the probability streams.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gsgcn::util {
+
+/// Distinguishable from organic failures so tests can assert the recovery
+/// path was exercised by the injector, not by a real bug.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FaultKind { kThrow, kAbort, kReport };
+
+/// Exit code of kAbort sites; asserted by death tests and the CI kill job.
+inline constexpr int kFaultExitCode = 117;
+
+class FaultInjector {
+ public:
+  /// Process-wide instance. The first call reads GSGCN_FAULTS /
+  /// GSGCN_FAULT_SEED so every binary is injectable without wiring.
+  static FaultInjector& instance();
+
+  /// Arm `site` to fire once, on its nth hit (1-based).
+  void arm(const std::string& site, std::uint64_t nth,
+           FaultKind kind = FaultKind::kThrow);
+  /// Arm `site` to fire each hit with probability p from the site-keyed
+  /// stream (seed, splitmix64(hash(site))).
+  void arm_probability(const std::string& site, double p,
+                       FaultKind kind = FaultKind::kThrow);
+
+  /// Parse and apply the env grammar above. Throws std::invalid_argument
+  /// on malformed specs (a typo'd site name firing never is a silent test
+  /// pass; a typo'd trigger must be loud).
+  void configure(const std::string& spec);
+
+  /// Disarm everything and reset hit/fired counts.
+  void clear();
+
+  void set_seed(std::uint64_t seed);
+
+  /// True iff any site is armed (relaxed load — the only cost on the hot
+  /// path while disabled).
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Record a hit of `site` and fire if armed for this hit. kThrow arms
+  /// throw InjectedFault, kAbort arms _Exit; kReport arms return true.
+  bool hit(const char* site);
+
+  /// Total faults fired since the last clear().
+  std::uint64_t fired_total() const;
+  /// Hits recorded for one site (armed or not counts only armed sites —
+  /// unarmed sites are never tracked, they cost one atomic load).
+  std::uint64_t hits(const std::string& site) const;
+
+ private:
+  FaultInjector();
+
+  struct Arm {
+    std::uint64_t nth = 0;  // 0 = probability trigger
+    double probability = 0.0;
+    FaultKind kind = FaultKind::kThrow;
+    std::uint64_t hit_count = 0;
+    std::uint64_t fired = 0;
+    Xoshiro256 rng;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::uint64_t seed_ = 1;
+  std::unordered_map<std::string, Arm> arms_;
+};
+
+/// The production-code hook. Disabled: one relaxed atomic load, no lock.
+inline bool fault_point(const char* site) {
+  FaultInjector& f = FaultInjector::instance();
+  return f.enabled() && f.hit(site);
+}
+
+}  // namespace gsgcn::util

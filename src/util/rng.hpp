@@ -65,6 +65,17 @@ class Xoshiro256 {
     return static_cast<std::uint32_t>((x * bound) >> 32);
   }
 
+  /// Raw engine state for checkpointing. Restoring drops any cached
+  /// normal() spare, so save/restore is exact for the uniform draws the
+  /// training paths use (dropout masks, samplers); a stream interrupted
+  /// between the two halves of a normal() pair re-derives both halves.
+  std::array<std::uint64_t, 4> state() const noexcept { return s_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    s_ = s;
+    has_spare_ = false;
+    spare_ = 0.0;
+  }
+
   /// Uniform double in [0, 1).
   double uniform() noexcept {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;

@@ -1,0 +1,330 @@
+// Checkpoint layer: Adam state round trips bit-identically, the payload
+// encode/decode restores model + optimizer + cursors exactly, and the
+// on-disk manager survives truncation, bad magic, CRC corruption, and
+// injected torn/mid-publish writes by falling back to the previous file.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gcn/checkpoint.hpp"
+#include "gcn/model.hpp"
+#include "tensor/matrix.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace gsgcn::gcn {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::FaultInjector::instance().clear();
+    dir_ = (fs::temp_directory_path() /
+            ("gsgcn_ckpt_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    util::FaultInjector::instance().clear();
+    fs::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+ModelConfig small_model_config() {
+  ModelConfig mc;
+  mc.in_dim = 6;
+  mc.hidden_dim = 4;
+  mc.num_classes = 3;
+  mc.num_layers = 2;
+  mc.seed = 5;
+  mc.dropout = 0.25f;
+  return mc;
+}
+
+/// Identical synthetic update streams for two optimizers; returns the
+/// params after `steps` steps.
+tensor::Matrix drive_adam(Adam& opt, std::size_t slot, tensor::Matrix params,
+                          int steps, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  tensor::Matrix grad(params.rows(), params.cols());
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      grad.data()[i] = static_cast<float>(rng.normal());
+    }
+    opt.begin_step();
+    opt.update(slot, params, grad);
+  }
+  return params;
+}
+
+TEST_F(CheckpointTest, AdamStateRoundTripContinuesBitIdentically) {
+  AdamConfig ac;
+  ac.lr = 0.05f;
+  Adam a(ac);
+  const std::size_t slot = a.add_param(4, 3);
+  util::Xoshiro256 init_rng(11);
+  tensor::Matrix params = tensor::Matrix::gaussian(4, 3, 1.0f, init_rng);
+  params = drive_adam(a, slot, std::move(params), 7, 21);
+
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  a.save_state(buf);
+
+  Adam b(ac);
+  ASSERT_EQ(b.add_param(4, 3), slot);
+  b.load_state(buf);
+  EXPECT_EQ(b.steps(), a.steps());
+
+  // Same params + same future gradients through both optimizers: the
+  // moment estimates must have round-tripped exactly, so every future
+  // update is bit-identical, not merely close.
+  tensor::Matrix cont_a = drive_adam(a, slot, params, 5, 33);
+  tensor::Matrix cont_b = drive_adam(b, slot, params, 5, 33);
+  EXPECT_EQ(tensor::Matrix::max_abs_diff(cont_a, cont_b), 0.0f);
+}
+
+TEST_F(CheckpointTest, AdamLoadStateRejectsMismatchesWithoutMutating) {
+  Adam a;
+  const std::size_t slot = a.add_param(4, 3);
+  util::Xoshiro256 init_rng(1);
+  tensor::Matrix params = tensor::Matrix::gaussian(4, 3, 1.0f, init_rng);
+  params = drive_adam(a, slot, std::move(params), 3, 2);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  a.save_state(buf);
+
+  Adam wrong_count;
+  wrong_count.add_param(4, 3);
+  wrong_count.add_param(2, 2);
+  EXPECT_THROW(wrong_count.load_state(buf), std::runtime_error);
+
+  buf.clear();
+  buf.seekg(0);
+  Adam wrong_shape;
+  wrong_shape.add_param(3, 4);
+  EXPECT_THROW(wrong_shape.load_state(buf), std::runtime_error);
+
+  // Truncated stream: the target must stay usable (all-or-nothing load).
+  buf.clear();
+  buf.seekg(0);
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() / 2);
+  std::istringstream short_in(bytes, std::ios::binary);
+  Adam target;
+  target.add_param(4, 3);
+  EXPECT_THROW(target.load_state(short_in), std::runtime_error);
+  util::Xoshiro256 p2_rng(3);
+  tensor::Matrix p2 = tensor::Matrix::gaussian(4, 3, 1.0f, p2_rng);
+  EXPECT_NO_THROW(drive_adam(target, 0, p2, 1, 4));
+}
+
+TEST_F(CheckpointTest, PayloadRoundTripRestoresEverything) {
+  GcnModel model(small_model_config());
+  Adam opt;
+  model.attach(opt);
+  // Perturb the dropout RNG streams so the round trip proves they travel.
+  model.layers()[0].dropout_rng().uniform();
+  model.layers()[1].dropout_rng().uniform();
+  model.layers()[1].dropout_rng().uniform();
+
+  CheckpointCursors c;
+  c.next_epoch = 4;
+  c.iterations = 123;
+  c.lr = 0.005f;
+  c.best_val = 0.75;
+  c.stale_epochs = 2;
+  c.pool_slot = 42;
+  EpochRecord r;
+  r.epoch = 3;
+  r.train_loss = 0.5;
+  r.val_f1 = 0.7;
+  r.epoch_seconds = 1.25;
+  r.cumulative_seconds = 5.0;
+  c.history.push_back(r);
+
+  const std::string payload = encode_checkpoint(c, model, opt);
+  const std::vector<tensor::Matrix> before = model.snapshot_weights();
+  const auto rng0 = model.layers()[0].dropout_rng().state();
+  const auto rng1 = model.layers()[1].dropout_rng().state();
+
+  // Restore into a *fresh* model/optimizer pair (different init seed).
+  ModelConfig mc2 = small_model_config();
+  mc2.seed = 99;
+  GcnModel other(mc2);
+  Adam opt2;
+  other.attach(opt2);
+  const CheckpointCursors got = decode_checkpoint(payload, other, opt2);
+
+  EXPECT_EQ(got.next_epoch, c.next_epoch);
+  EXPECT_EQ(got.iterations, c.iterations);
+  EXPECT_EQ(got.lr, c.lr);
+  EXPECT_EQ(got.best_val, c.best_val);
+  EXPECT_EQ(got.stale_epochs, c.stale_epochs);
+  EXPECT_EQ(got.pool_slot, c.pool_slot);
+  ASSERT_EQ(got.history.size(), 1u);
+  EXPECT_EQ(got.history[0].train_loss, r.train_loss);
+  EXPECT_EQ(got.history[0].cumulative_seconds, r.cumulative_seconds);
+
+  const std::vector<tensor::Matrix> after = other.snapshot_weights();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(tensor::Matrix::max_abs_diff(before[i], after[i]), 0.0f)
+        << "weight tensor " << i;
+  }
+  EXPECT_EQ(other.layers()[0].dropout_rng().state(), rng0);
+  EXPECT_EQ(other.layers()[1].dropout_rng().state(), rng1);
+}
+
+TEST_F(CheckpointTest, DecodeRejectsMismatchedModel) {
+  GcnModel model(small_model_config());
+  Adam opt;
+  model.attach(opt);
+  const std::string payload = encode_checkpoint({}, model, opt);
+
+  ModelConfig wider = small_model_config();
+  wider.hidden_dim = 8;
+  GcnModel other(wider);
+  Adam opt2;
+  other.attach(opt2);
+  EXPECT_THROW(decode_checkpoint(payload, other, opt2), std::runtime_error);
+
+  std::string truncated = payload.substr(0, payload.size() / 3);
+  GcnModel same(small_model_config());
+  Adam opt3;
+  same.attach(opt3);
+  EXPECT_THROW(decode_checkpoint(truncated, same, opt3), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, ManagerWritesAtomicallyAndPrunesToKeep) {
+  CheckpointManager mgr(dir_, /*keep=*/2);
+  mgr.write(1, "payload-1");
+  mgr.write(2, "payload-2");
+  mgr.write(3, "payload-3");
+  const auto files = mgr.list();
+  ASSERT_EQ(files.size(), 2u) << "retention must prune to the newest 2";
+  EXPECT_NE(files[0].find("ckpt_000003.bin"), std::string::npos);
+  EXPECT_NE(files[1].find("ckpt_000002.bin"), std::string::npos);
+
+  std::string payload;
+  int epoch = -1;
+  ASSERT_TRUE(mgr.load_latest(payload, &epoch));
+  EXPECT_EQ(epoch, 3);
+  EXPECT_EQ(payload, "payload-3");
+  EXPECT_EQ(mgr.fallbacks(), 0u);
+}
+
+TEST_F(CheckpointTest, CorruptNewestFallsBackToPrevious) {
+  CheckpointManager mgr(dir_, 2);
+  mgr.write(1, "good-1");
+  const std::string p2 = mgr.write(2, "good-2");
+
+  // Four corruption shapes against the newest file, each must be skipped.
+  const auto corrupt_and_check = [&](auto&& mutate, const char* what) {
+    mutate(p2);
+    CheckpointManager fresh(dir_, 2);
+    std::string payload;
+    int epoch = -1;
+    ASSERT_TRUE(fresh.load_latest(payload, &epoch)) << what;
+    EXPECT_EQ(epoch, 1) << what;
+    EXPECT_EQ(payload, "good-1") << what;
+    EXPECT_EQ(fresh.fallbacks(), 1u) << what;
+  };
+
+  const auto original = [&] {
+    std::ifstream in(p2, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }();
+
+  corrupt_and_check(
+      [&](const std::string& path) {
+        fs::resize_file(path, fs::file_size(path) - 3);  // truncated payload
+      },
+      "truncation");
+
+  std::ofstream(p2, std::ios::binary) << original;
+  corrupt_and_check(
+      [&](const std::string& path) {
+        std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(0);
+        f.write("XXXX", 4);  // bad magic
+      },
+      "bad magic");
+
+  std::ofstream(p2, std::ios::binary) << original;
+  corrupt_and_check(
+      [&](const std::string& path) {
+        std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(static_cast<std::streamoff>(fs::file_size(path)) - 1);
+        char last = 0;
+        f.seekg(-1, std::ios::end);
+        f.get(last);
+        f.seekp(-1, std::ios::end);
+        f.put(static_cast<char>(last ^ 0x40));  // flip a payload bit -> CRC
+      },
+      "crc mismatch");
+}
+
+TEST_F(CheckpointTest, AllCorruptMeansNoCheckpoint) {
+  CheckpointManager mgr(dir_, 2);
+  mgr.write(1, "a");
+  mgr.write(2, "b");
+  for (const std::string& f : mgr.list()) {
+    std::ofstream(f, std::ios::binary | std::ios::trunc) << "garbage";
+  }
+  CheckpointManager fresh(dir_, 2);
+  std::string payload;
+  EXPECT_FALSE(fresh.load_latest(payload));
+  EXPECT_EQ(fresh.fallbacks(), 2u);
+}
+
+TEST_F(CheckpointTest, InjectedTornWriteLeavesPreviousAuthoritative) {
+  CheckpointManager mgr(dir_, 2);
+  mgr.write(1, "good-1");
+  util::FaultInjector::instance().arm("ckpt.torn_write", 1,
+                                      util::FaultKind::kReport);
+  EXPECT_THROW(mgr.write(2, "doomed-2"), util::InjectedFault);
+  // The torn temp file must be invisible to list()/load_latest().
+  std::string payload;
+  int epoch = -1;
+  ASSERT_TRUE(mgr.load_latest(payload, &epoch));
+  EXPECT_EQ(epoch, 1);
+  EXPECT_EQ(payload, "good-1");
+  // And even if the torn temp were renamed by hand, the CRC gate rejects it.
+  bool found_tmp = false;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".tmp") {
+      found_tmp = true;
+      std::string torn;
+      EXPECT_FALSE(CheckpointManager::read_file(entry.path().string(), torn));
+    }
+  }
+  EXPECT_TRUE(found_tmp) << "torn write should leave its temp file behind";
+}
+
+TEST_F(CheckpointTest, CrashBeforeRenameKeepsPreviousCheckpoint) {
+  CheckpointManager mgr(dir_, 2);
+  mgr.write(1, "good-1");
+  util::FaultInjector::instance().arm("ckpt.pre_rename", 1,
+                                      util::FaultKind::kThrow);
+  EXPECT_THROW(mgr.write(2, "complete-but-unpublished"), util::InjectedFault);
+  std::string payload;
+  int epoch = -1;
+  ASSERT_TRUE(mgr.load_latest(payload, &epoch));
+  EXPECT_EQ(epoch, 1);
+  EXPECT_EQ(payload, "good-1");
+}
+
+}  // namespace
+}  // namespace gsgcn::gcn

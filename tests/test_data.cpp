@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <set>
+#include <stdexcept>
 
 #include "data/synthetic.hpp"
 #include "util/rng.hpp"
@@ -257,6 +260,77 @@ TEST(DatasetIo, RejectsGarbage) {
   EXPECT_THROW(load_dataset(path), std::runtime_error);
   std::remove(path.c_str());
   EXPECT_THROW(load_dataset("/nonexistent/ds.bin"), std::runtime_error);
+}
+
+// --- Hand-corrupted dataset files ------------------------------------------
+// Layout: magic u64 | name (u64 len + bytes) | mode u8 | n u64 | m u64 |
+// offsets | adjacency | features | labels | splits. The graph-header
+// fields start right after the variable-length name.
+
+class DatasetCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = make_synthetic(small_params());
+    path_ = ::testing::TempDir() + "gsgcn_ds_corrupt_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
+    save_dataset(ds_, path_);
+    n_pos_ = 8 + (8 + ds_.name.size()) + 1;  // magic + name + mode
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void patch(std::uint64_t offset, const void* data, std::size_t size) {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f) << path_;
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+    ASSERT_TRUE(f);
+  }
+
+  std::string load_error() {
+    try {
+      load_dataset(path_);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  }
+
+  Dataset ds_;
+  std::string path_;
+  std::uint64_t n_pos_ = 0;
+};
+
+TEST_F(DatasetCorruption, InflatedEdgeCountCannotDriveTheAllocation) {
+  // m := absurd, so "graph bytes needed" exceeds what remains of the file.
+  const std::uint64_t m = 1ULL << 40;
+  patch(n_pos_ + 8, &m, sizeof(m));
+  const std::string err = load_error();
+  EXPECT_NE(err.find("requires"), std::string::npos) << err;
+  EXPECT_NE(err.find("remain"), std::string::npos) << err;
+}
+
+TEST_F(DatasetCorruption, ImplausibleVertexCountRejected) {
+  const std::uint64_t n = 0xFFFFFFFFFFULL;
+  patch(n_pos_, &n, sizeof(n));
+  EXPECT_NE(load_error().find("exceeds uint32 range"), std::string::npos);
+}
+
+TEST_F(DatasetCorruption, OutOfRangeAdjacencyCaughtByStructuralValidation) {
+  // Corrupt one adjacency id past n; from_csr is permissive by design, so
+  // this must be caught by the post-load validate() pass instead.
+  const std::uint64_t n = ds_.graph.num_vertices();
+  const std::uint64_t adj_pos = n_pos_ + 16 + (n + 1) * sizeof(graph::Eid);
+  const std::uint32_t bogus = 0xFFFFFFF0u;
+  patch(adj_pos, &bogus, sizeof(bogus));
+  const std::string err = load_error();
+  EXPECT_NE(err.find("invalid: graph:"), std::string::npos) << err;
+}
+
+TEST_F(DatasetCorruption, TruncatedSplitSectionRejected) {
+  const auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full - 4);
+  EXPECT_NE(load_error().find("truncated"), std::string::npos);
 }
 
 TEST(DatasetValidate, CatchesCorruptions) {

@@ -1,0 +1,146 @@
+// FaultInjector: deterministic triggers, site keying, env-spec parsing,
+// and the crash-stop exit path the kill/resume CI test depends on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/fault.hpp"
+
+namespace gsgcn::util {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().clear(); }
+  void TearDown() override { FaultInjector::instance().clear(); }
+};
+
+TEST_F(FaultTest, DisabledInjectorNeverFires) {
+  EXPECT_FALSE(FaultInjector::instance().enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fault_point("anything.at_all"));
+  }
+  // Unarmed sites are not even tracked.
+  EXPECT_EQ(FaultInjector::instance().hits("anything.at_all"), 0u);
+}
+
+TEST_F(FaultTest, NthTriggerFiresExactlyOnceOnTheNthHit) {
+  FaultInjector::instance().arm("site.a", 3, FaultKind::kReport);
+  EXPECT_FALSE(fault_point("site.a"));
+  EXPECT_FALSE(fault_point("site.a"));
+  EXPECT_TRUE(fault_point("site.a"));  // 3rd hit
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(fault_point("site.a"));  // one-shot: never again
+  }
+  EXPECT_EQ(FaultInjector::instance().hits("site.a"), 13u);
+  EXPECT_EQ(FaultInjector::instance().fired_total(), 1u);
+}
+
+TEST_F(FaultTest, SitesAreIndependent) {
+  FaultInjector::instance().arm("site.a", 1, FaultKind::kReport);
+  EXPECT_FALSE(fault_point("site.b"));  // armed site.a must not leak
+  EXPECT_TRUE(fault_point("site.a"));
+  EXPECT_EQ(FaultInjector::instance().hits("site.b"), 0u);
+}
+
+TEST_F(FaultTest, ThrowKindThrowsInjectedFault) {
+  FaultInjector::instance().arm("site.t", 1, FaultKind::kThrow);
+  EXPECT_THROW(fault_point("site.t"), InjectedFault);
+  // InjectedFault is distinguishable from organic failures.
+  FaultInjector::instance().arm("site.t2", 1, FaultKind::kThrow);
+  try {
+    fault_point("site.t2");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_NE(std::string(e.what()).find("site.t2"), std::string::npos);
+  }
+}
+
+TEST_F(FaultTest, ProbabilityPatternIsAPureFunctionOfSeedAndSite) {
+  auto pattern = [](std::uint64_t seed, const char* site) {
+    FaultInjector& f = FaultInjector::instance();
+    f.clear();
+    f.set_seed(seed);
+    f.arm_probability(site, 0.5, FaultKind::kReport);
+    std::vector<bool> fired;
+    fired.reserve(64);
+    for (int i = 0; i < 64; ++i) fired.push_back(fault_point(site));
+    return fired;
+  };
+  const auto a1 = pattern(7, "p.site");
+  const auto a2 = pattern(7, "p.site");
+  EXPECT_EQ(a1, a2) << "same (seed, site) must replay the same faults";
+  const auto b = pattern(8, "p.site");
+  EXPECT_NE(a1, b) << "different seed must give a different pattern";
+  const auto c = pattern(7, "p.other");
+  EXPECT_NE(a1, c) << "streams are site-keyed, not shared";
+  // p=0.5 over 64 draws: both outcomes must occur.
+  EXPECT_NE(std::count(a1.begin(), a1.end(), true), 0);
+  EXPECT_NE(std::count(a1.begin(), a1.end(), false), 0);
+}
+
+TEST_F(FaultTest, ProbabilityExtremes) {
+  FaultInjector& f = FaultInjector::instance();
+  f.arm_probability("p.never", 0.0, FaultKind::kReport);
+  f.arm_probability("p.always", 1.0, FaultKind::kReport);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(fault_point("p.never"));
+    EXPECT_TRUE(fault_point("p.always"));
+  }
+}
+
+TEST_F(FaultTest, ConfigureParsesTheEnvGrammar) {
+  FaultInjector& f = FaultInjector::instance();
+  f.configure("a.b:3:report,c.d:p0.5,e.f:2");
+  EXPECT_TRUE(f.enabled());
+  EXPECT_FALSE(fault_point("a.b"));
+  EXPECT_FALSE(fault_point("a.b"));
+  EXPECT_TRUE(fault_point("a.b"));
+  // e.f defaults to throw-kind on its 2nd hit.
+  EXPECT_FALSE(fault_point("e.f"));
+  EXPECT_THROW(fault_point("e.f"), InjectedFault);
+}
+
+TEST_F(FaultTest, ConfigureRejectsMalformedSpecsLoudly) {
+  FaultInjector& f = FaultInjector::instance();
+  EXPECT_THROW(f.configure("noseparator"), std::invalid_argument);
+  EXPECT_THROW(f.configure(":3"), std::invalid_argument);          // empty site
+  EXPECT_THROW(f.configure("a.b:"), std::invalid_argument);        // empty trigger
+  EXPECT_THROW(f.configure("a.b:0"), std::invalid_argument);       // nth must be >= 1
+  EXPECT_THROW(f.configure("a.b:-2"), std::invalid_argument);
+  EXPECT_THROW(f.configure("a.b:3x"), std::invalid_argument);      // trailing garbage
+  EXPECT_THROW(f.configure("a.b:p1.5"), std::invalid_argument);    // p outside [0,1]
+  EXPECT_THROW(f.configure("a.b:pXYZ"), std::invalid_argument);
+  EXPECT_THROW(f.configure("a.b:1:explode"), std::invalid_argument);  // bad kind
+}
+
+TEST_F(FaultTest, ClearDisarmsAndResetsCounts) {
+  FaultInjector& f = FaultInjector::instance();
+  f.arm("site.x", 1, FaultKind::kReport);
+  EXPECT_TRUE(fault_point("site.x"));
+  f.clear();
+  EXPECT_FALSE(f.enabled());
+  EXPECT_EQ(f.fired_total(), 0u);
+  EXPECT_EQ(f.hits("site.x"), 0u);
+  EXPECT_FALSE(fault_point("site.x"));
+}
+
+using FaultDeathTest = FaultTest;
+
+TEST_F(FaultDeathTest, AbortKindCrashStopsWithTheDocumentedExitCode) {
+  // kAbort is the in-process stand-in for kill -9: no unwinding, no
+  // destructors, exit code kFaultExitCode — exactly what the CI kill/
+  // resume job matches on.
+  EXPECT_EXIT(
+      {
+        FaultInjector::instance().arm("site.die", 1, FaultKind::kAbort);
+        fault_point("site.die");
+      },
+      ::testing::ExitedWithCode(kFaultExitCode), "injected crash at site.die");
+}
+
+}  // namespace
+}  // namespace gsgcn::util

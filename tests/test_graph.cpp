@@ -260,6 +260,110 @@ TEST(Io, CsrBinaryRejectsBadMagic) {
   std::filesystem::remove(path);
 }
 
+// --- Hand-corrupted CSR binaries -------------------------------------------
+// The loader's structural validation must (a) reject every corruption and
+// (b) name the offending element, because "bad file" on a 10 GB graph is
+// not actionable. File layout: magic u64 | n u64 | m u64 | offsets
+// (n+1)*i64 | adjacency m*u32.
+
+constexpr std::uint64_t kHdr = 3 * sizeof(std::uint64_t);
+
+void patch_bytes(const std::string& path, std::uint64_t offset,
+                 const void* data, std::size_t size) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f) << path;
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  ASSERT_TRUE(f) << "patch at offset " << offset;
+}
+
+void patch_u64(const std::string& path, std::uint64_t offset,
+               std::uint64_t value) {
+  patch_bytes(path, offset, &value, sizeof(value));
+}
+
+std::string load_csr_error(const std::string& path) {
+  try {
+    load_csr_binary(path);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+class CsrCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = gsgcn::testing::small_er(60, 180);
+    path_ = ::testing::TempDir() + "gsgcn_corrupt_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
+    save_csr_binary(g_, path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  CsrGraph g_;
+  std::string path_;
+};
+
+TEST_F(CsrCorruption, TruncationIsASizeMismatch) {
+  const auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full - 8);
+  const std::string err = load_csr_error(path_);
+  EXPECT_NE(err.find("requires"), std::string::npos) << err;
+  EXPECT_NE(err.find(std::to_string(full - 8)), std::string::npos)
+      << "message must state the actual file size: " << err;
+}
+
+TEST_F(CsrCorruption, InflatedEdgeCountIsASizeMismatch) {
+  // A flipped m field must fail the exact-size check, not drive a huge
+  // allocation followed by a short read.
+  const auto m = static_cast<std::uint64_t>(g_.num_edges());
+  patch_u64(path_, 16, m + 3);
+  EXPECT_NE(load_csr_error(path_).find("requires"), std::string::npos);
+}
+
+TEST_F(CsrCorruption, ImplausibleVertexCountRejectedBeforeAllocation) {
+  patch_u64(path_, 8, 0xFFFFFFFFFFULL);  // would "require" a ~8 TB file
+  EXPECT_NE(load_csr_error(path_).find("exceeds uint32 range"),
+            std::string::npos);
+}
+
+TEST_F(CsrCorruption, NonZeroFirstOffsetIsNamed) {
+  patch_u64(path_, kHdr, 1);
+  const std::string err = load_csr_error(path_);
+  EXPECT_NE(err.find("offsets[0] = 1"), std::string::npos) << err;
+}
+
+TEST_F(CsrCorruption, NonMonotonicOffsetNamesTheVertex) {
+  // offsets[3] := past-the-end, so offsets[4] < offsets[3].
+  patch_u64(path_, kHdr + 3 * sizeof(Eid),
+            static_cast<std::uint64_t>(g_.num_edges()) + 1000);
+  const std::string err = load_csr_error(path_);
+  EXPECT_NE(err.find("non-monotonic offsets at vertex 3"), std::string::npos)
+      << err;
+}
+
+TEST_F(CsrCorruption, FinalOffsetMustMatchEdgeCount) {
+  const std::uint64_t n = g_.num_vertices();
+  patch_u64(path_, kHdr + n * sizeof(Eid),
+            static_cast<std::uint64_t>(g_.num_edges()) + 4);
+  const std::string err = load_csr_error(path_);
+  EXPECT_NE(err.find("disagrees with edge count"), std::string::npos) << err;
+}
+
+TEST_F(CsrCorruption, OutOfRangeNeighborNamesTheEdgeSlot) {
+  ASSERT_GE(g_.num_edges(), 6);
+  const std::uint64_t n = g_.num_vertices();
+  const std::uint32_t bogus = g_.num_vertices() + 100;
+  patch_bytes(path_, kHdr + (n + 1) * sizeof(Eid) + 5 * sizeof(Vid), &bogus,
+              sizeof(bogus));
+  const std::string err = load_csr_error(path_);
+  EXPECT_NE(err.find("adjacency[5] = " + std::to_string(bogus)),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+}
+
 TEST(Partition, RangeCoversAllVertices) {
   const Partition p = partition_range(100, 7);
   EXPECT_EQ(p.num_parts(), 7u);

@@ -1,0 +1,288 @@
+// End-to-end fault tolerance: a killed-and-resumed run, an injected
+// sampler crash, and a poisoned loss must all leave training either
+// bit-identical to the uninterrupted run (resume, transient faults) or
+// recovered with learning-rate backoff (divergence), never silently wrong.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "gcn/checkpoint.hpp"
+#include "gcn/trainer.hpp"
+#include "sampling/samplers.hpp"
+#include "util/fault.hpp"
+
+namespace gsgcn::gcn {
+namespace {
+
+namespace fs = std::filesystem;
+
+data::Dataset recovery_dataset(std::uint64_t seed = 17) {
+  data::SyntheticParams p;
+  p.num_vertices = 600;
+  p.num_classes = 4;
+  p.feature_dim = 16;
+  p.avg_degree = 10.0;
+  p.homophily = 20.0;
+  p.feature_signal = 1.5;
+  p.mode = data::LabelMode::kSingle;
+  p.seed = seed;
+  return data::make_synthetic(p);
+}
+
+/// Dropout + async pipeline on: resume must restore the dropout RNG
+/// streams and the pool slot cursor, not just the weights.
+TrainerConfig recovery_config() {
+  TrainerConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.num_layers = 2;
+  cfg.epochs = 6;
+  cfg.frontier_size = 30;
+  cfg.budget = 120;
+  cfg.dropout = 0.3f;
+  cfg.p_inter = 2;
+  cfg.threads = 2;
+  cfg.async_sampling = true;
+  cfg.seed = 9;
+  cfg.eval_every_epoch = true;
+  return cfg;
+}
+
+void expect_same_history(const TrainResult& a, const TrainResult& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].epoch, b.history[i].epoch);
+    // Bitwise double equality, not a tolerance: the determinism contract
+    // is that the very same subgraphs, dropout masks, and optimizer steps
+    // replay.
+    EXPECT_EQ(a.history[i].train_loss, b.history[i].train_loss)
+        << "epoch " << i;
+    EXPECT_EQ(a.history[i].val_f1, b.history[i].val_f1) << "epoch " << i;
+  }
+}
+
+void expect_same_weights(GcnModel& a, GcnModel& b) {
+  const auto wa = a.snapshot_weights();
+  const auto wb = b.snapshot_weights();
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(tensor::Matrix::max_abs_diff(wa[i], wb[i]), 0.0f)
+        << "weight tensor " << i;
+  }
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::FaultInjector::instance().clear();
+    dir_ = (fs::temp_directory_path() /
+            ("gsgcn_recovery_" + std::string(::testing::UnitTest::GetInstance()
+                                                 ->current_test_info()
+                                                 ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    util::FaultInjector::instance().clear();
+    fs::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_F(RecoveryTest, ResumeReproducesTheUninterruptedRun) {
+  const data::Dataset ds = recovery_dataset();
+
+  // Reference: 6 uninterrupted epochs.
+  Trainer full(ds, recovery_config());
+  const TrainResult ref = full.train();
+  EXPECT_EQ(ref.resumed_from_epoch, -1);
+  EXPECT_EQ(ref.rollbacks, 0);
+
+  // Interrupted: 3 epochs with checkpoints, then a fresh trainer resumes
+  // to 6. This is the in-process equivalent of kill -9 after epoch 3 —
+  // the second Trainer shares no state with the first.
+  TrainerConfig half = recovery_config();
+  half.epochs = 3;
+  half.checkpoint_dir = dir_;
+  half.checkpoint_every = 1;
+  {
+    Trainer first(ds, half);
+    const TrainResult r1 = first.train();
+    EXPECT_EQ(r1.checkpoints_written, 3);
+  }
+  TrainerConfig rest = recovery_config();
+  rest.epochs = 6;
+  rest.checkpoint_dir = dir_;
+  rest.resume = true;
+  Trainer second(ds, rest);
+  const TrainResult resumed = second.train();
+
+  EXPECT_EQ(resumed.resumed_from_epoch, 3);
+  expect_same_history(ref, resumed);
+  expect_same_weights(full.model(), second.model());
+  EXPECT_EQ(resumed.iterations, ref.iterations);
+}
+
+TEST_F(RecoveryTest, ResumeFallsBackPastACorruptNewestCheckpoint) {
+  const data::Dataset ds = recovery_dataset();
+  Trainer full(ds, recovery_config());
+  const TrainResult ref = full.train();
+
+  TrainerConfig half = recovery_config();
+  half.epochs = 4;
+  half.checkpoint_dir = dir_;
+  { Trainer(ds, half).train(); }
+
+  // Corrupt the newest checkpoint; resume must fall back to epoch 3 and
+  // still converge to the identical final state (the replayed epoch is
+  // deterministic).
+  CheckpointManager probe(dir_);
+  const auto files = probe.list();
+  ASSERT_FALSE(files.empty());
+  {
+    std::fstream f(files[0], std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(64);
+    char b = 0;
+    f.get(b);
+    f.seekp(64);
+    f.put(static_cast<char>(b ^ 0x5a));  // guaranteed change -> CRC fails
+  }
+
+  TrainerConfig rest = recovery_config();
+  rest.checkpoint_dir = dir_;
+  rest.resume = true;
+  Trainer second(ds, rest);
+  const TrainResult resumed = second.train();
+  EXPECT_EQ(resumed.resumed_from_epoch, 3);
+  expect_same_history(ref, resumed);
+  expect_same_weights(full.model(), second.model());
+}
+
+TEST_F(RecoveryTest, ResumeWithEmptyDirectoryStartsFresh) {
+  const data::Dataset ds = recovery_dataset();
+  TrainerConfig cfg = recovery_config();
+  cfg.checkpoint_dir = dir_;
+  cfg.resume = true;
+  Trainer t(ds, cfg);
+  const TrainResult r = t.train();
+  EXPECT_EQ(r.resumed_from_epoch, -1);
+  EXPECT_EQ(r.history.size(), 6u);
+}
+
+TEST_F(RecoveryTest, TransientSamplerFaultRecoversBitIdentically) {
+  const data::Dataset ds = recovery_dataset();
+  Trainer clean(ds, recovery_config());
+  const TrainResult ref = clean.train();
+
+  // A sampler worker throws once, mid-run, inside the async producer.
+  // The guard rolls back to the in-memory anchor (no checkpoint_dir is
+  // configured) and replays — and because transient faults apply no lr
+  // backoff, the replay must land on the uninterrupted run exactly.
+  util::FaultInjector::instance().arm("pool.sample", 9,
+                                      util::FaultKind::kThrow);
+  Trainer faulted(ds, recovery_config());
+  const TrainResult r = faulted.train();
+
+  EXPECT_GE(r.rollbacks, 1);
+  EXPECT_EQ(r.guard_trips, 0) << "a transient fault is not divergence";
+  expect_same_history(ref, r);
+  expect_same_weights(clean.model(), faulted.model());
+}
+
+TEST_F(RecoveryTest, ProducerBatchFaultAlsoRecovers) {
+  const data::Dataset ds = recovery_dataset();
+  Trainer clean(ds, recovery_config());
+  const TrainResult ref = clean.train();
+
+  util::FaultInjector::instance().arm("pool.produce", 4,
+                                      util::FaultKind::kThrow);
+  Trainer faulted(ds, recovery_config());
+  const TrainResult r = faulted.train();
+  EXPECT_GE(r.rollbacks, 1);
+  expect_same_history(ref, r);
+  expect_same_weights(clean.model(), faulted.model());
+}
+
+TEST_F(RecoveryTest, PoisonedLossTripsGuardAndBacksOffLearningRate) {
+  const data::Dataset ds = recovery_dataset();
+  util::FaultInjector::instance().arm("trainer.poison_loss", 7,
+                                      util::FaultKind::kReport);
+  TrainerConfig cfg = recovery_config();
+  cfg.guard_lr_backoff = 0.5f;
+  Trainer t(ds, cfg);
+  const TrainResult r = t.train();
+
+  EXPECT_EQ(r.guard_trips, 1);
+  EXPECT_EQ(r.rollbacks, 1);
+  EXPECT_EQ(r.history.size(), 6u) << "run completes despite the trip";
+  for (const EpochRecord& rec : r.history) {
+    EXPECT_TRUE(std::isfinite(rec.train_loss))
+        << "poisoned epoch must be discarded, not recorded";
+  }
+  EXPECT_EQ(util::FaultInjector::instance().fired_total(), 1u);
+}
+
+TEST_F(RecoveryTest, RetryBudgetExhaustionThrows) {
+  const data::Dataset ds = recovery_dataset();
+  // Poison every iteration: each replay trips again until the budget runs
+  // out; the trainer must fail loudly, not loop forever.
+  util::FaultInjector::instance().arm_probability(
+      "trainer.poison_loss", 1.0, util::FaultKind::kReport);
+  TrainerConfig cfg = recovery_config();
+  cfg.guard_max_retries = 2;
+  Trainer t(ds, cfg);
+  try {
+    t.train();
+    FAIL() << "expected rollback-budget exhaustion";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("budget exhausted"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(RecoveryTest, GuardOffPropagatesTheFault) {
+  const data::Dataset ds = recovery_dataset();
+  util::FaultInjector::instance().arm("pool.sample", 1,
+                                      util::FaultKind::kThrow);
+  TrainerConfig cfg = recovery_config();
+  cfg.guard = false;
+  Trainer t(ds, cfg);
+  EXPECT_THROW(t.train(), util::InjectedFault);
+}
+
+TEST_F(RecoveryTest, PoolSeekReplaysTheSameSlots) {
+  // The resume/rollback primitive directly: after consuming k subgraphs,
+  // seek(j) must replay slots j, j+1, ... with identical contents.
+  const data::Dataset ds = recovery_dataset();
+  sampling::PoolOptions opt;
+  opt.p_inter = 2;
+  opt.seed = 9;
+  opt.async = true;
+  auto factory = [&](int) {
+    return std::make_unique<sampling::UniformNodeSampler>(ds.graph, 50);
+  };
+  sampling::SubgraphPool pool(ds.graph, factory, opt);
+  pool.prefill();
+  std::vector<std::vector<graph::Vid>> first;
+  for (int i = 0; i < 6; ++i) first.push_back(pool.pop().orig_ids);
+  EXPECT_EQ(pool.consumed(), 6u);
+
+  pool.seek(2);
+  EXPECT_EQ(pool.consumed(), 2u);
+  pool.start_async();
+  pool.prefill();
+  for (int i = 2; i < 6; ++i) {
+    EXPECT_EQ(pool.pop().orig_ids, first[static_cast<std::size_t>(i)])
+        << "slot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gsgcn::gcn

@@ -280,5 +280,84 @@ TEST(Env, ScaleIsClamped) {
   ::unsetenv("GSGCN_SCALE");
 }
 
+TEST(Env, RejectsTrailingGarbageNamingTheVariable) {
+  ::setenv("GSGCN_TEST_STRICT_VAR", "17x", 1);
+  try {
+    env_int("GSGCN_TEST_STRICT_VAR", 5);
+    FAIL() << "expected rejection of '17x'";
+  } catch (const std::runtime_error& e) {
+    // The message must name both the variable and the offending text —
+    // "invalid integer" alone is undebuggable in a 12-knob environment.
+    EXPECT_NE(std::string(e.what()).find("GSGCN_TEST_STRICT_VAR"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("17x"), std::string::npos) << e.what();
+  }
+  ::setenv("GSGCN_TEST_STRICT_VAR", "1.5abc", 1);
+  EXPECT_THROW(env_double("GSGCN_TEST_STRICT_VAR", 0.0), std::runtime_error);
+  ::unsetenv("GSGCN_TEST_STRICT_VAR");
+}
+
+TEST(Env, RejectsOverflowEmptyAndNonFinite) {
+  ::setenv("GSGCN_TEST_STRICT_VAR", "99999999999999999999", 1);  // > int64
+  EXPECT_THROW(env_int("GSGCN_TEST_STRICT_VAR", 5), std::runtime_error);
+  ::setenv("GSGCN_TEST_STRICT_VAR", "1e999", 1);  // double overflow
+  EXPECT_THROW(env_double("GSGCN_TEST_STRICT_VAR", 0.0), std::runtime_error);
+  ::setenv("GSGCN_TEST_STRICT_VAR", "inf", 1);  // finite knobs only
+  EXPECT_THROW(env_double("GSGCN_TEST_STRICT_VAR", 0.0), std::runtime_error);
+  ::setenv("GSGCN_TEST_STRICT_VAR", "nan", 1);
+  EXPECT_THROW(env_double("GSGCN_TEST_STRICT_VAR", 0.0), std::runtime_error);
+  ::setenv("GSGCN_TEST_STRICT_VAR", "", 1);  // set-but-empty is not a number
+  EXPECT_THROW(env_int("GSGCN_TEST_STRICT_VAR", 5), std::runtime_error);
+  ::unsetenv("GSGCN_TEST_STRICT_VAR");
+}
+
+TEST(Env, StrictnessStillAcceptsOrdinaryValues) {
+  ::setenv("GSGCN_TEST_STRICT_VAR", "-42", 1);
+  EXPECT_EQ(env_int("GSGCN_TEST_STRICT_VAR", 5), -42);
+  ::setenv("GSGCN_TEST_STRICT_VAR", "2.5e-3", 1);
+  EXPECT_DOUBLE_EQ(env_double("GSGCN_TEST_STRICT_VAR", 0.0), 2.5e-3);
+  ::unsetenv("GSGCN_TEST_STRICT_VAR");
+}
+
+TEST(ParseNumeric, WholeTokenContract) {
+  std::int64_t i = 0;
+  EXPECT_TRUE(parse_int64("123", i));
+  EXPECT_EQ(i, 123);
+  EXPECT_FALSE(parse_int64("", i));
+  EXPECT_FALSE(parse_int64("12x", i));
+  EXPECT_FALSE(parse_int64("3.5", i));  // a float is not an int knob
+  EXPECT_FALSE(parse_int64("x12", i));
+  EXPECT_FALSE(parse_int64("12 ", i));  // trailing space is garbage too
+  double d = 0.0;
+  EXPECT_TRUE(parse_double("-0.25", d));
+  EXPECT_DOUBLE_EQ(d, -0.25);
+  EXPECT_TRUE(parse_double("1e3", d));
+  EXPECT_FALSE(parse_double("1.5.2", d));
+  EXPECT_FALSE(parse_double("nan", d));
+  EXPECT_FALSE(parse_double("1e999", d));
+}
+
+TEST(Cli, RejectsMalformedNumericFlagsNamingTheFlag) {
+  const char* argv[] = {"prog", "--epochs=5x", "--lr=abc"};
+  Cli cli(3, const_cast<char**>(argv));
+  try {
+    cli.get("epochs", std::int64_t{1});
+    FAIL() << "expected rejection of --epochs=5x";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--epochs"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(cli.get("lr", 0.1), std::invalid_argument);
+}
+
+TEST(Cli, IntGetterRangeChecksInsteadOfWrapping) {
+  const char* argv[] = {"prog", "--epochs=99999999999"};
+  Cli cli(2, const_cast<char**>(argv));
+  // Fits int64 but not int: the narrow getter must reject, not truncate.
+  EXPECT_EQ(cli.get("epochs", std::int64_t{1}), 99999999999LL);
+  EXPECT_THROW(cli.get("epochs", 1), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace gsgcn::util
