@@ -14,6 +14,7 @@
 #include "sampling/frontier_dashboard.hpp"
 #include "tensor/gemm.hpp"
 #include "util/env.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -25,6 +26,29 @@ tensor::Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
   return tensor::Matrix::gaussian(r, c, 1.0f, rng);
 }
 
+// Single-precision FLOPs per core-cycle at peak: 2 FMA ports × 8 AVX2
+// lanes × 2 flops/FMA. Override with GSGCN_PEAK_FLOPS_PER_CYCLE for other
+// microarchitectures (e.g. 64 with AVX-512 kernels, 8 without FMA).
+double peak_flops_per_cycle() {
+  return gsgcn::util::env_double("GSGCN_PEAK_FLOPS_PER_CYCLE", 32.0);
+}
+
+/// Attach GFLOP/s and fraction-of-peak counters for a 2·m·k·n-flop GEMM.
+void set_gemm_counters(benchmark::State& state, std::size_t m, std::size_t k,
+                       std::size_t n) {
+  const auto flops = static_cast<double>(2 * m * k * n);
+  state.counters["GFLOPS"] = benchmark::Counter(
+      flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+  const double peak_gflops = peak_flops_per_cycle() *
+                             benchmark::CPUInfo::Get().cycles_per_second *
+                             1e-9 * gsgcn::util::max_threads();
+  state.counters["frac_peak"] = benchmark::Counter(
+      flops / peak_gflops * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(m * k * n));
+}
+
 void BM_GemmNN(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const tensor::Matrix a = random_matrix(n, n, 1);
@@ -34,10 +58,113 @@ void BM_GemmNN(benchmark::State& state) {
     tensor::gemm_nn(a, b, c);
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
-                          static_cast<std::int64_t>(n * n * n));
+  set_gemm_counters(state, n, n, n);
 }
 BENCHMARK(BM_GemmNN)->Arg(128)->Arg(256)->Arg(512);
+
+// ---- Packed vs legacy GEMM on sampled-subgraph shapes ----------------------
+//
+// The weight-application GEMM of one GCN layer on a sampled subgraph is
+// (|V_sub| × f) · (f × f): |V_sub| lands in the 6000–9000 range for the
+// paper's frontier sampler budget, f is the feature/hidden width. The
+// packed kernel (register tile + panel packing) and the legacy rank-1
+// axpy kernel run the identical shapes at max threads; the perf-smoke CI
+// job and EXPERIMENTS.md consume the GFLOPS counters from the two name
+// families (scripts/check_gemm_speedup.py pairs them by /m/f suffix).
+
+void BM_GemmPackedNN(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  const tensor::Matrix a = random_matrix(m, f, 40);
+  const tensor::Matrix b = random_matrix(f, f, 41);
+  tensor::Matrix c(m, f);
+  for (auto _ : state) {
+    tensor::gemm_nn(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, m, f, f);
+}
+
+void BM_GemmLegacyNN(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  const tensor::Matrix a = random_matrix(m, f, 40);
+  const tensor::Matrix b = random_matrix(f, f, 41);
+  tensor::Matrix c(m, f);
+  for (auto _ : state) {
+    tensor::legacy::gemm_nn(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, m, f, f);
+}
+
+void subgraph_shapes(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t m : {6000, 9000}) {
+    for (const std::int64_t f : {64, 128, 256, 512}) b->Args({m, f});
+  }
+}
+BENCHMARK(BM_GemmPackedNN)->Apply(subgraph_shapes);
+BENCHMARK(BM_GemmLegacyNN)->Apply(subgraph_shapes);
+
+// One TN and one NT pair at a representative shape so all three packed
+// orientations are covered by the comparison (TN = weight gradients,
+// NT = input gradients).
+void BM_GemmPackedTN(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  const tensor::Matrix a = random_matrix(m, f, 42);  // used transposed
+  const tensor::Matrix b = random_matrix(m, f, 43);
+  tensor::Matrix c(f, f);
+  for (auto _ : state) {
+    tensor::gemm_tn(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, f, m, f);
+}
+
+void BM_GemmLegacyTN(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  const tensor::Matrix a = random_matrix(m, f, 42);
+  const tensor::Matrix b = random_matrix(m, f, 43);
+  tensor::Matrix c(f, f);
+  for (auto _ : state) {
+    tensor::legacy::gemm_tn(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, f, m, f);
+}
+
+void BM_GemmPackedNT(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  const tensor::Matrix a = random_matrix(m, f, 44);
+  const tensor::Matrix b = random_matrix(f, f, 45);  // used transposed
+  tensor::Matrix c(m, f);
+  for (auto _ : state) {
+    tensor::gemm_nt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, m, f, f);
+}
+
+void BM_GemmLegacyNT(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  const tensor::Matrix a = random_matrix(m, f, 44);
+  const tensor::Matrix b = random_matrix(f, f, 45);
+  tensor::Matrix c(m, f);
+  for (auto _ : state) {
+    tensor::legacy::gemm_nt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, m, f, f);
+}
+
+BENCHMARK(BM_GemmPackedTN)->Args({8000, 128});
+BENCHMARK(BM_GemmLegacyTN)->Args({8000, 128});
+BENCHMARK(BM_GemmPackedNT)->Args({8000, 128});
+BENCHMARK(BM_GemmLegacyNT)->Args({8000, 128});
 
 void BM_GemmTN(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: packed GEMM must beat the legacy kernels.
+
+Reads a google-benchmark JSON file (BENCH_kernels.json) containing the
+BM_GemmPacked* / BM_GemmLegacy* families, pairs packed and legacy runs
+that share an orientation and /m/f shape suffix, and asserts the median
+packed/legacy GFLOP/s ratio meets a floor.
+
+The default floor (1.2x) is deliberately generous compared to the >= 1.5x
+the kernels achieve on dedicated hardware: shared CI runners are noisy
+and this check exists to catch regressions that de-optimize the packed
+path (register spills, broken blocking), not to benchmark the runner.
+
+Usage: check_gemm_speedup.py BENCH_kernels.json [--min-ratio 1.2]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def gflops(entry):
+    # The GFLOPS counter is a rate (GFLOP per second of wall time).
+    if "GFLOPS" in entry:
+        return float(entry["GFLOPS"])
+    # Fallback: items_processed is the flop count.
+    return float(entry["items_per_second"]) * 1e-9
+
+
+def collect(path):
+    with open(path) as f:
+        data = json.load(f)
+    packed, legacy = {}, {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("name", "")
+        if "/" not in name:
+            continue
+        family, shape = name.split("/", 1)
+        if family.startswith("BM_GemmPacked"):
+            key = (family[len("BM_GemmPacked"):], shape)
+            packed[key] = gflops(entry)
+        elif family.startswith("BM_GemmLegacy"):
+            key = (family[len("BM_GemmLegacy"):], shape)
+            legacy[key] = gflops(entry)
+    return packed, legacy
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_path")
+    ap.add_argument("--min-ratio", type=float, default=1.2,
+                    help="floor on the median packed/legacy GFLOP/s ratio")
+    args = ap.parse_args()
+
+    packed, legacy = collect(args.json_path)
+    keys = sorted(set(packed) & set(legacy))
+    if not keys:
+        print("error: no packed/legacy benchmark pairs found in "
+              f"{args.json_path}", file=sys.stderr)
+        return 2
+
+    ratios = []
+    print(f"{'orientation/shape':<24} {'packed':>10} {'legacy':>10} "
+          f"{'ratio':>7}")
+    for key in keys:
+        orient, shape = key
+        p, l = packed[key], legacy[key]
+        ratio = p / l if l > 0 else float("inf")
+        ratios.append(ratio)
+        print(f"{orient + '/' + shape:<24} {p:>9.2f}G {l:>9.2f}G "
+              f"{ratio:>6.2f}x")
+
+    median = statistics.median(ratios)
+    print(f"\nmedian packed/legacy ratio over {len(ratios)} shapes: "
+          f"{median:.2f}x (floor {args.min_ratio:.2f}x)")
+    if median < args.min_ratio:
+        print("FAIL: packed GEMM no longer beats the legacy kernels",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,8 +25,6 @@ const tensor::Matrix& infer_logits(const GcnModel& model,
   for (const auto& layer : layers) {
     const std::size_t fo = layer.out_dim();
     ensure_shape(scratch.agg, n, layer.in_dim());
-    ensure_shape(scratch.self_out, n, fo);
-    ensure_shape(scratch.neigh_out, n, fo);
     ensure_shape(*next, n, 2 * fo);
 
     propagation::FeaturePartitionOptions opts;
@@ -34,11 +32,16 @@ const tensor::Matrix& infer_logits(const GcnModel& model,
     opts.aggregator = layer.aggregator();
     propagation::propagate_feature_partitioned(g, *h, scratch.agg, opts);
 
-    tensor::gemm_nn(*h, layer.w_self(), scratch.self_out, 1.0f, 0.0f, threads);
-    tensor::gemm_nn(scratch.agg, layer.w_neigh(), scratch.neigh_out, 1.0f,
-                    0.0f, threads);
-    tensor::concat_cols(scratch.self_out, scratch.neigh_out, *next, threads);
-    if (layer.has_relu()) tensor::relu_forward(*next, *next, threads);
+    // Same zero-copy shape as GraphConvLayer::forward: GEMMs write the
+    // two concat halves in place, ReLU fused into the store.
+    const auto epilogue = layer.has_relu() ? tensor::Epilogue::kRelu
+                                           : tensor::Epilogue::kNone;
+    tensor::gemm_nn(*h, layer.w_self(),
+                    tensor::MatrixView::cols_slice(*next, 0, fo), 1.0f, 0.0f,
+                    threads, epilogue);
+    tensor::gemm_nn(scratch.agg, layer.w_neigh(),
+                    tensor::MatrixView::cols_slice(*next, fo, fo), 1.0f, 0.0f,
+                    threads, epilogue);
 
     h = next;
     std::swap(next, spare);

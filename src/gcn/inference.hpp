@@ -17,8 +17,6 @@ struct InferenceScratch {
   tensor::Matrix h_a;
   tensor::Matrix h_b;
   tensor::Matrix agg;
-  tensor::Matrix self_out;
-  tensor::Matrix neigh_out;
   tensor::Matrix logits;
 };
 

@@ -49,23 +49,21 @@ const tensor::Matrix& GraphConvLayer::forward(const graph::CsrGraph& g,
   GSGCN_TRACE_SPAN_ID("layer/forward", n);
 
   // Inverted dropout on the input: keep with probability 1-p, scale by
-  // 1/(1-p) so eval needs no rescaling.
+  // 1/(1-p) so eval needs no rescaling. The mask is drawn from per-row
+  // counter-based streams keyed by one draw from dropout_rng_ — the same
+  // masks for any thread count, and the single checkpointed draw keeps
+  // resumed runs bit-identical.
   used_dropout_ = training && dropout_rate_ > 0.0f;
   if (used_dropout_) {
     ensure_shape(dropout_mask_, n, in_dim());
     ensure_shape(h_dropped_, n, in_dim());
-    const float keep = 1.0f - dropout_rate_;
-    const float scale = 1.0f / keep;
-    for (std::size_t i = 0; i < dropout_mask_.size(); ++i) {
-      dropout_mask_.data()[i] = dropout_rng_.uniformf() < keep ? scale : 0.0f;
-      h_dropped_.data()[i] = dropout_mask_.data()[i] * h_in_raw.data()[i];
-    }
+    tensor::dropout_forward(h_in_raw, dropout_mask_, h_dropped_,
+                            dropout_rate_, dropout_rng_(), threads);
   }
   const tensor::Matrix& h_in = used_dropout_ ? h_dropped_ : h_in_raw;
   h_in_ = &h_in;
   ensure_shape(h_agg_, n, in_dim());
-  ensure_shape(pre_act_, n, 2 * fo);
-  ensure_shape(h_out_, n, 2 * fo);
+  ensure_shape(act_, n, 2 * fo);
 
   // Feature aggregation — the paper's partitioned kernel (Section V-B).
   {
@@ -80,23 +78,23 @@ const tensor::Matrix& GraphConvLayer::forward(const graph::CsrGraph& g,
     }
   }
 
-  // Weight application — dense GEMMs into the two concat halves.
+  // Weight application — dense GEMMs writing straight into the two concat
+  // halves of act_ (strided views; no concat copy), with the ReLU fused
+  // into the GEMM's store epilogue. Without ReLU the result is already
+  // the output — no copy on that path either.
   {
     std::unique_ptr<util::ScopedPhase> p;
     if (clock != nullptr) p = std::make_unique<util::ScopedPhase>(clock->weight_apply);
-    ensure_shape(d_self_, n, fo);   // reuse scratch as GEMM outputs
-    ensure_shape(d_neigh_, n, fo);
-    tensor::gemm_nn(h_in, w_self_, d_self_, 1.0f, 0.0f, threads);
-    tensor::gemm_nn(h_agg_, w_neigh_, d_neigh_, 1.0f, 0.0f, threads);
-    tensor::concat_cols(d_self_, d_neigh_, pre_act_, threads);
+    const auto epilogue =
+        relu_ ? tensor::Epilogue::kRelu : tensor::Epilogue::kNone;
+    tensor::gemm_nn(h_in, w_self_,
+                    tensor::MatrixView::cols_slice(act_, 0, fo), 1.0f, 0.0f,
+                    threads, epilogue);
+    tensor::gemm_nn(h_agg_, w_neigh_,
+                    tensor::MatrixView::cols_slice(act_, fo, fo), 1.0f, 0.0f,
+                    threads, epilogue);
   }
-
-  if (relu_) {
-    tensor::relu_forward(pre_act_, h_out_, threads);
-  } else {
-    h_out_ = pre_act_;
-  }
-  return h_out_;
+  return act_;
 }
 
 const tensor::Matrix& GraphConvLayer::backward(const graph::CsrGraph& g,
@@ -113,28 +111,31 @@ const tensor::Matrix& GraphConvLayer::backward(const graph::CsrGraph& g,
                                 d_out.shape_str());
   }
   GSGCN_TRACE_SPAN_ID("layer/backward", n);
-  ensure_shape(d_pre_, n, 2 * fo);
-  ensure_shape(d_self_, n, fo);
-  ensure_shape(d_neigh_, n, fo);
   ensure_shape(d_agg_, n, in_dim());
   ensure_shape(d_in_, n, in_dim());
 
+  // act_ holds the post-ReLU output, which carries the same x > 0 mask as
+  // the pre-activation (relu(x) > 0 ⇔ x > 0). Without ReLU, d_out is the
+  // concat gradient already — alias it instead of copying.
   if (relu_) {
-    tensor::relu_backward(pre_act_, d_out, d_pre_, threads);
-  } else {
-    d_pre_ = d_out;
+    ensure_shape(d_pre_, n, 2 * fo);
+    tensor::relu_backward(act_, d_out, d_pre_, threads);
   }
-  tensor::split_cols(d_pre_, d_self_, d_neigh_, threads);
+  const tensor::Matrix& d_pre = relu_ ? d_pre_ : d_out;
+  // The two halves of the concat gradient, consumed in place as strided
+  // views — no split copy, no per-branch scratch.
+  const auto d_self = tensor::ConstMatrixView::cols_slice(d_pre, 0, fo);
+  const auto d_neigh = tensor::ConstMatrixView::cols_slice(d_pre, fo, fo);
 
   {
     std::unique_ptr<util::ScopedPhase> p;
     if (clock != nullptr) p = std::make_unique<util::ScopedPhase>(clock->weight_apply);
     // Weight gradients.
-    tensor::gemm_tn(h_in, d_self_, d_w_self_, 1.0f, 0.0f, threads);
-    tensor::gemm_tn(h_agg_, d_neigh_, d_w_neigh_, 1.0f, 0.0f, threads);
+    tensor::gemm_tn(h_in, d_self, d_w_self_, 1.0f, 0.0f, threads);
+    tensor::gemm_tn(h_agg_, d_neigh, d_w_neigh_, 1.0f, 0.0f, threads);
     // Input gradient, dense parts: d_in = d_self·W_selfᵀ; d_agg = d_neigh·W_neighᵀ.
-    tensor::gemm_nt(d_self_, w_self_, d_in_, 1.0f, 0.0f, threads);
-    tensor::gemm_nt(d_neigh_, w_neigh_, d_agg_, 1.0f, 0.0f, threads);
+    tensor::gemm_nt(d_self, w_self_, d_in_, 1.0f, 0.0f, threads);
+    tensor::gemm_nt(d_neigh, w_neigh_, d_agg_, 1.0f, 0.0f, threads);
   }
 
   // Sparse part: push d_agg back through the mean aggregation.
@@ -150,9 +151,7 @@ const tensor::Matrix& GraphConvLayer::backward(const graph::CsrGraph& g,
   tensor::add_scaled(d_in_, h_agg_, 1.0f, threads);
   // Undo the input dropout: gradients flow only through kept entries.
   if (used_dropout_) {
-    for (std::size_t i = 0; i < d_in_.size(); ++i) {
-      d_in_.data()[i] *= dropout_mask_.data()[i];
-    }
+    tensor::hadamard_inplace(d_in_, dropout_mask_, threads);
   }
   return d_in_;
 }

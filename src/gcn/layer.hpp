@@ -90,16 +90,19 @@ class GraphConvLayer {
   tensor::Matrix d_w_self_;
   tensor::Matrix d_w_neigh_;
 
-  // Cached activations (batch-sized; resized on demand).
+  // Cached activations (batch-sized; resized on demand). The self/neigh
+  // GEMMs write straight into the two column halves of act_ (strided
+  // views), and the ReLU is fused into their store epilogue — so act_
+  // holds σ([H_self | H_neigh]) and IS the layer output; there is no
+  // separate concat buffer, post-activation copy, or per-branch scratch.
   const tensor::Matrix* h_in_ = nullptr;
-  tensor::Matrix h_agg_;     // A·H_in
-  tensor::Matrix pre_act_;   // [H_self | H_neigh] before ReLU
-  tensor::Matrix h_out_;
+  tensor::Matrix h_agg_;  // A·H_in
+  tensor::Matrix act_;    // σ([H_self | H_neigh]) — the layer output
 
-  // Backward scratch.
+  // Backward scratch. The concat gradient is consumed through strided
+  // column views, so no split buffers exist; d_pre_ is only materialized
+  // on the ReLU path (without ReLU, d_out is used in place).
   tensor::Matrix d_pre_;
-  tensor::Matrix d_self_;
-  tensor::Matrix d_neigh_;
   tensor::Matrix d_agg_;
   tensor::Matrix d_in_;
 };

@@ -2,30 +2,58 @@
 // Dense matrix multiplication — the "weight application" kernel.
 //
 // The paper offloads this to MKL cblas_dgemm; here it is implemented
-// directly: OpenMP parallel over row blocks, AVX2+FMA inner kernels, and
-// K-blocking so the streamed operand stays in L2. Three orientations cover
-// everything the GCN's forward/backward needs:
+// directly as a cache-blocked, packed GEMM in the BLIS mold: a register
+// micro-kernel computes an Mr×Nr tile of C entirely in FMA accumulators,
+// operands are repacked into contiguous micro-panels (per-thread reusable
+// workspaces) so the inner loop streams packed memory only, and Mc/Kc/Nc
+// blocking keeps the A block and the active B panel cache-resident. Three
+// orientations cover everything the GCN's forward/backward needs:
 //
 //   NN:  C = A·B        (forward weight application, H · W)
 //   TN:  C = Aᵀ·B       (weight gradients, Hᵀ · dOut)
 //   NT:  C = A·Bᵀ       (input gradients, dOut · Wᵀ)
 //
-// All kernels compute C = alpha·op(A)op(B) + beta·C. `threads` ≤ 0 means
-// "use the current OpenMP max" (so callers can sweep thread counts for the
-// Figure-3C bench without global state).
+// All kernels compute C = alpha·op(A)op(B) + beta·C, optionally fusing a
+// ReLU into the final store (Epilogue::kRelu) so the GCN layer never
+// re-streams its activations just to clamp them. Operands are strided
+// views: the layer points the self/neigh GEMMs at the two halves of its
+// concat buffer, which deletes the concat/split copies entirely.
+// `threads` ≤ 0 means "use the current OpenMP max" (so callers can sweep
+// thread counts for the Figure-3C bench without global state).
 
 #include "tensor/matrix.hpp"
 
 namespace gsgcn::tensor {
 
+/// Operation fused into the GEMM's C-store. kRelu applies
+/// max(0, alpha·op(A)op(B) + beta·C) on the final K-block's store — the
+/// activations never make a second trip through memory.
+enum class Epilogue { kNone, kRelu };
+
+void gemm_nn(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+             float alpha = 1.0f, float beta = 0.0f, int threads = 0,
+             Epilogue epilogue = Epilogue::kNone);
+
+void gemm_tn(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+             float alpha = 1.0f, float beta = 0.0f, int threads = 0,
+             Epilogue epilogue = Epilogue::kNone);
+
+void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+             float alpha = 1.0f, float beta = 0.0f, int threads = 0,
+             Epilogue epilogue = Epilogue::kNone);
+
+/// The pre-packing rank-1-update/dot kernels the packed GEMM replaced.
+/// Kept as the baseline side of the bench_kernels packed-vs-legacy
+/// comparison (and as an independent implementation for property tests);
+/// not used on any hot path.
+namespace legacy {
 void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
              float beta = 0.0f, int threads = 0);
-
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
              float beta = 0.0f, int threads = 0);
-
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
              float beta = 0.0f, int threads = 0);
+}  // namespace legacy
 
 /// Triple-loop reference implementations (no SIMD, no threading) used by
 /// the tests to validate the optimized kernels bit-for-bit-ish (tolerance

@@ -103,4 +103,26 @@ std::string Matrix::shape_str() const {
   return s;
 }
 
+namespace {
+std::string view_shape_str(std::size_t rows, std::size_t cols,
+                           std::size_t ld) {
+  std::string s = "[";
+  s += std::to_string(rows);
+  s += " x ";
+  s += std::to_string(cols);
+  s += " ld=";
+  s += std::to_string(ld);
+  s += "]";
+  return s;
+}
+}  // namespace
+
+std::string MatrixView::shape_str() const {
+  return view_shape_str(rows_, cols_, ld_);
+}
+
+std::string ConstMatrixView::shape_str() const {
+  return view_shape_str(rows_, cols_, ld_);
+}
+
 }  // namespace gsgcn::tensor

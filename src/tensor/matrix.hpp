@@ -100,6 +100,90 @@ class Matrix {
   util::AlignedBuffer<float> data_;
 };
 
+/// Non-owning strided view of a row-major block: element (i, j) lives at
+/// data[i * ld + j] with ld >= cols. A whole Matrix converts implicitly
+/// (ld == cols), and cols_slice() carves out a column range of a wider
+/// matrix — that is how the GCN layer writes the self/neigh GEMM outputs
+/// straight into the two halves of its concat buffer without a copy.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(float* data, std::size_t rows, std::size_t cols, std::size_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    GSGCN_ASSERT(ld >= cols, "view ld must cover cols");
+  }
+  MatrixView(Matrix& m)  // NOLINT(google-explicit-constructor)
+      : MatrixView(m.data(), m.rows(), m.cols(), m.cols()) {}
+
+  /// Columns [col0, col0 + ncols) of m, all rows, stride m.cols().
+  static MatrixView cols_slice(Matrix& m, std::size_t col0,
+                               std::size_t ncols) {
+    GSGCN_ASSERT(col0 + ncols <= m.cols(), "cols_slice out of range");
+    return {m.data() + col0, m.rows(), ncols, m.cols()};
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t ld() const { return ld_; }
+  float* data() const { return data_; }
+  float* row(std::size_t i) const {
+    GSGCN_CHECK_BOUNDS(i, rows_);
+    return data_ + i * ld_;
+  }
+  float& operator()(std::size_t i, std::size_t j) const {
+    GSGCN_CHECK_BOUNDS(j, cols_);
+    return row(i)[j];
+  }
+  std::string shape_str() const;
+
+ private:
+  float* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t ld_ = 0;
+};
+
+/// Read-only counterpart of MatrixView (GEMM A/B operands).
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const float* data, std::size_t rows, std::size_t cols,
+                  std::size_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    GSGCN_ASSERT(ld >= cols, "view ld must cover cols");
+  }
+  ConstMatrixView(const Matrix& m)  // NOLINT(google-explicit-constructor)
+      : ConstMatrixView(m.data(), m.rows(), m.cols(), m.cols()) {}
+  ConstMatrixView(MatrixView v)  // NOLINT(google-explicit-constructor)
+      : ConstMatrixView(v.data(), v.rows(), v.cols(), v.ld()) {}
+
+  static ConstMatrixView cols_slice(const Matrix& m, std::size_t col0,
+                                    std::size_t ncols) {
+    GSGCN_ASSERT(col0 + ncols <= m.cols(), "cols_slice out of range");
+    return {m.data() + col0, m.rows(), ncols, m.cols()};
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t ld() const { return ld_; }
+  const float* data() const { return data_; }
+  const float* row(std::size_t i) const {
+    GSGCN_CHECK_BOUNDS(i, rows_);
+    return data_ + i * ld_;
+  }
+  float operator()(std::size_t i, std::size_t j) const {
+    GSGCN_CHECK_BOUNDS(j, cols_);
+    return row(i)[j];
+  }
+  std::string shape_str() const;
+
+ private:
+  const float* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t ld_ = 0;
+};
+
 /// Binary (de)serialization: rows, cols (u64 each) then row-major float
 /// payload. Streams must be opened in binary mode; read_matrix throws
 /// std::runtime_error on truncation.

@@ -6,6 +6,7 @@
 
 #include "util/check.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace gsgcn::tensor {
 
@@ -24,10 +25,12 @@ void relu_forward(const Matrix& x, Matrix& y, int threads) {
   const std::size_t n = x.size();
   const float* xp = x.data();
   float* yp = y.data();
-  util::parallel_for(static_cast<std::int64_t>(n), threads,
-                     [xp, yp](std::int64_t i) {
-                       yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
-                     });
+  util::parallel_for_ranges(static_cast<std::int64_t>(n), threads,
+                            [xp, yp](std::int64_t b, std::int64_t e) {
+                              for (std::int64_t i = b; i < e; ++i) {
+                                yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
+                              }
+                            });
 }
 
 void relu_backward(const Matrix& x, const Matrix& dy, Matrix& dx,
@@ -38,10 +41,12 @@ void relu_backward(const Matrix& x, const Matrix& dy, Matrix& dx,
   const float* xp = x.data();
   const float* dyp = dy.data();
   float* dxp = dx.data();
-  util::parallel_for(static_cast<std::int64_t>(n), threads,
-                     [xp, dyp, dxp](std::int64_t i) {
-                       dxp[i] = xp[i] > 0.0f ? dyp[i] : 0.0f;
-                     });
+  util::parallel_for_ranges(static_cast<std::int64_t>(n), threads,
+                            [xp, dyp, dxp](std::int64_t b, std::int64_t e) {
+                              for (std::int64_t i = b; i < e; ++i) {
+                                dxp[i] = xp[i] > 0.0f ? dyp[i] : 0.0f;
+                              }
+                            });
 }
 
 void concat_cols(const Matrix& a, const Matrix& b, Matrix& out, int threads) {
@@ -81,17 +86,23 @@ void add_scaled(Matrix& x, const Matrix& y, float alpha, int threads) {
   const std::size_t n = x.size();
   float* xp = x.data();
   const float* yp = y.data();
-  util::parallel_for(static_cast<std::int64_t>(n), threads,
-                     [xp, yp, alpha](std::int64_t i) {
-                       xp[i] += alpha * yp[i];
-                     });
+  util::parallel_for_ranges(static_cast<std::int64_t>(n), threads,
+                            [xp, yp, alpha](std::int64_t b, std::int64_t e) {
+                              for (std::int64_t i = b; i < e; ++i) {
+                                xp[i] += alpha * yp[i];
+                              }
+                            });
 }
 
 void scale_inplace(Matrix& x, float alpha, int threads) {
   const std::size_t n = x.size();
   float* xp = x.data();
-  util::parallel_for(static_cast<std::int64_t>(n), threads,
-                     [xp, alpha](std::int64_t i) { xp[i] *= alpha; });
+  util::parallel_for_ranges(static_cast<std::int64_t>(n), threads,
+                            [xp, alpha](std::int64_t b, std::int64_t e) {
+                              for (std::int64_t i = b; i < e; ++i) {
+                                xp[i] *= alpha;
+                              }
+                            });
 }
 
 void gather_rows(const Matrix& src, std::span<const std::uint32_t> indices,
@@ -137,6 +148,45 @@ void bias_grad(const Matrix& dy, std::span<float> dbias) {
     const float* r = dy.row(i);
     for (std::size_t j = 0; j < dy.cols(); ++j) dbias[j] += r[j];
   }
+}
+
+void hadamard_inplace(Matrix& x, const Matrix& y, int threads) {
+  check_same_shape(x, y, "hadamard_inplace");
+  const std::size_t n = x.size();
+  float* xp = x.data();
+  const float* yp = y.data();
+  util::parallel_for_ranges(static_cast<std::int64_t>(n), threads,
+                            [xp, yp](std::int64_t b, std::int64_t e) {
+                              for (std::int64_t i = b; i < e; ++i) {
+                                xp[i] *= yp[i];
+                              }
+                            });
+}
+
+void dropout_forward(const Matrix& x, Matrix& mask, Matrix& out, float rate,
+                     std::uint64_t seed, int threads) {
+  check_same_shape(x, mask, "dropout_forward");
+  check_same_shape(x, out, "dropout_forward");
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("dropout_forward: rate must be in [0, 1)");
+  }
+  const float keep = 1.0f - rate;
+  const float scale = 1.0f / keep;
+  const std::size_t cols = x.cols();
+  util::parallel_for(
+      static_cast<std::int64_t>(x.rows()), threads, [&](std::int64_t ii) {
+        const auto i = static_cast<std::size_t>(ii);
+        // One decorrelated stream per row, derived purely from (seed, i):
+        // any thread that processes row i draws the identical mask.
+        util::Xoshiro256 rng = util::Xoshiro256::stream(seed, i);
+        const float* xr = x.row(i);
+        float* mr = mask.row(i);
+        float* outr = out.row(i);
+        for (std::size_t j = 0; j < cols; ++j) {
+          mr[j] = rng.uniformf() < keep ? scale : 0.0f;
+          outr[j] = mr[j] * xr[j];
+        }
+      });
 }
 
 void l2_normalize_rows(Matrix& x, int threads) {

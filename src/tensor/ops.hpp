@@ -14,7 +14,10 @@ namespace gsgcn::tensor {
 /// y = max(0, x), elementwise. y must be same shape as x (may alias x).
 void relu_forward(const Matrix& x, Matrix& y, int threads = 0);
 
-/// dx = dy ⊙ 1[x > 0]. dx may alias dy. x is the *pre-activation* input.
+/// dx = dy ⊙ 1[x > 0]. dx may alias dy. x may be either the
+/// pre-activation input or the ReLU output: relu(x) > 0 ⇔ x > 0, so
+/// callers that fused the ReLU into a GEMM epilogue (and therefore only
+/// kept the post-activation values) pass those directly.
 void relu_backward(const Matrix& x, const Matrix& dy, Matrix& dx,
                    int threads = 0);
 
@@ -48,5 +51,16 @@ void bias_grad(const Matrix& dy, std::span<float> dbias);
 /// Row-wise L2 normalization: each nonzero row scaled to unit norm.
 /// GraphSAGE applies this to embeddings between layers; exposed for parity.
 void l2_normalize_rows(Matrix& x, int threads = 0);
+
+/// x ⊙= y elementwise (the dropout-mask multiply in the backward pass).
+void hadamard_inplace(Matrix& x, const Matrix& y, int threads = 0);
+
+/// Inverted dropout with per-row counter-based RNG streams: row i's mask
+/// is drawn from util::Xoshiro256::stream(seed, i), so the result depends
+/// only on (seed, shape) — never on the thread count or iteration order.
+/// mask(i,j) ∈ {0, 1/(1-rate)} with P[keep] = 1-rate; out = mask ⊙ x.
+/// mask and out must match x's shape (out may alias x).
+void dropout_forward(const Matrix& x, Matrix& mask, Matrix& out, float rate,
+                     std::uint64_t seed, int threads = 0);
 
 }  // namespace gsgcn::tensor

@@ -194,6 +194,25 @@ void parallel_for(std::int64_t n, int threads, F&& body) {
 #endif
 }
 
+/// Statically-scheduled loop over contiguous ranges: body(begin, end)
+/// runs once per team member on its split_range chunk. Use instead of
+/// parallel_for when the body is a dense inner loop the compiler should
+/// vectorize — handing it the whole [begin, end) range keeps the SIMD
+/// loop intact instead of re-entering a per-index callback. The chunking
+/// is identical to parallel_for's schedule(static), so any computation
+/// that is chunk-order-independent gives bit-identical results under
+/// either helper and any thread count.
+template <class F>
+void parallel_for_ranges(std::int64_t n, int threads, F&& body) {
+  if (n <= 0) return;
+  int p = resolve_threads(threads);
+  if (static_cast<std::int64_t>(p) > n) p = static_cast<int>(n);
+  parallel_region(p, [&body, n](int tid, int nt) {
+    const Range r = split_range(n, nt, tid);
+    if (r.begin < r.end) body(r.begin, r.end);
+  });
+}
+
 /// Dynamically-scheduled loop for irregular per-iteration cost: body(i)
 /// for i in [0, n), iterations handed out one at a time.
 template <class F>

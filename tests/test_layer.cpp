@@ -228,6 +228,53 @@ TEST(LayerDropout, GradientMatchesMaskedForward) {
   EXPECT_GT(zeros, 0);  // ~30% of 100 entries
 }
 
+TEST(LayerDropout, DeterministicAcrossThreadCounts) {
+  // The dropout mask derives from one checkpointed RNG draw plus per-row
+  // counter streams, so training forward/backward must be bit-identical
+  // for every thread count — not merely statistically close.
+  const CsrGraph g = gsgcn::testing::small_er(50, 200, 50);
+  util::Xoshiro256 rng_x(51);
+  const Matrix x = Matrix::gaussian(50, 6, 1.0f, rng_x);
+  const Matrix r = Matrix::gaussian(50, 8, 1.0f, rng_x);
+
+  auto run = [&](int threads, Matrix& out, Matrix& dx, Matrix& dws) {
+    util::Xoshiro256 rng(52);  // identical weights + dropout RNG state
+    GraphConvLayer layer(6, 4, true, rng);
+    layer.set_dropout(0.4f);
+    out = layer.forward(g, x, threads, nullptr, /*training=*/true);
+    dx = layer.backward(g, r, threads);
+    dws = layer.grad_w_self();
+  };
+  Matrix out1, dx1, dws1;
+  run(1, out1, dx1, dws1);
+  for (const int threads : {2, 4, 8}) {
+    Matrix outp, dxp, dwsp;
+    run(threads, outp, dxp, dwsp);
+    ASSERT_EQ(Matrix::max_abs_diff(out1, outp), 0.0f) << "p=" << threads;
+    ASSERT_EQ(Matrix::max_abs_diff(dx1, dxp), 0.0f) << "p=" << threads;
+    ASSERT_EQ(Matrix::max_abs_diff(dws1, dwsp), 0.0f) << "p=" << threads;
+  }
+}
+
+TEST(Layer, NoReluOutputAliasesFusedConcat) {
+  // relu_=false must not copy: forward output is the GEMM destination
+  // buffer itself, written via the two column-slice views.
+  util::Xoshiro256 rng(53);
+  GraphConvLayer layer(6, 4, false, rng);
+  const CsrGraph g = gsgcn::testing::small_er(30, 120, 54);
+  const Matrix x = Matrix::gaussian(30, 6, 1.0f, rng);
+  const Matrix& out = layer.forward(g, x, 1);
+
+  Matrix agg(30, 6);
+  propagation::aggregate_mean_forward(g, x, agg);
+  Matrix self(30, 4), neigh(30, 4), cat(30, 8);
+  tensor::gemm_nn(x, layer.w_self(), self);
+  tensor::gemm_nn(agg, layer.w_neigh(), neigh);
+  tensor::concat_cols(self, neigh, cat);
+  // Bit-for-bit: the strided-view writes follow the identical fp order.
+  EXPECT_EQ(Matrix::max_abs_diff(out, cat), 0.0f);
+}
+
 TEST(Layer, MultithreadedMatchesSerial) {
   util::Xoshiro256 rng(8);
   GraphConvLayer l1(6, 4, true, rng);

@@ -138,6 +138,181 @@ TEST(Gemm, BetaZeroIgnoresGarbage) {
   }
 }
 
+// ---- GEMM property sweep: every (m, k, n) from an odd-shape set, all
+// three orientations, several alpha/beta combos and thread counts, all
+// against the triple-loop reference. The shape set is chosen to exercise
+// every packing edge case of the blocked kernel: sub-tile (< Mr, < Nr),
+// exact-tile (8, 16, 64), one-past-tile (9, 17, 65) and near-block sizes.
+
+constexpr int kOddSizes[] = {1, 5, 7, 8, 9, 16, 17, 63, 64, 65};
+
+TEST(GemmProperty, OddShapeSweepAllOrientations) {
+  const Matrix pool_a = random_matrix(65, 65, 50);
+  const Matrix pool_b = random_matrix(65, 65, 51);
+  auto take = [](const Matrix& pool, int r, int c) {
+    Matrix m(r, c);
+    for (int i = 0; i < r; ++i) {
+      for (int j = 0; j < c; ++j) {
+        m(i, j) = pool(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+      }
+    }
+    return m;
+  };
+  for (const int m : kOddSizes) {
+    for (const int k : kOddSizes) {
+      for (const int n : kOddSizes) {
+        const float tol = 1e-3f * static_cast<float>(k);
+        {
+          const Matrix a = take(pool_a, m, k), b = take(pool_b, k, n);
+          Matrix c(m, n), ref(m, n);
+          gemm_nn(a, b, c, 2.0f, 0.0f, 4);
+          reference::gemm_nn(a, b, ref, 2.0f, 0.0f);
+          ASSERT_LT(Matrix::max_abs_diff(c, ref), tol)
+              << "nn " << m << "x" << k << "x" << n;
+        }
+        {
+          const Matrix a = take(pool_a, k, m), b = take(pool_b, k, n);
+          Matrix c(m, n), ref(m, n);
+          gemm_tn(a, b, c, 1.0f, 0.0f, 4);
+          reference::gemm_tn(a, b, ref);
+          ASSERT_LT(Matrix::max_abs_diff(c, ref), tol)
+              << "tn " << m << "x" << k << "x" << n;
+        }
+        {
+          const Matrix a = take(pool_a, m, k), b = take(pool_b, n, k);
+          Matrix c(m, n), ref(m, n);
+          gemm_nt(a, b, c, 1.0f, 0.0f, 4);
+          reference::gemm_nt(a, b, ref);
+          ASSERT_LT(Matrix::max_abs_diff(c, ref), tol)
+              << "nt " << m << "x" << k << "x" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmProperty, AlphaBetaThreadCombos) {
+  constexpr float kAlphas[] = {1.0f, 2.0f, -0.5f};
+  constexpr float kBetas[] = {0.0f, 1.0f, 0.25f};
+  constexpr int kThreads[] = {1, 2, 4, 8};
+  // 97 rows × 300 cols of K cross both the Mc=96 and Kc=256 block edges.
+  const Matrix a = random_matrix(97, 300, 52);
+  const Matrix b = random_matrix(300, 33, 53);
+  const Matrix c0 = random_matrix(97, 33, 54);
+  for (const float alpha : kAlphas) {
+    for (const float beta : kBetas) {
+      Matrix ref = c0;
+      reference::gemm_nn(a, b, ref, alpha, beta);
+      Matrix first;
+      for (const int threads : kThreads) {
+        Matrix c = c0;
+        gemm_nn(a, b, c, alpha, beta, threads);
+        ASSERT_LT(Matrix::max_abs_diff(c, ref), 0.3f)
+            << "alpha=" << alpha << " beta=" << beta << " p=" << threads;
+        if (threads == 1) {
+          first = c;
+        } else {
+          // Bit-identical across thread counts, not just close.
+          ASSERT_EQ(Matrix::max_abs_diff(c, first), 0.0f)
+              << "alpha=" << alpha << " beta=" << beta << " p=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmProperty, TnNtBetaAccumulate) {
+  const Matrix a = random_matrix(70, 19, 55);  // k=70 rows, m=19 (transposed)
+  const Matrix b = random_matrix(70, 23, 56);
+  Matrix c = random_matrix(19, 23, 57);
+  Matrix ref = c;
+  gemm_tn(a, b, c, 1.5f, 0.75f, 3);
+  reference::gemm_tn(a, b, ref, 1.5f, 0.75f);
+  EXPECT_LT(Matrix::max_abs_diff(c, ref), 0.1f);
+
+  const Matrix x = random_matrix(21, 40, 58);
+  const Matrix y = random_matrix(17, 40, 59);
+  Matrix d = random_matrix(21, 17, 60);
+  Matrix dref = d;
+  gemm_nt(x, y, d, -1.0f, 2.0f, 3);
+  reference::gemm_nt(x, y, dref, -1.0f, 2.0f);
+  EXPECT_LT(Matrix::max_abs_diff(d, dref), 0.1f);
+}
+
+// ---- Strided views: writing GEMM outputs into column slices of a wide
+// matrix must be bit-for-bit identical to GEMM-into-dense + concat_cols
+// (this is the layer's zero-copy concat path).
+
+TEST(GemmView, ColsSliceOutputMatchesConcatBitForBit) {
+  const std::size_t n = 37, fin = 29, fo = 21;
+  const Matrix h = random_matrix(n, fin, 70);
+  const Matrix w1 = random_matrix(fin, fo, 71);
+  const Matrix w2 = random_matrix(fin, fo, 72);
+
+  Matrix c1(n, fo), c2(n, fo), cat(n, 2 * fo);
+  gemm_nn(h, w1, c1);
+  gemm_nn(h, w2, c2);
+  concat_cols(c1, c2, cat);
+
+  Matrix wide(n, 2 * fo);
+  gemm_nn(h, w1, MatrixView::cols_slice(wide, 0, fo));
+  gemm_nn(h, w2, MatrixView::cols_slice(wide, fo, fo));
+  EXPECT_EQ(Matrix::max_abs_diff(cat, wide), 0.0f);
+}
+
+TEST(GemmView, ColsSliceOperandsMatchSplitBitForBit) {
+  // Backward-pass shape: consume column slices of a wide gradient as TN/NT
+  // operands and compare against operating on split-out dense halves.
+  const std::size_t n = 41, fin = 13, fo = 11;
+  const Matrix h = random_matrix(n, fin, 73);
+  const Matrix w = random_matrix(fin, fo, 74);
+  const Matrix d_wide = random_matrix(n, 2 * fo, 75);
+  Matrix d_half(n, fo), other(n, fo);
+  split_cols(d_wide, d_half, other);
+
+  Matrix dw_dense(fin, fo), dw_view(fin, fo);
+  gemm_tn(h, d_half, dw_dense);
+  gemm_tn(h, ConstMatrixView::cols_slice(d_wide, 0, fo), dw_view);
+  EXPECT_EQ(Matrix::max_abs_diff(dw_dense, dw_view), 0.0f);
+
+  Matrix dh_dense(n, fin), dh_view(n, fin);
+  gemm_nt(d_half, w, dh_dense);  // d · Wᵀ — w used transposed
+  gemm_nt(ConstMatrixView::cols_slice(d_wide, 0, fo), w, dh_view);
+  EXPECT_EQ(Matrix::max_abs_diff(dh_dense, dh_view), 0.0f);
+}
+
+TEST(GemmView, LdMustCoverCols) {
+  Matrix m(4, 8);
+  EXPECT_NO_THROW(MatrixView::cols_slice(m, 2, 6));
+}
+
+// ---- Fused ReLU epilogue ----
+
+TEST(GemmEpilogue, ReluMatchesSeparateRelu) {
+  // k = 300 spans two Kc=256 blocks: the clamp must apply only after the
+  // full K sum, not per block.
+  const Matrix a = random_matrix(50, 300, 80);
+  const Matrix b = random_matrix(300, 40, 81);
+  Matrix fused(50, 40), plain(50, 40), clamped(50, 40);
+  gemm_nn(a, b, fused, 1.0f, 0.0f, 0, Epilogue::kRelu);
+  gemm_nn(a, b, plain);
+  relu_forward(plain, clamped);
+  EXPECT_EQ(Matrix::max_abs_diff(fused, clamped), 0.0f);
+}
+
+TEST(GemmEpilogue, ReluWithBetaZeroK) {
+  // k == 0 degenerates to the epilogue-only path: C = relu(beta·C).
+  const Matrix a(5, 0), b(0, 7);
+  Matrix c = random_matrix(5, 7, 82);
+  Matrix expect = c;
+  gemm_nn(a, b, c, 1.0f, -1.0f, 0, Epilogue::kRelu);
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    const float v = -expect.data()[i];
+    expect.data()[i] = v > 0.0f ? v : 0.0f;
+  }
+  EXPECT_EQ(Matrix::max_abs_diff(c, expect), 0.0f);
+}
+
 TEST(Gemm, ShapeMismatchThrows) {
   const Matrix a(3, 4), b(5, 6);
   Matrix c(3, 6);
@@ -233,6 +408,75 @@ TEST(Ops, BiasRowsAndGrad) {
   bias_grad(dy, dbias);
   EXPECT_EQ(dbias[0], 3.0f);
   EXPECT_EQ(dbias[1], 3.0f);
+}
+
+TEST(Ops, HadamardInplace) {
+  Matrix x = random_matrix(9, 7, 33);
+  const Matrix y = random_matrix(9, 7, 34);
+  Matrix expect = x;
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    expect.data()[i] *= y.data()[i];
+  }
+  hadamard_inplace(x, y, 3);
+  EXPECT_EQ(Matrix::max_abs_diff(x, expect), 0.0f);
+}
+
+TEST(Ops, DropoutForwardMaskValuesAndRate) {
+  const float rate = 0.4f;
+  const Matrix x = random_matrix(200, 64, 35);
+  Matrix mask(200, 64), out(200, 64);
+  dropout_forward(x, mask, out, rate, 1234);
+  const float scale = 1.0f / (1.0f - rate);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    const float m = mask.data()[i];
+    ASSERT_TRUE(m == 0.0f || m == scale);
+    EXPECT_EQ(out.data()[i], m * x.data()[i]);
+    kept += m != 0.0f;
+  }
+  const double frac = static_cast<double>(kept) / mask.size();
+  EXPECT_NEAR(frac, 1.0 - rate, 0.02);
+}
+
+TEST(Ops, DropoutForwardDeterministicAcrossThreadCounts) {
+  const Matrix x = random_matrix(101, 37, 36);
+  Matrix m1(101, 37), o1(101, 37);
+  dropout_forward(x, m1, o1, 0.5f, 99, 1);
+  for (const int threads : {2, 4, 8}) {
+    Matrix mp(101, 37), op(101, 37);
+    dropout_forward(x, mp, op, 0.5f, 99, threads);
+    ASSERT_EQ(Matrix::max_abs_diff(m1, mp), 0.0f) << "p=" << threads;
+    ASSERT_EQ(Matrix::max_abs_diff(o1, op), 0.0f) << "p=" << threads;
+  }
+}
+
+TEST(Ops, DropoutForwardSeedChangesMask) {
+  const Matrix x = random_matrix(50, 20, 37);
+  Matrix ma(50, 20), mb(50, 20), out(50, 20);
+  dropout_forward(x, ma, out, 0.5f, 1);
+  dropout_forward(x, mb, out, 0.5f, 2);
+  EXPECT_GT(Matrix::max_abs_diff(ma, mb), 0.0f);
+}
+
+TEST(Ops, DropoutForwardInPlaceAliasing) {
+  Matrix x = random_matrix(30, 16, 38);
+  const Matrix orig = x;
+  Matrix mask(30, 16), expect(30, 16);
+  dropout_forward(x, mask, expect, 0.3f, 7);
+  Matrix mask2(30, 16);
+  dropout_forward(x, mask2, x, 0.3f, 7);  // out aliases x
+  EXPECT_EQ(Matrix::max_abs_diff(mask, mask2), 0.0f);
+  EXPECT_EQ(Matrix::max_abs_diff(x, expect), 0.0f);
+  EXPECT_GT(Matrix::max_abs_diff(x, orig), 0.0f);
+}
+
+TEST(Ops, DropoutForwardBadRateThrows) {
+  const Matrix x(2, 2);
+  Matrix mask(2, 2), out(2, 2);
+  EXPECT_THROW(dropout_forward(x, mask, out, 1.0f, 0),
+               std::invalid_argument);
+  EXPECT_THROW(dropout_forward(x, mask, out, -0.1f, 0),
+               std::invalid_argument);
 }
 
 TEST(Ops, L2NormalizeRows) {
