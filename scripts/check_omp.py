@@ -3,8 +3,9 @@
 
 Scans C++ sources for parallel regions — raw ``#pragma omp parallel``
 blocks and the library's ``util::parallel_for`` /
-``util::parallel_for_dynamic`` / ``util::parallel_region`` lambda bodies —
-and flags writes that look like they target state shared across the team:
+``util::parallel_for_dynamic`` / ``util::parallel_for_ranges`` /
+``util::parallel_region`` lambda bodies — and flags writes that look like
+they target state shared across the team:
 
   * writes to a plain (non-indexed) variable that is captured rather than
     declared inside the region body;
@@ -23,11 +24,14 @@ Writes are exempt when:
     annotation — the escape hatch for false positives, which doubles as
     in-code documentation of why the write is race-free.
 
-This is a lint heuristic, not a prover: its job is to make "thread writes
-shared scalar without synchronization" impossible to commit silently.
-TSan (the `tsan` CMake preset) remains the ground truth.
+This is the FAST line-regex heuristic for pre-commit use (no tokenizer,
+milliseconds on the whole tree). CI runs the stricter
+``scripts/analyze.py --check parallel-capture`` pass, which parses real
+lambda capture lists over a token stream; keep the two in agreement when
+changing either. TSan (the `tsan` CMake preset) remains the ground truth.
 
 Usage: check_omp.py <dir-or-file>...   (exit 1 iff findings)
+       check_omp.py --self-test        (run the embedded snippet suite)
 """
 
 from __future__ import annotations
@@ -60,8 +64,12 @@ IDENT_RE = re.compile(r"[A-Za-z_]\w*")
 OMP_SAFE_RE = re.compile(r"//\s*omp-safe:")
 ATOMIC_RE = re.compile(r"#pragma\s+omp\s+(atomic|critical)")
 
+# Longest alternatives first: `parallel_for` must not shadow
+# `parallel_for_ranges`/`parallel_for_dynamic`.
 PARALLEL_CALL_RE = re.compile(
-    r"\b(?:util::)?(parallel_for_dynamic|parallel_for|parallel_region)\s*\("
+    r"\b(?:util::)?"
+    r"(parallel_for_ranges|parallel_for_dynamic|parallel_for|parallel_region)"
+    r"\s*\("
 )
 PRAGMA_PARALLEL_RE = re.compile(r"#pragma\s+omp\s+parallel\b")
 
@@ -240,10 +248,84 @@ def audit_file(path: Path):
     return findings
 
 
+# --- self-test -------------------------------------------------------------
+# Each entry: (name, snippet, expected finding count). The snippets mirror
+# the golden fixtures in tests/analyze/ so the pre-commit heuristic and the
+# CI analyzer stay in agreement on the core cases.
+SELF_TEST_CASES = [
+    ("byref-scalar-write",
+     "void f() { double sum = 0;\n"
+     "  util::parallel_for(n, p, [&](std::int64_t i) {\n"
+     "    sum += v[i];\n"
+     "  });\n}",
+     1),
+    ("ranges-byref-scalar-write",  # regression: parallel_for_ranges audited
+     "void f() { double sum = 0;\n"
+     "  util::parallel_for_ranges(n, p, [&](std::int64_t b, std::int64_t e) {\n"
+     "    sum += 1.0;\n"
+     "  });\n}",
+     1),
+    ("indexed-by-induction-ok",
+     "void f() {\n"
+     "  util::parallel_for(n, p, [&](std::int64_t i) {\n"
+     "    out[i] = v[i] * 2.0;\n"
+     "  });\n}",
+     0),
+    ("region-local-ok",
+     "void f() {\n"
+     "  util::parallel_for_ranges(n, p, [&](std::int64_t b, std::int64_t e) {\n"
+     "    double acc = 0.0;\n"
+     "    acc += 1.0;\n"
+     "    out[b] = acc;\n"
+     "  });\n}",
+     0),
+    ("omp-safe-annotated-ok",
+     "void f() { double sum = 0;\n"
+     "  util::parallel_region(p, [&](int tid, int nt) {\n"
+     "    // omp-safe: single writer — tid 0 only\n"
+     "    sum = 1.0;\n"
+     "  });\n}",
+     0),
+    ("atomic-pragma-ok",
+     "void f() { long total = 0;\n"
+     "  #pragma omp parallel\n"
+     "  {\n"
+     "    #pragma omp atomic\n"
+     "    total += 1;\n"
+     "  }\n}",
+     0),
+    ("fixed-index-write",
+     "void f() {\n"
+     "  util::parallel_for(n, p, [&](std::int64_t i) {\n"
+     "    out[0] += v[i];\n"
+     "  });\n}",
+     1),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for name, snippet, want in SELF_TEST_CASES:
+        text = strip_comments_and_strings(snippet)
+        got = sum(
+            len(audit_body(Path(f"<{name}>"), text, s, e, p))
+            for s, e, p in find_regions(text)
+        )
+        if got != want:
+            print(f"SELF-TEST FAIL: {name}: expected {want} finding(s), got {got}")
+            failures += 1
+    if failures:
+        return 1
+    print(f"check_omp: self-test OK ({len(SELF_TEST_CASES)} case(s))")
+    return 0
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__)
         return 2
+    if argv[1] == "--self-test":
+        return self_test()
     roots = [Path(a) for a in argv[1:]]
     files = []
     for root in roots:

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# cppcheck with a committed findings baseline.
+#
+# Policy: the committed baseline (scripts/cppcheck_baseline.txt) is the
+# set of KNOWN findings. A run producing a finding that is not in the
+# baseline fails and prints the diff; findings that disappear are
+# reported so the baseline can be shrunk (never silently). This makes
+# "new cppcheck finding" a CI failure without requiring the tree to be
+# finding-free on day one.
+#
+# Usage: scripts/run_cppcheck.sh [--update]
+#   --update: rewrite the baseline from the current run (use after
+#             deliberately accepting or fixing findings; commit the diff).
+#
+# Exit: 0 clean-vs-baseline, 1 new findings, 2 usage/tool error.
+# cppcheck is gated on availability so gcc-only containers skip cleanly;
+# the CI static-analysis job installs it and always runs the gate.
+
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+baseline="$repo_root/scripts/cppcheck_baseline.txt"
+update=0
+[[ "${1:-}" == "--update" ]] && update=1
+
+if ! command -v cppcheck >/dev/null 2>&1; then
+  echo "run_cppcheck: cppcheck not found; skipping (CI installs it)"
+  exit 0
+fi
+
+cd "$repo_root"  # relative paths keep the baseline machine-independent
+
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+
+# warning+performance+portability only: `style` is clang-tidy's job and
+# churns too much between cppcheck versions to baseline usefully.
+cppcheck \
+  --enable=warning,performance,portability \
+  --inline-suppr \
+  --suppressions-list=scripts/cppcheck_suppressions.txt \
+  --std=c++20 \
+  --language=c++ \
+  -I src \
+  --template='{id}:{file}:{line}: {message}' \
+  --quiet \
+  src 2>&1 | LC_ALL=C sort -u > "$current"
+
+if [[ "$update" == 1 ]]; then
+  {
+    echo "# cppcheck findings baseline — regenerate with scripts/run_cppcheck.sh --update"
+    echo "# Format: {id}:{file}:{line}: {message} (sorted; lines starting with # ignored)"
+    cat "$current"
+  } > "$baseline"
+  echo "run_cppcheck: baseline rewritten ($(wc -l < "$current") finding(s))"
+  exit 0
+fi
+
+known="$(mktemp)"
+trap 'rm -f "$current" "$known"' EXIT
+grep -v '^#' "$baseline" | LC_ALL=C sort -u > "$known" || true
+
+new_findings="$(comm -23 "$current" "$known")"
+fixed_findings="$(comm -13 "$current" "$known")"
+
+if [[ -n "$fixed_findings" ]]; then
+  echo "== findings in the baseline that no longer reproduce (shrink the baseline): =="
+  echo "$fixed_findings"
+fi
+
+if [[ -n "$new_findings" ]]; then
+  echo "== NEW cppcheck findings (not in scripts/cppcheck_baseline.txt): =="
+  echo "$new_findings"
+  echo "run_cppcheck: FAIL — fix the findings or (deliberately) run with --update and commit"
+  exit 1
+fi
+
+echo "run_cppcheck: OK ($(wc -l < "$current") finding(s), all baselined)"
+exit 0

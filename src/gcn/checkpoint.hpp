@@ -33,6 +33,13 @@
 namespace gsgcn::gcn {
 
 /// Scalar training cursors carried alongside the tensors.
+///
+/// Every data member must round-trip through encode_checkpoint AND
+/// decode_checkpoint — a field that is saved but not loaded (or vice
+/// versa) silently breaks bit-identical resume. scripts/analyze.py
+/// enforces this via the marker below; mark genuinely derived fields
+/// `// ckpt-transient: <reason>` instead of serializing them.
+// analyze:checkpoint-state save=encode_checkpoint load=decode_checkpoint
 struct CheckpointCursors {
   std::int32_t next_epoch = 0;     // first epoch the resumed run executes
   std::int64_t iterations = 0;     // optimizer steps taken so far

@@ -111,7 +111,7 @@ Registry& Registry::instance() {
 Registry::Registry() = default;
 
 Registry::~Registry() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (Shard* s : shards_) s->orphaned.store(true, std::memory_order_release);
 }
 
@@ -137,19 +137,19 @@ Registry::Shard& Registry::local_shard() {
 }
 
 void Registry::register_shard(Shard* s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   shards_.push_back(s);
 }
 
 void Registry::retire_shard(Shard* s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   shards_.erase(std::remove(shards_.begin(), shards_.end(), s), shards_.end());
   if (retired_ == nullptr) retired_ = std::make_unique<Shard>();
   merge_shard_into(*s, *retired_);
 }
 
 void Registry::grow_shard(Shard& s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (s.counters.size() < counter_names_.size()) {
     s.counters.resize(counter_names_.size(), 0.0);
   }
@@ -184,7 +184,7 @@ int find_registered(
 }  // namespace
 
 int Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const int existing = find_registered(index_, name, 0, "counter");
   if (existing >= 0) return existing;
   const int h = static_cast<int>(counter_names_.size());
@@ -194,7 +194,7 @@ int Registry::counter(const std::string& name) {
 }
 
 int Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const int existing = find_registered(index_, name, 1, "gauge");
   if (existing >= 0) return existing;
   const int h = static_cast<int>(gauge_names_.size());
@@ -213,7 +213,7 @@ int Registry::histogram(const std::string& name, std::vector<double> bounds) {
                                   "': bounds must ascend strictly");
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const int existing = find_registered(index_, name, 2, "histogram");
   if (existing >= 0) {
     if (histogram_defs_[static_cast<std::size_t>(existing)].bounds != bounds) {
@@ -260,7 +260,7 @@ void Registry::observe(int histogram_handle, double v) {
 }
 
 MetricsSnapshot Registry::scrape() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Shard merged;
   if (retired_ != nullptr) merge_shard_into(*retired_, merged);
   for (const Shard* s : shards_) merge_shard_into(*s, merged);
@@ -305,7 +305,7 @@ MetricsSnapshot Registry::scrape() {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   retired_.reset();
   for (Shard* s : shards_) {
     std::fill(s->counters.begin(), s->counters.end(), 0.0);

@@ -32,10 +32,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 #if defined(GSGCN_OBS_ENABLED)
 #define GSGCN_OBS_COMPILED 1
@@ -98,42 +100,50 @@ class Registry {
   // --- registration (mutex-protected, idempotent by name) ---
   // Re-registering a name as a different metric kind, or a histogram with
   // different bounds, throws std::logic_error.
-  int counter(const std::string& name);
-  int gauge(const std::string& name);
-  int histogram(const std::string& name, std::vector<double> bounds);
+  int counter(const std::string& name) EXCLUDES(mu_);
+  int gauge(const std::string& name) EXCLUDES(mu_);
+  int histogram(const std::string& name, std::vector<double> bounds)
+      EXCLUDES(mu_);
 
   // --- hot path (per-thread shard; no locks unless the shard must grow
   //     to cover handles registered after its creation) ---
-  void add(int counter_handle, double v);
-  void set(int gauge_handle, double v);
-  void observe(int histogram_handle, double v);
+  void add(int counter_handle, double v) EXCLUDES(mu_);
+  void set(int gauge_handle, double v) EXCLUDES(mu_);
+  void observe(int histogram_handle, double v) EXCLUDES(mu_);
 
   // --- scrape-time (quiescent points only; see header note) ---
-  MetricsSnapshot scrape();
-  void reset();
+  MetricsSnapshot scrape() EXCLUDES(mu_);
+  void reset() EXCLUDES(mu_);
 
   struct Shard;  // per-thread storage; defined in metrics.cpp
 
  private:
   friend struct ThreadShards;
-  Shard& local_shard();
-  void register_shard(Shard* s);
-  void retire_shard(Shard* s);
-  void grow_shard(Shard& s);  // locks; aligns shard vectors with the defs
+  Shard& local_shard() EXCLUDES(mu_);
+  void register_shard(Shard* s) EXCLUDES(mu_);
+  void retire_shard(Shard* s) EXCLUDES(mu_);
+  // Locks; aligns shard vectors with the defs.
+  void grow_shard(Shard& s) EXCLUDES(mu_);
 
   struct HistogramDef {
     std::string name;
     std::vector<double> bounds;
   };
 
-  mutable std::mutex mu_;
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> gauge_names_;
-  std::vector<HistogramDef> histogram_defs_;
-  std::vector<Shard*> shards_;          // live per-thread shards
-  std::unique_ptr<Shard> retired_;      // merged shards of exited threads
-  // name -> (kind, handle); kind: 0 counter, 1 gauge, 2 histogram.
-  std::vector<std::pair<std::string, std::pair<int, int>>> index_;
+  mutable util::Mutex mu_;
+  std::vector<std::string> counter_names_ GUARDED_BY(mu_);
+  std::vector<std::string> gauge_names_ GUARDED_BY(mu_);
+  std::vector<HistogramDef> histogram_defs_ GUARDED_BY(mu_);
+  /// Live per-thread shards. The POINTER VECTOR is guarded by mu_; the
+  /// pointed-to shard contents are owned by their writer thread and are
+  /// only read cross-thread at documented quiescent points (scrape/reset
+  /// — see the header note), which no lock can express.
+  std::vector<Shard*> shards_ GUARDED_BY(mu_);
+  /// Merged shards of exited threads.
+  std::unique_ptr<Shard> retired_ GUARDED_BY(mu_);
+  /// name -> (kind, handle); kind: 0 counter, 1 gauge, 2 histogram.
+  std::vector<std::pair<std::string, std::pair<int, int>>> index_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace gsgcn::obs

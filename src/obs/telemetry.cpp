@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gsgcn::obs {
 
 struct Telemetry::Impl {
-  std::mutex mu;
-  std::FILE* f = nullptr;
+  util::Mutex mu;
+  /// The sink handle; every touch (open, write, close) is serialized.
+  std::FILE* f GUARDED_BY(mu) = nullptr;
+  /// Mirror of `f != nullptr` for the lock-free enabled() fast path.
   std::atomic<bool> open{false};
 };
 
@@ -17,14 +21,19 @@ Telemetry& Telemetry::instance() {
   return t;
 }
 
+// Eager Impl construction: the singleton constructor runs exactly once
+// (C++ magic static), so impl_ is fully published before any thread can
+// call open()/emit() — the previous lazy `if (impl_ == nullptr) new`
+// inside open() raced against concurrent enabled() readers.
+Telemetry::Telemetry() : impl_(new Impl) {}
+
 Telemetry::~Telemetry() {
   close();
   delete impl_;
 }
 
 bool Telemetry::open(const std::string& path) {
-  if (impl_ == nullptr) impl_ = new Impl;
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   if (impl_->f != nullptr) {
     std::fclose(impl_->f);
     impl_->f = nullptr;
@@ -40,21 +49,20 @@ bool Telemetry::open(const std::string& path) {
 }
 
 bool Telemetry::enabled() const {
-  return impl_ != nullptr && impl_->open.load(std::memory_order_acquire);
+  return impl_->open.load(std::memory_order_acquire);
 }
 
 void Telemetry::emit(const std::string& json_object) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  if (impl_->f == nullptr) return;
+  util::MutexLock lock(impl_->mu);
+  if (impl_->f == nullptr) return;  // closed between the check and the lock
   std::fwrite(json_object.data(), 1, json_object.size(), impl_->f);
   std::fputc('\n', impl_->f);
   std::fflush(impl_->f);
 }
 
 void Telemetry::close() {
-  if (impl_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   if (impl_->f != nullptr) {
     std::fclose(impl_->f);
     impl_->f = nullptr;

@@ -35,10 +35,11 @@ class Telemetry {
   void close();
 
  private:
-  Telemetry() = default;
+  Telemetry();  // constructs Impl eagerly: impl_ is immutable afterwards,
+                // so enabled()/emit() never race a first open() on it
   ~Telemetry();
   struct Impl;
-  Impl* impl_ = nullptr;  // lazily created by open()
+  Impl* const impl_;
 };
 
 }  // namespace gsgcn::obs

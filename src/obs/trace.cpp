@@ -4,10 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <vector>
 
 #include "util/json_writer.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gsgcn::obs {
 
@@ -34,19 +35,23 @@ struct ThreadBuffer {
 }  // namespace
 
 struct Tracer::Impl {
-  std::mutex mu;
+  util::Mutex mu;
   std::atomic<bool> active{false};
-  std::string path;
-  std::vector<ThreadBuffer*> buffers;   // live threads
-  std::vector<Event> retired;           // events of exited threads
+  std::string path GUARDED_BY(mu);
+  /// Live threads' buffers. The POINTER VECTOR is guarded by mu; each
+  /// buffer's event vector is owned by its thread and only read at
+  /// documented quiescent points (stop()/collect — see trace.hpp).
+  std::vector<ThreadBuffer*> buffers GUARDED_BY(mu);
+  /// Events of exited threads.
+  std::vector<Event> retired GUARDED_BY(mu);
   std::atomic<std::uint32_t> next_tid{1};
   std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
 
-  ThreadBuffer& local_buffer() {
+  ThreadBuffer& local_buffer() EXCLUDES(mu) {
     static thread_local ThreadBuffer tb;
     if (!tb.registered) {
-      std::lock_guard<std::mutex> lock(mu);
+      util::MutexLock lock(mu);
       tb.tid = next_tid.fetch_add(1, std::memory_order_relaxed);
       buffers.push_back(&tb);
       tb.registered = true;
@@ -54,16 +59,16 @@ struct Tracer::Impl {
     return tb;
   }
 
-  void retire(ThreadBuffer* tb) {
-    std::lock_guard<std::mutex> lock(mu);
+  void retire(ThreadBuffer* tb) EXCLUDES(mu) {
+    util::MutexLock lock(mu);
     buffers.erase(std::remove(buffers.begin(), buffers.end(), tb),
                   buffers.end());
     retired.insert(retired.end(), tb->events.begin(), tb->events.end());
   }
 
   /// Merged copy of every buffer; caller must NOT hold mu.
-  std::vector<Event> collect() {
-    std::lock_guard<std::mutex> lock(mu);
+  std::vector<Event> collect() EXCLUDES(mu) {
+    util::MutexLock lock(mu);
     std::vector<Event> all = retired;
     for (const ThreadBuffer* tb : buffers) {
       all.insert(all.end(), tb->events.begin(), tb->events.end());
@@ -71,8 +76,8 @@ struct Tracer::Impl {
     return all;
   }
 
-  void discard() {
-    std::lock_guard<std::mutex> lock(mu);
+  void discard() EXCLUDES(mu) {
+    util::MutexLock lock(mu);
     retired.clear();
     for (ThreadBuffer* tb : buffers) tb->events.clear();
   }
@@ -150,7 +155,7 @@ bool Tracer::start(const std::string& path) {
   if (active()) return false;
   impl_->discard();
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     impl_->path = path;
   }
   impl_->active.store(true, std::memory_order_release);
@@ -165,7 +170,7 @@ bool Tracer::stop() {
   const std::string json = serialize(events);
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     path = impl_->path;
   }
   if (path.empty()) return true;  // test-driven capture via dump_json()

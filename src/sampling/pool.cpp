@@ -90,7 +90,7 @@ std::vector<graph::Subgraph> SubgraphPool::produce_batch(
   errors.rethrow_if_any();
   const double elapsed = batch_timer.seconds();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lock(mu_);
     sample_seconds_ += elapsed;
   }
   GSGCN_COUNTER_INC("pool.refills");
@@ -109,7 +109,7 @@ void SubgraphPool::push_batch_locked(std::vector<graph::Subgraph>&& batch) {
 void SubgraphPool::refill() {
   std::uint64_t slot_base;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lock(mu_);
     GSGCN_ASSERT(!producer_live_,
                  "refill() while the async producer is live would race on "
                  "the sampler instances");
@@ -117,7 +117,7 @@ void SubgraphPool::refill() {
     next_slot_ += static_cast<std::uint64_t>(p_inter());
   }
   std::vector<graph::Subgraph> batch = produce_batch(slot_base);
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   push_batch_locked(std::move(batch));
 }
 
@@ -126,10 +126,12 @@ void SubgraphPool::producer_main() {
   for (;;) {
     std::uint64_t slot_base;
     {
-      std::unique_lock<std::mutex> lk(mu_);
+      util::MutexLock lock(mu_);
       const util::Timer idle_timer;
-      space_.wait(lk, [&] {
-        return stop_ || queue_.size() + static_cast<std::size_t>(p) <= capacity_;
+      space_.wait(mu_, [&] {
+        mu_.AssertHeld();  // wait predicates run with the lock held
+        return stop_ ||
+               queue_.size() + static_cast<std::size_t>(p) <= capacity_;
       });
       producer_idle_seconds_ += idle_timer.seconds();
       if (stop_) {
@@ -144,19 +146,20 @@ void SubgraphPool::producer_main() {
     try {
       batch = produce_batch(slot_base);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mu_);
+      util::MutexLock lock(mu_);
       if (!error_) error_ = std::current_exception();
       producer_live_ = false;
       not_empty_.notify_all();
       return;
     }
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lock(mu_);
     // Push even when a stop raced in: the slots were already claimed, and
     // dropping them would put a hole in the deterministic sequence. The
     // queue may briefly exceed capacity by at most one batch.
     push_batch_locked(std::move(batch));
     if (stop_) {
       producer_live_ = false;
+      not_empty_.notify_all();
       return;
     }
   }
@@ -164,42 +167,49 @@ void SubgraphPool::producer_main() {
 
 void SubgraphPool::start_async() {
   if (!async_) return;
-  std::unique_lock<std::mutex> lk(mu_);
-  if (producer_live_) return;
-  if (producer_.joinable()) {
-    lk.unlock();
-    producer_.join();  // reap a previously stopped producer
-    lk.lock();
+  util::MutexLock lifecycle(lifecycle_mu_);
+  {
+    util::MutexLock lock(mu_);
+    if (producer_live_) return;
   }
+  if (producer_.joinable()) {
+    producer_.join();  // reap a previously stopped producer
+  }
+  util::MutexLock lock(mu_);
   stop_ = false;
   producer_live_ = true;
   producer_ = std::thread([this] { producer_main(); });
 }
 
 void SubgraphPool::stop_async() {
+  util::MutexLock lifecycle(lifecycle_mu_);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
   }
   space_.notify_all();
+  // Join outside mu_ (the producer needs it to finish) but under
+  // lifecycle_mu_, so concurrent stop_async/start_async calls cannot both
+  // operate on the handle.
   if (producer_.joinable()) producer_.join();
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   producer_live_ = false;
 }
 
 bool SubgraphPool::async_running() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   return producer_live_;
 }
 
 void SubgraphPool::prefill() {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   if (!queue_.empty()) return;
   ++cold_start_count_;
   GSGCN_COUNTER_INC("pool.cold_start");
   if (producer_live_) {
     GSGCN_TRACE_SPAN("pool/prefill_wait");
-    not_empty_.wait(lk, [&] {
+    not_empty_.wait(mu_, [&] {
+      mu_.AssertHeld();  // wait predicates run with the lock held
       return !queue_.empty() || error_ || !producer_live_;
     });
   }
@@ -207,15 +217,15 @@ void SubgraphPool::prefill() {
     if (error_) std::rethrow_exception(error_);
     const std::uint64_t slot_base = next_slot_;
     next_slot_ += static_cast<std::uint64_t>(p_inter());
-    lk.unlock();
+    lock.Unlock();
     std::vector<graph::Subgraph> batch = produce_batch(slot_base);
-    lk.lock();
+    lock.Lock();
     push_batch_locked(std::move(batch));
   }
 }
 
 graph::Subgraph SubgraphPool::pop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   if (queue_.empty()) {
     // Classify the wait: the first-ever fill is a cold start (the pool
     // could not have kept up with anything yet); afterwards an empty
@@ -231,7 +241,8 @@ graph::Subgraph SubgraphPool::pop() {
     const util::Timer wait_timer;
     if (producer_live_) {
       GSGCN_TRACE_SPAN("pool/pop_wait");
-      not_empty_.wait(lk, [&] {
+      not_empty_.wait(mu_, [&] {
+        mu_.AssertHeld();  // wait predicates run with the lock held
         return !queue_.empty() || error_ || !producer_live_;
       });
     }
@@ -242,9 +253,9 @@ graph::Subgraph SubgraphPool::pop() {
       if (error_) std::rethrow_exception(error_);
       const std::uint64_t slot_base = next_slot_;
       next_slot_ += static_cast<std::uint64_t>(p_inter());
-      lk.unlock();
+      lock.Unlock();
       std::vector<graph::Subgraph> batch = produce_batch(slot_base);
-      lk.lock();
+      lock.Lock();
       push_batch_locked(std::move(batch));
     }
     pop_wait_seconds_ += wait_timer.seconds();
@@ -259,18 +270,18 @@ graph::Subgraph SubgraphPool::pop() {
 }
 
 std::size_t SubgraphPool::available() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   return queue_.size();
 }
 
 std::uint64_t SubgraphPool::consumed() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   return popped_;
 }
 
 void SubgraphPool::seek(std::uint64_t slot) {
   stop_async();  // joins the producer; an in-flight batch lands first
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   queue_.clear();
   next_slot_ = slot;
   popped_ = slot;
@@ -280,32 +291,32 @@ void SubgraphPool::seek(std::uint64_t slot) {
 }
 
 double SubgraphPool::sampling_seconds() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   return sample_seconds_;
 }
 
 double SubgraphPool::pop_wait_seconds() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   return pop_wait_seconds_;
 }
 
 double SubgraphPool::producer_idle_seconds() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   return producer_idle_seconds_;
 }
 
 std::uint64_t SubgraphPool::stalls() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   return stall_count_;
 }
 
 std::uint64_t SubgraphPool::cold_starts() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   return cold_start_count_;
 }
 
 void SubgraphPool::reset_accounting() {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   sample_seconds_ = 0.0;
   pop_wait_seconds_ = 0.0;
   producer_idle_seconds_ = 0.0;

@@ -38,18 +38,18 @@
 // genuine starvation: a pop that found the queue empty after the pool
 // had already been filled once.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "graph/subgraph.hpp"
 #include "sampling/sampler.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gsgcn::sampling {
 
@@ -94,34 +94,36 @@ class SubgraphPool {
   /// Pop the oldest pooled subgraph. Blocks on the producer in async
   /// mode; refills inline otherwise. Rethrows a producer-side sampler
   /// exception once the already-produced subgraphs have drained.
-  graph::Subgraph pop();
+  graph::Subgraph pop() EXCLUDES(mu_);
 
   /// Synchronously produce one batch of p_inter subgraphs and append
   /// them. Invalid while the async producer is live (checked build
   /// assert): both sides would mutate the shared sampler instances.
-  void refill();
+  void refill() EXCLUDES(mu_);
 
   /// Warm the pool before a timed loop: ensures at least one batch is
   /// queued, tagging the fill as `pool.cold_start` rather than a stall.
   /// In async mode this waits for the producer's first batch.
-  void prefill();
+  void prefill() EXCLUDES(mu_);
 
   /// Start the background producer (no-op unless constructed with
   /// `async`, idempotent). The async constructor starts it already; this
-  /// restarts production after stop_async().
-  void start_async();
+  /// restarts production after stop_async(). Lifecycle calls
+  /// (start_async/stop_async/seek) may race freely with pop(); they are
+  /// serialized against EACH OTHER by lifecycle_mu_.
+  void start_async() EXCLUDES(lifecycle_mu_, mu_);
 
   /// Stop and join the producer. An in-flight batch is appended first,
   /// so the slot sequence has no holes; queued subgraphs stay poppable
   /// and later pops continue the sequence with inline refills. Called by
   /// the trainer before scraping metrics (obs quiescent-point contract)
   /// and by the destructor.
-  void stop_async();
+  void stop_async() EXCLUDES(lifecycle_mu_, mu_);
 
   /// True while the producer thread is accepting work.
-  bool async_running() const;
+  bool async_running() const EXCLUDES(mu_);
 
-  std::size_t available() const;
+  std::size_t available() const EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
   int p_inter() const { return static_cast<int>(samplers_.size()); }
 
@@ -129,7 +131,7 @@ class SubgraphPool {
   /// is drawn from RNG stream (seed, k), this single cursor IS the full
   /// sampler state: checkpointing it (and later seek()ing to it) replays
   /// the byte-identical subgraph sequence.
-  std::uint64_t consumed() const;
+  std::uint64_t consumed() const EXCLUDES(mu_);
 
   /// Rewind/fast-forward the slot cursor to `slot`: stops the producer,
   /// discards queued-but-unpopped subgraphs (they are regenerated
@@ -137,40 +139,44 @@ class SubgraphPool {
   /// pool cold so the next fill counts as a cold start. The caller
   /// restarts the pipeline with start_async()/prefill(). This is the
   /// checkpoint-restore and divergence-rollback primitive.
-  void seek(std::uint64_t slot);
+  void seek(std::uint64_t slot) EXCLUDES(lifecycle_mu_, mu_);
 
   /// Total wall time spent producing batches — the "Sampling" slice of
   /// the Figure-3D execution breakdown. In async mode this overlaps with
   /// training, so it is *not* consumer critical-path time (that is
   /// pop_wait_seconds()).
-  double sampling_seconds() const;
+  double sampling_seconds() const EXCLUDES(mu_);
   /// Consumer time blocked inside pop(): cv waits in async mode, inline
   /// refills in sync mode. This is the sampler's true contribution to the
   /// training critical path.
-  double pop_wait_seconds() const;
+  double pop_wait_seconds() const EXCLUDES(mu_);
   /// Producer time spent waiting for queue space (async only) — high
   /// values mean the pool is over-provisioned, zero means it can barely
   /// keep up.
-  double producer_idle_seconds() const;
+  double producer_idle_seconds() const EXCLUDES(mu_);
 
   /// Pops that found the queue empty after the pool had been filled once
   /// (genuine starvation; excludes the cold start).
-  std::uint64_t stalls() const;
+  std::uint64_t stalls() const EXCLUDES(mu_);
   /// Cold-start fills: first refill of an empty pool, incl. prefill().
-  std::uint64_t cold_starts() const;
+  std::uint64_t cold_starts() const EXCLUDES(mu_);
 
   /// Reset all timing and stall accounting (queue and slot counter keep
   /// their state — the popped sequence is unaffected).
-  void reset_accounting();
+  void reset_accounting() EXCLUDES(mu_);
 
  private:
   /// Sample the batch for slots [slot_base, slot_base + p_inter) outside
   /// the queue lock; worker exceptions are collected and rethrown here.
-  std::vector<graph::Subgraph> produce_batch(std::uint64_t slot_base);
-  void producer_main();
-  void push_batch_locked(std::vector<graph::Subgraph>&& batch);
+  std::vector<graph::Subgraph> produce_batch(std::uint64_t slot_base)
+      EXCLUDES(mu_);
+  void producer_main() EXCLUDES(mu_);
+  void push_batch_locked(std::vector<graph::Subgraph>&& batch) REQUIRES(mu_);
 
   const graph::CsrGraph& g_;
+  // Sampler/inducer instances are mutated only by whoever produces a
+  // batch; the producer_live_ handshake (asserted in refill()) guarantees
+  // a single producer at a time, so they need no mutex of their own.
   std::vector<std::unique_ptr<VertexSampler>> samplers_;
   std::vector<std::unique_ptr<graph::Inducer>> inducers_;
   std::uint64_t seed_;
@@ -178,22 +184,36 @@ class SubgraphPool {
   bool async_;
   std::size_t capacity_;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;  // producer → consumer
-  std::condition_variable space_;      // consumer → producer
-  std::deque<graph::Subgraph> queue_;
-  std::uint64_t next_slot_ = 0;  // global sample counter; see header note
-  std::uint64_t popped_ = 0;     // subgraphs consumed; see consumed()
-  bool cold_ = true;             // no batch has ever landed in the queue
-  bool stop_ = false;            // producer shutdown request
-  bool producer_live_ = false;   // producer thread is producing
-  std::exception_ptr error_;     // first producer-side exception (sticky)
-  double sample_seconds_ = 0.0;
-  double pop_wait_seconds_ = 0.0;
-  double producer_idle_seconds_ = 0.0;
-  std::uint64_t stall_count_ = 0;
-  std::uint64_t cold_start_count_ = 0;
-  std::thread producer_;
+  /// Serializes producer lifecycle transitions (start_async, stop_async,
+  /// seek) against each other — two concurrent stop_async calls would
+  /// otherwise both join() producer_. Always acquired before mu_; never
+  /// held while producing, so pop()/refill() proceed untouched.
+  mutable util::Mutex lifecycle_mu_ ACQUIRED_BEFORE(mu_);
+  mutable util::Mutex mu_;
+  util::CondVar not_empty_;  // producer → consumer
+  util::CondVar space_;      // consumer → producer
+  std::deque<graph::Subgraph> queue_ GUARDED_BY(mu_);
+  /// Global sample counter; see header note.
+  std::uint64_t next_slot_ GUARDED_BY(mu_) = 0;
+  /// Subgraphs consumed; see consumed().
+  std::uint64_t popped_ GUARDED_BY(mu_) = 0;
+  /// True until the first batch lands in the queue.
+  bool cold_ GUARDED_BY(mu_) = true;
+  /// Producer shutdown request.
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// Producer thread is producing.
+  bool producer_live_ GUARDED_BY(mu_) = false;
+  /// First producer-side exception (sticky).
+  std::exception_ptr error_ GUARDED_BY(mu_);
+  double sample_seconds_ GUARDED_BY(mu_) = 0.0;
+  double pop_wait_seconds_ GUARDED_BY(mu_) = 0.0;
+  double producer_idle_seconds_ GUARDED_BY(mu_) = 0.0;
+  std::uint64_t stall_count_ GUARDED_BY(mu_) = 0;
+  std::uint64_t cold_start_count_ GUARDED_BY(mu_) = 0;
+  /// The producer thread handle. Guarded by lifecycle_mu_, NOT mu_: a
+  /// join() must not block other threads out of the queue lock, and the
+  /// producer itself never touches the handle.
+  std::thread producer_ GUARDED_BY(lifecycle_mu_);
 };
 
 }  // namespace gsgcn::sampling

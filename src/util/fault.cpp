@@ -27,7 +27,7 @@ void FaultInjector::arm(const std::string& site, std::uint64_t nth,
   Arm a;
   a.nth = nth;
   a.kind = kind;
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   arms_[site] = a;
   enabled_.store(true, std::memory_order_relaxed);
 }
@@ -41,7 +41,7 @@ void FaultInjector::arm_probability(const std::string& site, double p,
   Arm a;
   a.probability = p;
   a.kind = kind;
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   // Site-keyed stream: the firing pattern depends only on (seed, site),
   // never on how many other sites are armed or hit.
   std::uint64_t h = std::hash<std::string>{}(site);
@@ -106,20 +106,20 @@ void FaultInjector::configure(const std::string& spec) {
 }
 
 void FaultInjector::clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   arms_.clear();
   enabled_.store(false, std::memory_order_relaxed);
 }
 
 void FaultInjector::set_seed(std::uint64_t seed) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   seed_ = seed;
 }
 
 bool FaultInjector::hit(const char* site) {
   FaultKind kind;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lock(mu_);
     const auto it = arms_.find(site);
     if (it == arms_.end()) return false;
     Arm& a = it->second;
@@ -146,8 +146,9 @@ bool FaultInjector::hit(const char* site) {
 }
 
 std::uint64_t FaultInjector::fired_total() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   std::uint64_t total = 0;
+  // det-safe: commutative integer sum — iteration order cannot change it
   for (const auto& [site, a] : arms_) {
     (void)site;
     total += a.fired;
@@ -156,7 +157,7 @@ std::uint64_t FaultInjector::fired_total() const {
 }
 
 std::uint64_t FaultInjector::hits(const std::string& site) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lock(mu_);
   const auto it = arms_.find(site);
   return it == arms_.end() ? 0 : it->second.hit_count;
 }

@@ -32,13 +32,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gsgcn::util {
 
@@ -62,21 +63,21 @@ class FaultInjector {
 
   /// Arm `site` to fire once, on its nth hit (1-based).
   void arm(const std::string& site, std::uint64_t nth,
-           FaultKind kind = FaultKind::kThrow);
+           FaultKind kind = FaultKind::kThrow) EXCLUDES(mu_);
   /// Arm `site` to fire each hit with probability p from the site-keyed
   /// stream (seed, splitmix64(hash(site))).
   void arm_probability(const std::string& site, double p,
-                       FaultKind kind = FaultKind::kThrow);
+                       FaultKind kind = FaultKind::kThrow) EXCLUDES(mu_);
 
   /// Parse and apply the env grammar above. Throws std::invalid_argument
   /// on malformed specs (a typo'd site name firing never is a silent test
   /// pass; a typo'd trigger must be loud).
-  void configure(const std::string& spec);
+  void configure(const std::string& spec) EXCLUDES(mu_);
 
   /// Disarm everything and reset hit/fired counts.
-  void clear();
+  void clear() EXCLUDES(mu_);
 
-  void set_seed(std::uint64_t seed);
+  void set_seed(std::uint64_t seed) EXCLUDES(mu_);
 
   /// True iff any site is armed (relaxed load — the only cost on the hot
   /// path while disabled).
@@ -84,13 +85,13 @@ class FaultInjector {
 
   /// Record a hit of `site` and fire if armed for this hit. kThrow arms
   /// throw InjectedFault, kAbort arms _Exit; kReport arms return true.
-  bool hit(const char* site);
+  bool hit(const char* site) EXCLUDES(mu_);
 
   /// Total faults fired since the last clear().
-  std::uint64_t fired_total() const;
+  std::uint64_t fired_total() const EXCLUDES(mu_);
   /// Hits recorded for one site (armed or not counts only armed sites —
   /// unarmed sites are never tracked, they cost one atomic load).
-  std::uint64_t hits(const std::string& site) const;
+  std::uint64_t hits(const std::string& site) const EXCLUDES(mu_);
 
  private:
   FaultInjector();
@@ -105,9 +106,9 @@ class FaultInjector {
   };
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::uint64_t seed_ = 1;
-  std::unordered_map<std::string, Arm> arms_;
+  mutable util::Mutex mu_;
+  std::uint64_t seed_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<std::string, Arm> arms_ GUARDED_BY(mu_);
 };
 
 /// The production-code hook. Disabled: one relaxed atomic load, no lock.

@@ -1,0 +1,118 @@
+#pragma once
+// Annotated synchronization primitives for Clang thread-safety analysis.
+//
+// std::mutex / std::condition_variable / std::lock_guard carry no
+// capability attributes, so code built on them is invisible to
+// `-Wthread-safety`. These thin wrappers are drop-in functional
+// equivalents (same underlying primitives, zero added state) whose
+// methods declare their lock effects, making GUARDED_BY declarations on
+// shared members enforceable at compile time under the `tsafety` preset.
+//
+// Usage map from the std idioms this repo used before:
+//
+//   std::mutex mu_;                      →  util::Mutex mu_;
+//   std::lock_guard<std::mutex> lk(mu_)  →  util::MutexLock lock(mu_);
+//   std::unique_lock + manual un/relock  →  MutexLock + Unlock()/Lock()
+//   cv.wait(unique_lock, pred)           →  cv_.wait(mu_, pred)   // holding mu_
+//
+// CondVar waits take the Mutex directly (REQUIRES(mu)): internally the
+// wait adopts the already-held std::mutex into a std::unique_lock for the
+// duration of the block and releases ownership back on wake, so from the
+// caller's (and the analysis') perspective the lock is held continuously
+// across the wait, exactly like the std idiom. Wait predicates execute
+// with the lock held but inside a lambda the analysis treats as an
+// unrelated function — start each predicate with `mu_.AssertHeld();` to
+// re-teach it that fact (see thread_annotations.hpp conventions).
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace gsgcn::util {
+
+class CondVar;
+
+/// Annotated exclusive mutex (wraps std::mutex).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Analysis-only assertion that the calling context holds this mutex;
+  /// generates no code. Required as the first statement of every CondVar
+  /// wait predicate (the analysis cannot see a lambda's calling context).
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Annotated RAII lock (wraps lock/unlock of util::Mutex). Supports the
+/// std::unique_lock unlock-relock idiom via Unlock()/Lock() so hot paths
+/// can drop the lock around expensive work without losing analysis
+/// coverage of the re-acquired region.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily release the lock (must currently be held).
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  /// Re-acquire after Unlock().
+  void Lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Annotated condition variable paired with util::Mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Block until `pred()` holds; the caller holds `mu`, which is released
+  /// while blocked and held again both when `pred` runs and on return.
+  template <class Pred>
+  void wait(Mutex& mu, Pred pred) REQUIRES(mu) {
+    // Adopt the caller's held lock for the wait, then release ownership
+    // back without unlocking: the capability never actually lapses.
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    try {
+      cv_.wait(lk, std::move(pred));
+    } catch (...) {
+      // The standard re-acquires the lock before a predicate exception
+      // propagates; hand ownership back so it is not unlocked twice.
+      lk.release();
+      throw;
+    }
+    lk.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gsgcn::util

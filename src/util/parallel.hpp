@@ -27,7 +27,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <mutex>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 #ifdef GSGCN_THREAD_BACKEND
 #include <atomic>
@@ -125,33 +127,33 @@ Range split_range(std::int64_t n, int p, int i);
 class ExceptionCollector {
  public:
   template <class F>
-  void run(F&& body) noexcept {
+  void run(F&& body) noexcept EXCLUDES(mu_) {
     try {
       body();
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lock(mu_);
       if (!first_) first_ = std::current_exception();
     }
   }
 
-  bool failed() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  bool failed() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return static_cast<bool>(first_);
   }
 
   /// Rethrow the first captured exception, if any (call after the join).
-  void rethrow_if_any() {
+  void rethrow_if_any() EXCLUDES(mu_) {
     std::exception_ptr e;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lock(mu_);
       e = first_;
     }
     if (e) std::rethrow_exception(e);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::exception_ptr first_;
+  mutable Mutex mu_;
+  std::exception_ptr first_ GUARDED_BY(mu_);
 };
 
 /// SPMD region: body(tid, num_threads) runs once on each of `threads`

@@ -1,0 +1,84 @@
+#pragma once
+// Clang thread-safety analysis annotations (no-ops on other compilers).
+//
+// These macros wrap Clang's `-Wthread-safety` attribute set so lock
+// discipline is checked at COMPILE TIME: a shared member is declared
+// GUARDED_BY its mutex, internal-locking methods EXCLUDE it, caller-locks
+// methods REQUIRE it, and any access that violates the declared protocol
+// is a build error under the `tsafety` preset (`-Werror=thread-safety`,
+// Clang only — see CMakeLists GSGCN_TSAFETY). GCC and MSVC see empty
+// token soup, so every other preset is unaffected.
+//
+// Conventions (see DESIGN.md "Static verification"):
+//  - every mutex-protected member of a concurrent class carries
+//    GUARDED_BY(mu_); a member intentionally outside the lock's footprint
+//    gets a comment explaining why instead;
+//  - `_locked` methods (callee assumes the lock) carry REQUIRES(mu_);
+//  - public methods that take the lock themselves carry EXCLUDES(mu_) so
+//    self-deadlock via re-entry is a compile error;
+//  - condition-variable wait predicates run with the lock held but inside
+//    a lambda the analysis cannot see through: call `mu.AssertHeld()` as
+//    the predicate's first statement (util/mutex.hpp);
+//  - NO_THREAD_SAFETY_ANALYSIS is the audited escape hatch of last
+//    resort; every use must carry a justifying comment.
+//
+// The attribute names mirror the canonical clang.llvm.org/docs/
+// ThreadSafetyAnalysis.html reference macros.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define GSGCN_TSA_HAS(x) __has_attribute(x)
+#else
+#define GSGCN_TSA_HAS(x) 0
+#endif
+
+#if GSGCN_TSA_HAS(guarded_by)
+#define GSGCN_TSA(x) __attribute__((x))
+#else
+#define GSGCN_TSA(x)  // no-op off Clang
+#endif
+
+/// Class attribute: this type is a lockable capability ("mutex").
+#define CAPABILITY(x) GSGCN_TSA(capability(x))
+
+/// Class attribute: RAII type that acquires in its constructor and
+/// releases in its destructor (util::MutexLock).
+#define SCOPED_CAPABILITY GSGCN_TSA(scoped_lockable)
+
+/// Data member is protected by the given mutex.
+#define GUARDED_BY(x) GSGCN_TSA(guarded_by(x))
+
+/// Pointed-to data (not the pointer itself) is protected by the mutex.
+#define PT_GUARDED_BY(x) GSGCN_TSA(pt_guarded_by(x))
+
+/// Caller must hold the mutex(es) when calling.
+#define REQUIRES(...) GSGCN_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) GSGCN_TSA(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and does not release before returning.
+#define ACQUIRE(...) GSGCN_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) GSGCN_TSA(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases mutex(es) the caller held on entry.
+#define RELEASE(...) GSGCN_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) GSGCN_TSA(release_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the mutex(es): the function takes them itself.
+/// Makes self-deadlocking re-entry a compile error.
+#define EXCLUDES(...) GSGCN_TSA(locks_excluded(__VA_ARGS__))
+
+/// Acquisition-order edge between two mutexes (deadlock-order checking).
+#define ACQUIRED_BEFORE(...) GSGCN_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) GSGCN_TSA(acquired_after(__VA_ARGS__))
+
+/// Try-lock: returns `success` iff the mutex was acquired.
+#define TRY_ACQUIRE(...) GSGCN_TSA(try_acquire_capability(__VA_ARGS__))
+
+/// Returns a reference to the mutex guarding this function's result.
+#define RETURN_CAPABILITY(x) GSGCN_TSA(lock_returned(x))
+
+/// Runtime assertion that the capability is held; teaches the analysis a
+/// fact it cannot derive (cv wait predicates, callbacks).
+#define ASSERT_CAPABILITY(x) GSGCN_TSA(assert_capability(x))
+
+/// Audited opt-out; every use carries a justification comment.
+#define NO_THREAD_SAFETY_ANALYSIS GSGCN_TSA(no_thread_safety_analysis)

@@ -1,0 +1,40 @@
+// Golden fixture: race-free parallel idioms — induction-indexed writes,
+// region-local accumulators, a by-value capture, and a single-writer
+// pattern behind the `// omp-safe:` escape hatch. Both analyzers must
+// report ZERO findings.
+#include <cstdint>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+void scale(std::vector<double>& out, const std::vector<double>& v,
+           double k, int threads) {
+  gsgcn::util::parallel_for(
+      static_cast<std::int64_t>(v.size()), threads,
+      [&out, &v, k](std::int64_t i) {
+        out[i] = v[i] * k;  // ok: element chosen by the induction variable
+      });
+}
+
+void block_sums(std::vector<double>& out, const std::vector<double>& v,
+                int threads) {
+  gsgcn::util::parallel_for_ranges(
+      static_cast<std::int64_t>(v.size()), threads,
+      [&](std::int64_t begin, std::int64_t end) {
+        double acc = 0.0;  // ok: region-local accumulator
+        for (std::int64_t i = begin; i < end; ++i) {
+          acc += v[i];
+        }
+        out[begin] = acc;  // ok: distinct element per range
+      });
+}
+
+void leader_stamp(std::vector<int>& slots, int threads) {
+  gsgcn::util::parallel_region(threads, [&](int tid, int nthreads) {
+    slots[tid] = nthreads;  // ok: indexed by the thread id
+    if (tid == 0) {
+      // omp-safe: single writer — guarded by the tid == 0 branch
+      slots[0] = -nthreads;
+    }
+  });
+}

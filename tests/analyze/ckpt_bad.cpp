@@ -1,0 +1,30 @@
+// Golden fixture: checkpoint-drift check MUST flag `rng_cursor` — it is
+// serialized by the save function but never restored by the load
+// function, the exact bug class that silently breaks bit-identical
+// resume.
+#include <cstdint>
+#include <string>
+
+void put_i64(std::string*, std::int64_t);
+std::int64_t take_i64(const std::string&, std::size_t*);
+
+// analyze:checkpoint-state save=encode_state load=decode_state
+struct TrainerState {
+  std::int64_t step = 0;
+  std::int64_t rng_cursor = 0;  // FINDING: missing from decode_state
+};
+
+std::string encode_state(const TrainerState& s) {
+  std::string out;
+  put_i64(&out, s.step);
+  put_i64(&out, s.rng_cursor);
+  return out;
+}
+
+TrainerState decode_state(const std::string& payload) {
+  TrainerState s;
+  std::size_t off = 0;
+  s.step = take_i64(payload, &off);
+  // rng_cursor forgotten — resumed runs replay the wrong RNG stream.
+  return s;
+}

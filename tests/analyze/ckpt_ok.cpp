@@ -1,0 +1,30 @@
+// Golden fixture: a fully round-tripped checkpoint struct plus one
+// genuinely derived member behind the `// ckpt-transient:` escape hatch;
+// analyze.py must report ZERO findings.
+#include <cstdint>
+#include <string>
+
+void put_i64(std::string*, std::int64_t);
+std::int64_t take_i64(const std::string&, std::size_t*);
+
+// analyze:checkpoint-state save=encode_state load=decode_state
+struct TrainerState {
+  std::int64_t step = 0;
+  std::int64_t rng_cursor = 0;
+  std::int64_t cache_bytes = 0;  // ckpt-transient: rebuilt from the graph on load
+};
+
+std::string encode_state(const TrainerState& s) {
+  std::string out;
+  put_i64(&out, s.step);
+  put_i64(&out, s.rng_cursor);
+  return out;
+}
+
+TrainerState decode_state(const std::string& payload) {
+  TrainerState s;
+  std::size_t off = 0;
+  s.step = take_i64(payload, &off);
+  s.rng_cursor = take_i64(payload, &off);
+  return s;
+}

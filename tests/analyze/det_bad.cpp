@@ -1,0 +1,20 @@
+// Golden fixture: determinism check MUST flag all three constructs.
+// Never compiled — consumed by scripts/analyze.py via ctest (see
+// tests/CMakeLists.txt). If analyze.py stops flagging any line here,
+// the analyze_det_bad test fails tier-1.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int entropy_seed() {
+  std::random_device rd;  // FINDING: ambient entropy
+  return static_cast<int>(rd());
+}
+
+int dice_roll() {
+  return std::rand() % 6;  // FINDING: hidden global RNG state
+}
+
+void seed_from_clock(std::mt19937& engine) {
+  engine.seed(static_cast<unsigned>(time(nullptr)));  // FINDING: time seed
+}

@@ -1,0 +1,27 @@
+// Golden fixture: every construct here is determinism-clean or carries
+// the documented escape hatch; analyze.py must report ZERO findings even
+// with tests/analyze/* treated as a serialization path.
+#include <string>
+#include <unordered_map>
+
+struct Rng {
+  unsigned rand();  // member named rand(): not ::rand()
+};
+
+std::unordered_map<std::string, long> totals_;
+
+bool has_total(const std::string& name) {
+  // Lookup, not iteration: hash order cannot leak.
+  return totals_.find(name) != totals_.end();
+}
+
+long grand_total() {
+  long sum = 0;
+  // det-safe: commutative integer sum — iteration order cannot change it
+  for (const auto& [name, value] : totals_) {
+    sum += value;
+  }
+  return sum;
+}
+
+unsigned draw(Rng& rng) { return rng.rand(); }

@@ -1,0 +1,17 @@
+// Golden fixture: unordered-container iteration in a serialization path
+// (the test passes --serialization-path 'tests/analyze/*'). Hash order
+// would leak into the emitted bytes.
+#include <string>
+#include <unordered_map>
+
+struct Sink {
+  void write(const std::string&, long);
+};
+
+std::unordered_map<std::string, long> totals_;
+
+void dump(Sink& sink) {
+  for (const auto& [name, value] : totals_) {  // FINDING: hash-order bytes
+    sink.write(name, value);
+  }
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Golden-fixture runner for the static analyzers.
+
+Executes a command and asserts (a) its exact exit code and (b) optionally
+that stdout+stderr contains given substrings. ctest's WILL_FAIL would
+accept ANY nonzero exit — including a traceback (exit 1 from the
+interpreter) — so a broken analyzer could masquerade as "correctly
+flagged the fixture". Exact-code + message matching closes that hole.
+
+Usage:
+  run_fixture.py --expect-exit N [--expect-output SUBSTR]... -- cmd args...
+"""
+
+import argparse
+import subprocess
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--expect-exit", type=int, required=True)
+    ap.add_argument("--expect-output", action="append", default=[])
+    ap.add_argument("cmd", nargs=argparse.REMAINDER)
+    args = ap.parse_args()
+
+    cmd = args.cmd
+    if cmd and cmd[0] == "--":
+        cmd = cmd[1:]
+    if not cmd:
+        print("run_fixture: no command given", file=sys.stderr)
+        return 2
+
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    out = proc.stdout + proc.stderr
+    sys.stdout.write(out)
+
+    ok = True
+    if proc.returncode != args.expect_exit:
+        print(f"run_fixture: FAIL — exit {proc.returncode}, "
+              f"expected {args.expect_exit}")
+        ok = False
+    for sub in args.expect_output:
+        if sub not in out:
+            print(f"run_fixture: FAIL — output does not contain {sub!r}")
+            ok = False
+    if ok:
+        print("run_fixture: OK")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

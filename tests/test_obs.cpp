@@ -254,6 +254,39 @@ TEST(Telemetry, OpenFailsOnBadPath) {
   EXPECT_FALSE(obs::Telemetry::instance().enabled());
 }
 
+TEST(Telemetry, ConcurrentOpenEmitCloseIsSerialized) {
+  // Regression (thread-safety annotation sweep): the sink's Impl used to
+  // be created lazily inside open(), so a first open() racing
+  // enabled()/emit() on another thread could dereference a half-published
+  // pointer. Impl is now constructed eagerly in the singleton
+  // constructor, and every file touch serializes on one mutex. Hammer
+  // open/emit/enabled/close from a full team; runs under the TSan ctest
+  // label (concurrency).
+  obs::Telemetry& sink = obs::Telemetry::instance();
+  const std::string path = ::testing::TempDir() + "gsgcn_telemetry_race.jsonl";
+  ASSERT_TRUE(sink.open(path));
+  util::parallel_region(4, [&](int tid, int /*nthreads*/) {
+    for (int i = 0; i < 16; ++i) {
+      if (tid == 0 && i % 8 == 0) {
+        (void)sink.open(path);  // reopen truncates; must not tear a write
+      } else {
+        sink.emit("{\"tid\":" + std::to_string(tid) + "}");
+      }
+      (void)sink.enabled();
+    }
+  });
+  sink.close();
+  EXPECT_FALSE(sink.enabled());
+  // Every record that survived the last truncation must be a whole line
+  // of valid JSON — an interleaved or torn write would break parsing.
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(util::json_valid(line)) << line;
+  }
+  std::remove(path.c_str());
+}
+
 // ------------------------------------------------- compile-out contract --
 
 TEST(ObsCompileOut, ModeMatchesBuildDefinition) {

@@ -11,6 +11,7 @@
 #include "sampling/frontier_dashboard.hpp"
 #include "sampling/pool.hpp"
 #include "test_helpers.hpp"
+#include "util/parallel.hpp"
 
 namespace gsgcn::sampling {
 namespace {
@@ -269,6 +270,44 @@ TEST(SubgraphPoolAsync, RestartAfterStopResumesProduction) {
   EXPECT_TRUE(pool.async_running());
   for (int i = 0; i < 6; ++i) {
     EXPECT_GT(pool.pop().num_vertices(), 0u);
+  }
+}
+
+TEST(SubgraphPoolAsync, ConcurrentLifecycleCallsDoNotRace) {
+  // Regression (thread-safety annotation sweep): start_async/stop_async
+  // used to read, join, and reassign the producer std::thread handle
+  // with no lock ordering them against each other, so two threads in the
+  // lifecycle path could both join the same handle (UB) or leak a
+  // producer. The handle is now serialized by lifecycle_mu_; hammer the
+  // lifecycle from several threads while a consumer keeps popping. Runs
+  // under the TSan ctest label (concurrency).
+  const CsrGraph g = gsgcn::testing::small_er();
+  SubgraphPool pool(g, dashboard_factory(g), async_options(2, 57, 4));
+  util::parallel_region(4, [&](int tid, int /*nthreads*/) {
+    for (int iter = 0; iter < 8; ++iter) {
+      if (tid == 0) {
+        EXPECT_GT(pool.pop().num_vertices(), 0u);
+      } else if (tid % 2 == 1) {
+        pool.start_async();
+      } else {
+        pool.stop_async();
+      }
+    }
+  });
+  pool.stop_async();
+  EXPECT_FALSE(pool.async_running());
+  // The pool must come out of the churn fully functional and still on
+  // its determinism contract: seeking back to slot 0 replays the exact
+  // sequence a fresh synchronous pool produces.
+  std::vector<std::vector<Vid>> reference;
+  {
+    SubgraphPool fresh(g, dashboard_factory(g), 1, 57);
+    for (int i = 0; i < 4; ++i) reference.push_back(fresh.pop().orig_ids);
+  }
+  pool.seek(0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(pool.pop().orig_ids, reference[static_cast<std::size_t>(i)])
+        << "pop " << i << " diverged after lifecycle churn + seek(0)";
   }
 }
 
