@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "data/synthetic.hpp"
+#include "obs/roofline.hpp"
 #include "util/env.hpp"
 #include "util/json_writer.hpp"
 #include "util/parallel.hpp"
@@ -183,6 +184,10 @@ class JsonEmitter {
     w.key("scale").value(util::dataset_scale());
     w.key("max_threads").value(util::bench_max_threads());
     w.key("seed").value(static_cast<std::int64_t>(util::global_seed()));
+    // Host attribution: committed baselines are only comparable to runs
+    // on the same hardware, so every BENCH_*.json names its machine.
+    w.key("machine").value_raw(
+        obs::machine_info_json(obs::machine_info()));
     w.key("records").begin_array();
     for (const Record& r : records_) {
       w.begin_object();

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/perf.hpp"
+#include "obs/roofline.hpp"
 #include "graph/generators.hpp"
 #include "graph/subgraph.hpp"
 #include "propagation/feature_partitioned.hpp"
@@ -33,10 +35,48 @@ double peak_flops_per_cycle() {
   return gsgcn::util::env_double("GSGCN_PEAK_FLOPS_PER_CYCLE", 32.0);
 }
 
-/// Attach GFLOP/s and fraction-of-peak counters for a 2·m·k·n-flop GEMM.
+/// Measured hardware-counter columns from a PerfReading taken just
+/// before the timed loop (obs/perf.hpp direct API). Emits nothing but
+/// pmu=0 when perf_event_open is unavailable, so baselines stay well-
+/// formed on PMU-less hosts. Counters are per-thread (the loop thread),
+/// so ratio metrics are representative while absolute counts cover the
+/// calling thread's share of a parallel kernel — see obs/perf.hpp.
+void set_measured_counters(benchmark::State& state,
+                           const obs::PerfReading& loop_begin,
+                           const obs::Work& per_iter) {
+  const obs::PerfDelta d =
+      obs::perf_delta(loop_begin, obs::perf_read_thread());
+  state.counters["pmu"] = d.available ? 1.0 : 0.0;
+  if (!d.available || state.iterations() == 0 || d.wall_ns == 0) return;
+  const double iters = static_cast<double>(state.iterations());
+  const double secs = static_cast<double>(d.wall_ns) * 1e-9;
+  const double cycles =
+      d.value[static_cast<std::size_t>(obs::PerfSlot::kCycles)];
+  const double misses =
+      d.value[static_cast<std::size_t>(obs::PerfSlot::kLlcMisses)];
+  state.counters["ipc"] = d.ipc();
+  state.counters["llc_miss_rate"] = d.llc_miss_rate();
+  state.counters["cycles_per_iter"] = cycles / iters;
+  state.counters["measured_gbps"] = misses * 64.0 * 1e-9 / secs;
+  // Fraction of peak from MEASURED cycles (not the nominal frequency):
+  // total modeled flops over the cycles the loop thread actually spent,
+  // against every core running at peak_flops_per_cycle.
+  if (cycles > 0.0 && per_iter.flops > 0.0) {
+    state.counters["frac_peak_measured"] =
+        per_iter.flops * iters /
+        (cycles * peak_flops_per_cycle() * gsgcn::util::max_threads());
+  }
+}
+
+/// Attach GFLOP/s and fraction-of-peak counters for a 2·m·k·n-flop GEMM,
+/// plus the measured PMU columns for the timed loop.
 void set_gemm_counters(benchmark::State& state, std::size_t m, std::size_t k,
-                       std::size_t n) {
-  const auto flops = static_cast<double>(2 * m * k * n);
+                       std::size_t n, const obs::PerfReading& loop_begin) {
+  const obs::Work work =
+      obs::gemm_work(static_cast<std::int64_t>(m),
+                     static_cast<std::int64_t>(k),
+                     static_cast<std::int64_t>(n), false);
+  const double flops = work.flops;
   state.counters["GFLOPS"] = benchmark::Counter(
       flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
   const double peak_gflops = peak_flops_per_cycle() *
@@ -45,8 +85,11 @@ void set_gemm_counters(benchmark::State& state, std::size_t m, std::size_t k,
   state.counters["frac_peak"] = benchmark::Counter(
       flops / peak_gflops * 1e-9,
       benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["ai_model"] =
+      work.bytes > 0.0 ? work.flops / work.bytes : 0.0;
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
                           static_cast<std::int64_t>(m * k * n));
+  set_measured_counters(state, loop_begin, work);
 }
 
 void BM_GemmNN(benchmark::State& state) {
@@ -54,11 +97,12 @@ void BM_GemmNN(benchmark::State& state) {
   const tensor::Matrix a = random_matrix(n, n, 1);
   const tensor::Matrix b = random_matrix(n, n, 2);
   tensor::Matrix c(n, n);
+  const obs::PerfReading pr = obs::perf_read_thread();
   for (auto _ : state) {
     tensor::gemm_nn(a, b, c);
     benchmark::DoNotOptimize(c.data());
   }
-  set_gemm_counters(state, n, n, n);
+  set_gemm_counters(state, n, n, n, pr);
 }
 BENCHMARK(BM_GemmNN)->Arg(128)->Arg(256)->Arg(512);
 
@@ -78,11 +122,12 @@ void BM_GemmPackedNN(benchmark::State& state) {
   const tensor::Matrix a = random_matrix(m, f, 40);
   const tensor::Matrix b = random_matrix(f, f, 41);
   tensor::Matrix c(m, f);
+  const obs::PerfReading pr = obs::perf_read_thread();
   for (auto _ : state) {
     tensor::gemm_nn(a, b, c);
     benchmark::DoNotOptimize(c.data());
   }
-  set_gemm_counters(state, m, f, f);
+  set_gemm_counters(state, m, f, f, pr);
 }
 
 void BM_GemmLegacyNN(benchmark::State& state) {
@@ -91,11 +136,12 @@ void BM_GemmLegacyNN(benchmark::State& state) {
   const tensor::Matrix a = random_matrix(m, f, 40);
   const tensor::Matrix b = random_matrix(f, f, 41);
   tensor::Matrix c(m, f);
+  const obs::PerfReading pr = obs::perf_read_thread();
   for (auto _ : state) {
     tensor::legacy::gemm_nn(a, b, c);
     benchmark::DoNotOptimize(c.data());
   }
-  set_gemm_counters(state, m, f, f);
+  set_gemm_counters(state, m, f, f, pr);
 }
 
 void subgraph_shapes(benchmark::internal::Benchmark* b) {
@@ -115,11 +161,12 @@ void BM_GemmPackedTN(benchmark::State& state) {
   const tensor::Matrix a = random_matrix(m, f, 42);  // used transposed
   const tensor::Matrix b = random_matrix(m, f, 43);
   tensor::Matrix c(f, f);
+  const obs::PerfReading pr = obs::perf_read_thread();
   for (auto _ : state) {
     tensor::gemm_tn(a, b, c);
     benchmark::DoNotOptimize(c.data());
   }
-  set_gemm_counters(state, f, m, f);
+  set_gemm_counters(state, f, m, f, pr);
 }
 
 void BM_GemmLegacyTN(benchmark::State& state) {
@@ -128,11 +175,12 @@ void BM_GemmLegacyTN(benchmark::State& state) {
   const tensor::Matrix a = random_matrix(m, f, 42);
   const tensor::Matrix b = random_matrix(m, f, 43);
   tensor::Matrix c(f, f);
+  const obs::PerfReading pr = obs::perf_read_thread();
   for (auto _ : state) {
     tensor::legacy::gemm_tn(a, b, c);
     benchmark::DoNotOptimize(c.data());
   }
-  set_gemm_counters(state, f, m, f);
+  set_gemm_counters(state, f, m, f, pr);
 }
 
 void BM_GemmPackedNT(benchmark::State& state) {
@@ -141,11 +189,12 @@ void BM_GemmPackedNT(benchmark::State& state) {
   const tensor::Matrix a = random_matrix(m, f, 44);
   const tensor::Matrix b = random_matrix(f, f, 45);  // used transposed
   tensor::Matrix c(m, f);
+  const obs::PerfReading pr = obs::perf_read_thread();
   for (auto _ : state) {
     tensor::gemm_nt(a, b, c);
     benchmark::DoNotOptimize(c.data());
   }
-  set_gemm_counters(state, m, f, f);
+  set_gemm_counters(state, m, f, f, pr);
 }
 
 void BM_GemmLegacyNT(benchmark::State& state) {
@@ -154,11 +203,12 @@ void BM_GemmLegacyNT(benchmark::State& state) {
   const tensor::Matrix a = random_matrix(m, f, 44);
   const tensor::Matrix b = random_matrix(f, f, 45);
   tensor::Matrix c(m, f);
+  const obs::PerfReading pr = obs::perf_read_thread();
   for (auto _ : state) {
     tensor::legacy::gemm_nt(a, b, c);
     benchmark::DoNotOptimize(c.data());
   }
-  set_gemm_counters(state, m, f, f);
+  set_gemm_counters(state, m, f, f, pr);
 }
 
 BENCHMARK(BM_GemmPackedTN)->Args({8000, 128});
@@ -197,12 +247,16 @@ void BM_AggregateMean(benchmark::State& state) {
       graph::erdos_renyi(n, static_cast<graph::Eid>(n) * 15, rng);
   const tensor::Matrix in = random_matrix(n, 128, 8);
   tensor::Matrix out(n, 128);
+  const obs::PerfReading pr = obs::perf_read_thread();
   for (auto _ : state) {
     propagation::aggregate_mean_forward(g, in, out);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           g.num_edges() * 128);
+  set_measured_counters(
+      state, pr,
+      obs::spmm_work(n, static_cast<std::int64_t>(g.num_edges()), 128));
 }
 BENCHMARK(BM_AggregateMean)->Arg(2000)->Arg(8000);
 
@@ -214,10 +268,14 @@ void BM_FeaturePartitionedPropagation(benchmark::State& state) {
   const tensor::Matrix in = random_matrix(n, 128, 10);
   tensor::Matrix out(n, 128);
   propagation::FeaturePartitionOptions opts;
+  const obs::PerfReading pr = obs::perf_read_thread();
   for (auto _ : state) {
     propagation::propagate_feature_partitioned(g, in, out, opts);
     benchmark::DoNotOptimize(out.data());
   }
+  set_measured_counters(
+      state, pr,
+      obs::spmm_work(n, static_cast<std::int64_t>(g.num_edges()), 128));
 }
 BENCHMARK(BM_FeaturePartitionedPropagation)->Arg(2000)->Arg(8000);
 
@@ -290,6 +348,17 @@ int main(int argc, char** argv) {
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  // Host attribution in the JSON context block (google-benchmark's own
+  // context lacks the CPU model string and hostname).
+  const gsgcn::obs::MachineInfo& mi = gsgcn::obs::machine_info();
+  benchmark::AddCustomContext("hostname", mi.hostname);
+  benchmark::AddCustomContext("cpu_model", mi.cpu_model);
+  benchmark::AddCustomContext("l1d_bytes", std::to_string(mi.l1d_bytes));
+  benchmark::AddCustomContext("l2_bytes", std::to_string(mi.l2_bytes));
+  benchmark::AddCustomContext("l3_bytes", std::to_string(mi.l3_bytes));
+  benchmark::AddCustomContext(
+      "pmu_available",
+      gsgcn::obs::perf_counters_available() ? "true" : "false");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -15,6 +15,7 @@
 
 #include "bench_common.hpp"
 #include "gcn/trainer.hpp"
+#include "obs/perf.hpp"
 
 namespace {
 
@@ -23,7 +24,18 @@ using namespace gsgcn;
 struct Run {
   double wall_seconds = 0.0;
   gcn::TrainResult result;
+  std::vector<obs::PhasePerf> phases;  // per-phase roofline attribution
 };
+
+/// Phase lookup; a default (zero) PhasePerf when the build compiled the
+/// perf macros out or the phase never ran.
+obs::PhasePerf find_phase(const std::vector<obs::PhasePerf>& phases,
+                          const char* name) {
+  for (const obs::PhasePerf& p : phases) {
+    if (p.name == name) return p;
+  }
+  return obs::PhasePerf{};
+}
 
 Run run(const data::Dataset& ds, int threads, bool async, int iterations) {
   gcn::TrainerConfig cfg;
@@ -38,6 +50,9 @@ Run run(const data::Dataset& ds, int threads, bool async, int iterations) {
   cfg.eval_every_epoch = false;
   gcn::Trainer trainer(ds, cfg);
   Run total;
+  // Fresh per-phase counters for this configuration; the scrape below
+  // happens after train() returns, i.e. with the producer joined.
+  obs::PerfProfiler::instance().reset();
   // One epoch = |V_train|/budget iterations; repeat epochs until at least
   // `iterations` weight updates so short runs don't drown in noise.
   while (total.result.iterations < iterations) {
@@ -51,6 +66,7 @@ Run run(const data::Dataset& ds, int threads, bool async, int iterations) {
     total.result.pool_stalls += r.pool_stalls;
     total.result.pool_cold_starts += r.pool_cold_starts;
   }
+  total.phases = obs::PerfProfiler::instance().scrape();
   return total;
 }
 
@@ -62,6 +78,11 @@ int main() {
   bench::JsonEmitter json("pipeline overlap");
   const int iterations =
       static_cast<int>(util::env_int("GSGCN_OVERLAP_ITERS", 8));
+  // Per-phase hardware-counter attribution rides along in the JSON
+  // records (measured where the PMU allows, wall-clock + work models
+  // otherwise — obs/perf.hpp). In builds without GSGCN_OBS the regions
+  // compile out and the perf_* fields are all zero.
+  obs::PerfProfiler::instance().enable();
   const data::Dataset ds = data::make_preset("ppi-s");
 
   util::Table t({"threads", "mode", "iters/s", "train s/iter",
@@ -97,6 +118,19 @@ int main() {
           .field("iters_per_second", iters / r.wall_seconds)
           .field("async_speedup",
                  async ? sync_run.wall_seconds / r.wall_seconds : 1.0);
+      const obs::PhasePerf gemm = find_phase(r.phases, "gemm");
+      const obs::PhasePerf prop = find_phase(r.phases, "propagate");
+      json.record("overlap_perf")
+          .field("threads", p)
+          .field("async", async)
+          .field("pmu_available", gemm.available)
+          .field("gemm_gflops", gemm.gflops())
+          .field("gemm_ai", gemm.arithmetic_intensity())
+          .field("gemm_ipc", gemm.ipc())
+          .field("gemm_llc_miss_rate", gemm.llc_miss_rate())
+          .field("propagate_gflops", prop.gflops())
+          .field("propagate_model_gbps", prop.model_gbps())
+          .field("propagate_measured_gbps", prop.measured_gbps());
     }
   }
   t.print(

@@ -23,6 +23,8 @@
 #include "gcn/trainer.hpp"
 #include "graph/io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
+#include "obs/roofline.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
@@ -84,6 +86,14 @@ observability:
                        -DGSGCN_OBS=ON, Debug, or sanitizer builds)
   --metrics-out FILE   JSONL telemetry: one "epoch" record per epoch plus
                        a final "run_summary" (works in every build)
+  --metrics-every-epoch  also scrape + emit the metrics registry at each
+                       epoch boundary (type "metrics" records in the
+                       --metrics-out JSONL)
+  --perf-out FILE      per-phase roofline report (cycles, IPC, LLC miss
+                       rate, GFLOP/s, GB/s, arithmetic intensity) from
+                       hardware counters via perf_event_open; degrades
+                       gracefully (available=false) where the PMU is
+                       denied — containers, perf_event_paranoid, VMs
 )");
 }
 
@@ -244,9 +254,11 @@ int main(int argc, char** argv) {
       std::cerr << "error: --resume requires --checkpoint-dir\n";
       return 2;
     }
+    cfg.metrics_every_epoch = cli.get("metrics-every-epoch", false);
     const std::string ckpt = cli.get("checkpoint", std::string());
     const std::string trace_out = cli.get("trace-out", std::string());
     const std::string metrics_out = cli.get("metrics-out", std::string());
+    const std::string perf_out = cli.get("perf-out", std::string());
 
     for (const auto& flag : cli.unused()) {
       std::cerr << "unknown flag: --" << flag << " (see --help)\n";
@@ -265,6 +277,20 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty() &&
         !obs::Telemetry::instance().open(metrics_out)) {
       return 1;
+    }
+    if (cfg.metrics_every_epoch && metrics_out.empty()) {
+      std::fprintf(stderr,
+                   "warning: --metrics-every-epoch has no effect without "
+                   "--metrics-out\n");
+    }
+    if (!perf_out.empty()) {
+      if (!obs::compiled_in()) {
+        std::fprintf(stderr,
+                     "warning: --perf-out given but instrumentation is "
+                     "compiled out; the report will have no phases "
+                     "(rebuild with -DGSGCN_OBS=ON)\n");
+      }
+      obs::PerfProfiler::instance().enable();
     }
 
     gcn::Trainer trainer(ds, cfg);
@@ -335,6 +361,37 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty()) {
       obs::Telemetry::instance().close();
       std::printf("telemetry: %s\n", metrics_out.c_str());
+    }
+    if (!perf_out.empty()) {
+      // The run is over (training joined its workers above), so this is
+      // a quiescent point for the profiler scrape. A denied PMU is not
+      // an error: the report still carries wall time + modeled work per
+      // phase, with available=false on the counter-derived metrics.
+      obs::PerfProfiler& prof = obs::PerfProfiler::instance();
+      const std::vector<obs::PhasePerf> phases = prof.scrape();
+      if (!obs::write_roofline_report(perf_out)) return 1;
+      bool any_pmu = false;
+      for (const auto& p : phases) any_pmu = any_pmu || p.available;
+      std::printf("perf: %zu phases (%s) -> %s\n", phases.size(),
+                  any_pmu ? "hardware counters" : "PMU unavailable; "
+                                                  "wall-clock + work models",
+                  perf_out.c_str());
+      for (const auto& p : phases) {
+        if (p.available) {
+          std::printf(
+              "  %-9s %7.3fs  %7.2f GFLOP/s  AI %6.2f  IPC %.2f  "
+              "LLC miss %4.1f%%  %6.2f GB/s measured\n",
+              p.name.c_str(), p.seconds(), p.gflops(),
+              p.arithmetic_intensity(), p.ipc(), 100.0 * p.llc_miss_rate(),
+              p.measured_gbps());
+        } else {
+          std::printf(
+              "  %-9s %7.3fs  %7.2f GFLOP/s  AI %6.2f  %6.2f GB/s model\n",
+              p.name.c_str(), p.seconds(), p.gflops(),
+              p.arithmetic_intensity(), p.model_gbps());
+        }
+      }
+      prof.disable();
     }
     return 0;
   } catch (const std::exception& e) {

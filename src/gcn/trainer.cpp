@@ -13,6 +13,8 @@
 #include "gcn/metrics.hpp"
 #include "graph/subgraph.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
+#include "obs/roofline.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sampling/frontier_dashboard.hpp"
@@ -273,6 +275,11 @@ TrainResult Trainer::train() {
 
         {
           GSGCN_TRACE_SPAN_ID("train/gather", n_sub);
+          const obs::Work work [[maybe_unused]] = obs::gather_work(
+              static_cast<std::int64_t>(n_sub),
+              static_cast<std::int64_t>(ds_.feature_dim() +
+                                        ds_.num_classes()));
+          GSGCN_PERF_REGION_WORK("gather", work.flops, work.bytes);
           ensure_shape(batch_features_, n_sub, ds_.feature_dim());
           ensure_shape(batch_labels_, n_sub, ds_.num_classes());
           tensor::gather_rows(train_features_, sub.orig_ids, batch_features_,
@@ -320,6 +327,9 @@ TrainResult Trainer::train() {
         model_->backward(sub.graph, d_logits_, cfg_.threads, &clock);
         {
           GSGCN_TRACE_SPAN("train/adam");
+          const obs::Work work [[maybe_unused]] = obs::adam_work(
+              static_cast<std::int64_t>(model_->num_parameters()));
+          GSGCN_PERF_REGION_WORK("update", work.flops, work.bytes);
           model_->apply_gradients(*opt_);
         }
         GSGCN_COUNTER_INC("train.iterations");
@@ -376,6 +386,9 @@ TrainResult Trainer::train() {
     if (eval_epochs) rec.val_f1 = evaluate(ds_.val_vertices);
     result.history.push_back(rec);
     emit_epoch_record(rec);
+    // Loss-over-time counter track next to the epoch spans in Perfetto.
+    GSGCN_TRACE_COUNTER("train/loss", rec.train_loss);
+    if (cfg_.metrics_every_epoch) emit_epoch_metrics(epoch);
 
     // Per-epoch learning-rate decay.
     if (cfg_.lr_decay != 1.0f) {
@@ -461,6 +474,27 @@ void Trainer::emit_epoch_record(const EpochRecord& rec) const {
   sink.emit(line);
 }
 
+void Trainer::emit_epoch_metrics(int epoch) {
+  obs::Telemetry& sink = obs::Telemetry::instance();
+  if (!sink.enabled()) return;
+  // Registry::scrape() merges live per-thread shards, so it needs a
+  // quiescent point; in async mode the producer thread is still writing
+  // pool metrics. Pause it around the scrape — queued subgraphs stay
+  // FIFO and slot k always draws from RNG stream (seed, k), so the
+  // subgraph (and loss) sequence is unchanged.
+  const bool was_async = pool_->async_running();
+  if (was_async) pool_->stop_async();
+  std::string line;
+  util::JsonWriter w(&line);
+  w.begin_object();
+  w.key("type").value("metrics");
+  w.key("epoch").value(epoch);
+  w.key("metrics").value_raw(obs::Registry::instance().scrape().to_json());
+  w.end_object();
+  sink.emit(line);
+  if (was_async) pool_->start_async();
+}
+
 void Trainer::emit_run_summary(const TrainResult& result) const {
   obs::Telemetry& sink = obs::Telemetry::instance();
   if (!sink.enabled()) return;
@@ -513,6 +547,14 @@ void Trainer::emit_run_summary(const TrainResult& result) const {
   // Full metrics scrape (counters/gauges/histograms) — empty collections
   // in builds where the instrumentation macros compile out.
   w.key("metrics").value_raw(obs::Registry::instance().scrape().to_json());
+  // Per-phase roofline attribution (see obs/roofline.hpp) when the PMU
+  // profiler was enabled for this run. The producer is already quiesced
+  // (stop_async above), so the scrape is at a quiescent point.
+  obs::PerfProfiler& prof = obs::PerfProfiler::instance();
+  if (prof.enabled()) {
+    w.key("perf").value_raw(
+        obs::roofline_report_json(prof.scrape(), obs::machine_info()));
+  }
   w.end_object();
   sink.emit(line);
 }

@@ -79,6 +79,14 @@ struct TrainerConfig {
   std::uint64_t seed = 1;
   bool eval_every_epoch = true;
 
+  // Scrape + emit the metrics registry (telemetry record type "metrics")
+  // at every epoch boundary instead of only in the final run_summary, so
+  // long runs are inspectable mid-flight. In async mode the producer is
+  // briefly quiesced around the scrape (the obs quiescent-point
+  // contract); queued subgraphs stay FIFO so the subgraph sequence — and
+  // therefore the loss sequence — is unchanged.
+  bool metrics_every_epoch = false;
+
   // Fault tolerance (gcn/checkpoint.hpp; DESIGN.md "Fault tolerance").
   // With a checkpoint_dir set, a versioned CRC-protected checkpoint is
   // written atomically every `checkpoint_every` healthy epochs; `resume`
@@ -171,6 +179,7 @@ class Trainer {
 
   // Structured telemetry (obs::Telemetry JSONL); no-ops when no sink is open.
   void emit_epoch_record(const EpochRecord& rec) const;
+  void emit_epoch_metrics(int epoch);
   void emit_run_summary(const TrainResult& result) const;
 
   const data::Dataset& ds_;

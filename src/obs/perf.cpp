@@ -1,0 +1,380 @@
+#include "obs/perf.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+
+#include "obs/trace.hpp"
+#include "util/env.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace gsgcn::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Null-backend force flag plus a generation counter: flipping the flag
+/// bumps the generation so already-open per-thread groups reopen on
+/// their next read (required for the force-null test to be order-
+/// independent on PMU-capable hosts).
+std::atomic<bool> g_force_null{false};
+std::atomic<std::uint64_t> g_backend_generation{0};
+
+bool force_null_from_env() {
+  static const bool forced = util::env_int("GSGCN_PERF_FORCE_NULL", 0) != 0;
+  return forced;
+}
+
+#if defined(__linux__)
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr EventSpec kEventSpecs[kPerfSlotCount] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16)},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+long perf_event_open_syscall(perf_event_attr* attr, pid_t pid, int cpu,
+                             int group_fd, unsigned long flags) {
+  return syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+/// Per-thread counter group. The leader (cycles) carries the group read;
+/// missing sibling events (some PMUs lack stalled-cycles-backend) leave
+/// their slot at fd -1 and read as 0 — the group stays available as long
+/// as the leader and the instructions counter opened.
+struct ThreadGroup {
+  int fd[kPerfSlotCount];
+  /// Position of each slot in the group read buffer, -1 if not opened.
+  int read_index[kPerfSlotCount];
+  int n_open = 0;
+  std::uint64_t generation = 0;
+  bool open_attempted = false;
+  bool available = false;
+
+  ThreadGroup() {
+    for (int i = 0; i < kPerfSlotCount; ++i) {
+      fd[i] = -1;
+      read_index[i] = -1;
+    }
+  }
+
+  void close_all() {
+    for (int i = 0; i < kPerfSlotCount; ++i) {
+      if (fd[i] >= 0) ::close(fd[i]);
+      fd[i] = -1;
+      read_index[i] = -1;
+    }
+    n_open = 0;
+    available = false;
+  }
+
+  void open_group() {
+    open_attempted = true;
+    generation = g_backend_generation.load(std::memory_order_acquire);
+    if (g_force_null.load(std::memory_order_acquire)) return;
+    for (int i = 0; i < kPerfSlotCount; ++i) {
+      perf_event_attr attr;
+      std::memset(&attr, 0, sizeof(attr));
+      attr.type = kEventSpecs[i].type;
+      attr.size = sizeof(attr);
+      attr.config = kEventSpecs[i].config;
+      attr.disabled = i == 0 ? 1 : 0;  // start the whole group at once
+      attr.exclude_kernel = 1;         // works at perf_event_paranoid <= 2
+      attr.exclude_hv = 1;
+      attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                         PERF_FORMAT_TOTAL_TIME_RUNNING;
+      const int group_fd = i == 0 ? -1 : fd[0];
+#if defined(PERF_FLAG_FD_CLOEXEC)
+      constexpr unsigned long kOpenFlags = PERF_FLAG_FD_CLOEXEC;
+#else
+      constexpr unsigned long kOpenFlags = 0;
+#endif
+      const long r =
+          perf_event_open_syscall(&attr, 0, -1, group_fd, kOpenFlags);
+      if (r >= 0) {
+        fd[i] = static_cast<int>(r);
+        read_index[i] = n_open++;
+      } else if (i <= 1) {
+        // Without cycles (the leader) or instructions there is nothing
+        // worth scaling or ratioing: fall back to the null backend.
+        close_all();
+        return;
+      }
+    }
+    ioctl(fd[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(fd[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    available = true;
+  }
+
+  void read_into(PerfReading& out) {
+    // Layout: nr, time_enabled, time_running, value[nr].
+    std::uint64_t buf[3 + kPerfSlotCount] = {};
+    const ssize_t want =
+        static_cast<ssize_t>((3 + static_cast<std::size_t>(n_open)) *
+                             sizeof(std::uint64_t));
+    if (::read(fd[0], buf, static_cast<std::size_t>(want)) != want) {
+      out.available = false;
+      return;
+    }
+    out.time_enabled_ns = buf[1];
+    out.time_running_ns = buf[2];
+    for (int i = 0; i < kPerfSlotCount; ++i) {
+      out.value[static_cast<std::size_t>(i)] =
+          read_index[i] >= 0
+              ? buf[3 + static_cast<std::size_t>(read_index[i])]
+              : 0;
+    }
+    out.available = true;
+  }
+
+  ~ThreadGroup() { close_all(); }
+};
+
+ThreadGroup& local_group() {
+  static thread_local ThreadGroup group;
+  const std::uint64_t gen = g_backend_generation.load(std::memory_order_acquire);
+  if (!group.open_attempted || group.generation != gen) {
+    group.close_all();
+    group.open_group();
+  }
+  return group;
+}
+
+#endif  // __linux__
+
+struct ForceNullEnvInit {
+  ForceNullEnvInit() {
+    if (force_null_from_env()) g_force_null.store(true);
+  }
+};
+ForceNullEnvInit g_force_null_env_init;
+
+}  // namespace
+
+const char* perf_slot_name(PerfSlot slot) {
+  switch (slot) {
+    case PerfSlot::kCycles: return "cycles";
+    case PerfSlot::kInstructions: return "instructions";
+    case PerfSlot::kLlcLoads: return "llc_loads";
+    case PerfSlot::kLlcMisses: return "llc_misses";
+    case PerfSlot::kStalledBackend: return "stalled_cycles_backend";
+    case PerfSlot::kBranchMisses: return "branch_misses";
+  }
+  return "unknown";
+}
+
+void perf_set_force_null(bool force) {
+  g_force_null.store(force, std::memory_order_release);
+  g_backend_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+PerfReading perf_read_thread() {
+  PerfReading r;
+  r.wall_ns = steady_now_ns();
+#if defined(__linux__)
+  ThreadGroup& group = local_group();
+  if (group.available) group.read_into(r);
+#endif
+  return r;
+}
+
+bool perf_counters_available() { return perf_read_thread().available; }
+
+PerfDelta perf_delta(const PerfReading& begin, const PerfReading& end) {
+  PerfDelta d;
+  d.wall_ns = end.wall_ns >= begin.wall_ns ? end.wall_ns - begin.wall_ns : 0;
+  d.available = begin.available && end.available;
+  if (!d.available) return d;
+  const std::uint64_t enabled =
+      end.time_enabled_ns - begin.time_enabled_ns;
+  const std::uint64_t running =
+      end.time_running_ns - begin.time_running_ns;
+  // Multiplex scaling: if the kernel rotated the group off the PMU for
+  // part of the interval, extrapolate counts by enabled/running. A group
+  // that never ran yields no usable data.
+  if (enabled > 0 && running == 0) {
+    d.available = false;
+    return d;
+  }
+  const double scale =
+      running > 0 ? static_cast<double>(enabled) / static_cast<double>(running)
+                  : 1.0;
+  d.multiplex_fraction =
+      enabled > 0 ? static_cast<double>(running) / static_cast<double>(enabled)
+                  : 1.0;
+  for (int i = 0; i < kPerfSlotCount; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    const std::uint64_t dv =
+        end.value[s] >= begin.value[s] ? end.value[s] - begin.value[s] : 0;
+    d.value[s] = static_cast<double>(dv) * scale;
+  }
+  return d;
+}
+
+namespace {
+
+double safe_ratio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+}  // namespace
+
+double PerfDelta::ipc() const {
+  if (!available) return 0.0;
+  return safe_ratio(
+      value[static_cast<std::size_t>(PerfSlot::kInstructions)],
+      value[static_cast<std::size_t>(PerfSlot::kCycles)]);
+}
+
+double PerfDelta::llc_miss_rate() const {
+  if (!available) return 0.0;
+  return safe_ratio(value[static_cast<std::size_t>(PerfSlot::kLlcMisses)],
+                    value[static_cast<std::size_t>(PerfSlot::kLlcLoads)]);
+}
+
+double PhasePerf::ipc() const {
+  if (!available) return 0.0;
+  return safe_ratio(counter(PerfSlot::kInstructions),
+                    counter(PerfSlot::kCycles));
+}
+
+double PhasePerf::llc_miss_rate() const {
+  if (!available) return 0.0;
+  return safe_ratio(counter(PerfSlot::kLlcMisses),
+                    counter(PerfSlot::kLlcLoads));
+}
+
+double PhasePerf::gflops() const {
+  return safe_ratio(flops * 1e-9, seconds());
+}
+
+double PhasePerf::model_gbps() const {
+  return safe_ratio(bytes * 1e-9, seconds());
+}
+
+double PhasePerf::measured_gbps() const {
+  if (!available) return 0.0;
+  return safe_ratio(counter(PerfSlot::kLlcMisses) * 64.0 * 1e-9, seconds());
+}
+
+double PhasePerf::arithmetic_intensity() const {
+  return safe_ratio(flops, bytes);
+}
+
+struct PerfProfiler::Impl {
+  std::atomic<bool> enabled{false};
+  util::Mutex mu;
+  std::vector<PhasePerf> phases GUARDED_BY(mu);
+
+  PhasePerf& phase_locked(const char* name) REQUIRES(mu) {
+    for (PhasePerf& p : phases) {
+      if (p.name == name) return p;
+    }
+    phases.emplace_back();
+    phases.back().name = name;
+    return phases.back();
+  }
+};
+
+PerfProfiler& PerfProfiler::instance() {
+  static PerfProfiler profiler;
+  return profiler;
+}
+
+PerfProfiler::PerfProfiler() : impl_(new Impl) {}
+PerfProfiler::~PerfProfiler() { delete impl_; }
+
+void PerfProfiler::enable() {
+  impl_->enabled.store(true, std::memory_order_release);
+}
+
+void PerfProfiler::disable() {
+  impl_->enabled.store(false, std::memory_order_release);
+}
+
+bool PerfProfiler::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void PerfProfiler::reset() {
+  util::MutexLock lock(impl_->mu);
+  impl_->phases.clear();
+}
+
+std::vector<PhasePerf> PerfProfiler::scrape() {
+  util::MutexLock lock(impl_->mu);
+  return impl_->phases;
+}
+
+void PerfProfiler::record(const char* phase, const PerfDelta& delta,
+                          double flops, double bytes) {
+  util::MutexLock lock(impl_->mu);
+  PhasePerf& p = impl_->phase_locked(phase);
+  const double prev_calls = static_cast<double>(p.calls);
+  p.calls += 1;
+  p.wall_ns += delta.wall_ns;
+  p.flops += flops;
+  p.bytes += bytes;
+  if (delta.available) {
+    p.pmu_samples += 1;
+    for (int i = 0; i < kPerfSlotCount; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      p.counters[s] += delta.value[s];
+    }
+  }
+  // Call-weighted running mean keeps the fraction meaningful across
+  // phases with different call counts.
+  p.multiplex_fraction =
+      (p.multiplex_fraction * prev_calls + delta.multiplex_fraction) /
+      static_cast<double>(p.calls);
+  p.available = p.calls > 0 && p.pmu_samples == p.calls;
+}
+
+PerfRegion::PerfRegion(const char* phase, double flops, double bytes)
+    : phase_(phase), flops_(flops), bytes_(bytes) {
+  if (!PerfProfiler::instance().enabled()) return;
+  armed_ = true;
+  begin_ = perf_read_thread();
+}
+
+PerfRegion::~PerfRegion() {
+  if (!armed_) return;
+  PerfProfiler& prof = PerfProfiler::instance();
+  if (!prof.enabled()) return;  // disabled mid-region; drop the partial
+  const PerfDelta d = perf_delta(begin_, perf_read_thread());
+  prof.record(phase_, d, flops_, bytes_);
+  if (flops_ > 0.0 && d.wall_ns > 0) {
+    // Throughput-over-time track per phase; no-op unless tracing.
+    Tracer& tracer = Tracer::instance();
+    if (tracer.active()) {
+      tracer.counter(phase_, flops_ * 1e-9 /
+                                 (static_cast<double>(d.wall_ns) * 1e-9));
+    }
+  }
+}
+
+}  // namespace gsgcn::obs

@@ -17,10 +17,12 @@ namespace {
 struct Event {
   const char* name;
   std::uint64_t t0_ns;
-  std::uint64_t t1_ns;
+  std::uint64_t t1_ns;       // unused for counter samples
   std::int64_t arg;
+  double value;              // counter samples only
   std::uint32_t tid;
   bool has_arg;
+  bool is_counter;
 };
 
 /// Per-thread event buffer; registers with the tracer on first use and
@@ -108,13 +110,21 @@ std::string serialize(const std::vector<Event>& events) {
     w.begin_object();
     w.key("name").value(e.name);
     w.key("cat").value("gsgcn");
-    w.key("ph").value("X");
-    w.key("pid").value(1);
-    w.key("tid").value(static_cast<std::int64_t>(e.tid));
-    w.key("ts").value(static_cast<double>(e.t0_ns) * 1e-3);   // microseconds
-    w.key("dur").value(static_cast<double>(e.t1_ns - e.t0_ns) * 1e-3);
-    if (e.has_arg) {
-      w.key("args").begin_object().key("v").value(e.arg).end_object();
+    if (e.is_counter) {
+      w.key("ph").value("C");
+      w.key("pid").value(1);
+      w.key("tid").value(static_cast<std::int64_t>(e.tid));
+      w.key("ts").value(static_cast<double>(e.t0_ns) * 1e-3);  // microseconds
+      w.key("args").begin_object().key("value").value(e.value).end_object();
+    } else {
+      w.key("ph").value("X");
+      w.key("pid").value(1);
+      w.key("tid").value(static_cast<std::int64_t>(e.tid));
+      w.key("ts").value(static_cast<double>(e.t0_ns) * 1e-3);  // microseconds
+      w.key("dur").value(static_cast<double>(e.t1_ns - e.t0_ns) * 1e-3);
+      if (e.has_arg) {
+        w.key("args").begin_object().key("v").value(e.arg).end_object();
+      }
     }
     w.end_object();
   }
@@ -192,7 +202,15 @@ std::string Tracer::dump_json() { return serialize(impl_->collect()); }
 void Tracer::record(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns,
                     std::int64_t arg, bool has_arg) {
   ThreadBuffer& tb = impl_->local_buffer();
-  tb.events.push_back(Event{name, t0_ns, t1_ns, arg, tb.tid, has_arg});
+  tb.events.push_back(
+      Event{name, t0_ns, t1_ns, arg, 0.0, tb.tid, has_arg, false});
+}
+
+void Tracer::counter(const char* name, double value) {
+  if (!active()) return;
+  ThreadBuffer& tb = impl_->local_buffer();
+  tb.events.push_back(
+      Event{name, now_ns(), 0, 0, value, tb.tid, false, true});
 }
 
 Span::Span(const char* name, std::int64_t arg, bool has_arg)

@@ -20,6 +20,13 @@
 // pointer, not a copy. An optional int64 id is emitted as args.v — used
 // for epoch numbers, sampler instance ids, GEMM flop counts.
 //
+// GSGCN_TRACE_COUNTER(name, value) records a counter sample (Chrome
+// "ph":"C") on the same per-thread buffers: Perfetto renders each name
+// as a value-over-time track (pool occupancy, per-epoch loss, per-phase
+// GFLOP/s) alongside the spans. Counter names share the literal-pointer
+// contract; tracks are keyed process-wide by name, so samples from
+// different threads interleave on one track in timestamp order.
+//
 // Concurrency contract: start()/stop() are mutex-protected against each
 // other, and spans on any thread are safe while active. stop() merges
 // live thread buffers without synchronizing against in-flight spans, so
@@ -55,6 +62,10 @@ class Tracer {
 
   /// Serialize the current capture without writing a file (tests).
   std::string dump_json();
+
+  /// Record a counter sample ("ph":"C") at the current time. No-op when
+  /// inactive. `name` follows the span literal-pointer contract.
+  void counter(const char* name, double value);
 
   // Internal API used by Span and the per-thread buffers.
   void record(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns,
@@ -101,11 +112,15 @@ class Span {
   ::gsgcn::obs::Span GSGCN_OBS_CONCAT(gsgcn_trace_span_,         \
                                       __LINE__)(name,            \
                                                 static_cast<std::int64_t>(id))
+#define GSGCN_TRACE_COUNTER(name, value)       \
+  ::gsgcn::obs::Tracer::instance().counter(    \
+      name, static_cast<double>(value))
 
 #else
 
 // Compiled out: operands are NOT evaluated.
 #define GSGCN_TRACE_SPAN(name) static_cast<void>(0)
 #define GSGCN_TRACE_SPAN_ID(name, id) static_cast<void>(0)
+#define GSGCN_TRACE_COUNTER(name, value) static_cast<void>(0)
 
 #endif  // GSGCN_OBS_ENABLED

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/perf.hpp"
+#include "obs/roofline.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -113,6 +115,11 @@ int propagate_feature_partitioned(const graph::CsrGraph& g,
                                                            in.cols(), 1),
                "feature partition count out of range");
   GSGCN_TRACE_SPAN_ID("featprop/forward", q);
+  const obs::Work work [[maybe_unused]] = obs::spmm_work(
+      static_cast<std::int64_t>(g.num_vertices()),
+      static_cast<std::int64_t>(g.num_edges()),
+      static_cast<std::int64_t>(in.cols()));
+  GSGCN_PERF_REGION_WORK("propagate", work.flops, work.bytes);
   // Q/C rounds of C concurrent slices (Algorithm 6 lines 4-6). A single
   // collapsed parallel-for gives the same schedule with less fork/join.
   util::parallel_for(q, c, [&](std::int64_t i) {
@@ -130,6 +137,11 @@ int propagate_feature_partitioned_backward(const graph::CsrGraph& g,
   const int c = util::resolve_threads(opts.threads);
   const int q = pick_q(g, d_out.cols(), opts, c);
   GSGCN_TRACE_SPAN_ID("featprop/backward", q);
+  const obs::Work work [[maybe_unused]] = obs::spmm_work(
+      static_cast<std::int64_t>(g.num_vertices()),
+      static_cast<std::int64_t>(g.num_edges()),
+      static_cast<std::int64_t>(d_out.cols()));
+  GSGCN_PERF_REGION_WORK("propagate", work.flops, work.bytes);
   util::parallel_for(q, c, [&](std::int64_t i) {
     backward_slice(g, opts.aggregator, d_out, d_in,
                    feature_slice(d_out.cols(), q, static_cast<int>(i)));

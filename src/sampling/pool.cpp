@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/fault.hpp"
@@ -48,6 +49,9 @@ SubgraphPool::~SubgraphPool() { stop_async(); }
 std::vector<graph::Subgraph> SubgraphPool::produce_batch(
     std::uint64_t slot_base) {
   GSGCN_TRACE_SPAN("pool/refill");
+  // No work model: sampling is control-flow-bound, so only wall time and
+  // counter ratios (IPC, miss rate) are meaningful for this phase.
+  GSGCN_PERF_REGION("sample");
   const util::Timer batch_timer;
   const int p = p_inter();
   std::vector<graph::Subgraph> batch(static_cast<std::size_t>(p));
@@ -103,6 +107,7 @@ void SubgraphPool::push_batch_locked(std::vector<graph::Subgraph>&& batch) {
   for (graph::Subgraph& s : batch) queue_.push_back(std::move(s));
   cold_ = false;
   GSGCN_GAUGE_SET("pool.occupancy", queue_.size());
+  GSGCN_TRACE_COUNTER("pool/occupancy", queue_.size());
   not_empty_.notify_all();
 }
 
@@ -265,6 +270,7 @@ graph::Subgraph SubgraphPool::pop() {
   queue_.pop_front();
   ++popped_;
   GSGCN_GAUGE_SET("pool.occupancy", queue_.size());
+  GSGCN_TRACE_COUNTER("pool/occupancy", queue_.size());
   space_.notify_one();
   return out;
 }

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "obs/perf.hpp"
+#include "obs/roofline.hpp"
 #include "obs/trace.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/parallel.hpp"
@@ -321,6 +323,10 @@ void gemm_nn(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
   check_nn(a, b, c);
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   GSGCN_TRACE_SPAN_ID("gemm/nn", 2 * m * n * k);  // args.v = flops
+  const obs::Work work [[maybe_unused]] = obs::gemm_work(
+      static_cast<std::int64_t>(m), static_cast<std::int64_t>(k),
+      static_cast<std::int64_t>(n), beta != 0.0f);
+  GSGCN_PERF_REGION_WORK("gemm", work.flops, work.bytes);
   gemm_core({a.data(), a.ld(), false}, {b.data(), b.ld(), false}, c, m, n, k,
             alpha, beta, epilogue, threads);
 }
@@ -330,6 +336,10 @@ void gemm_tn(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
   check_tn(a, b, c);
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   GSGCN_TRACE_SPAN_ID("gemm/tn", 2 * m * n * k);
+  const obs::Work work [[maybe_unused]] = obs::gemm_work(
+      static_cast<std::int64_t>(m), static_cast<std::int64_t>(k),
+      static_cast<std::int64_t>(n), beta != 0.0f);
+  GSGCN_PERF_REGION_WORK("gemm", work.flops, work.bytes);
   gemm_core({a.data(), a.ld(), true}, {b.data(), b.ld(), false}, c, m, n, k,
             alpha, beta, epilogue, threads);
 }
@@ -339,6 +349,10 @@ void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c, float alpha,
   check_nt(a, b, c);
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   GSGCN_TRACE_SPAN_ID("gemm/nt", 2 * m * n * k);
+  const obs::Work work [[maybe_unused]] = obs::gemm_work(
+      static_cast<std::int64_t>(m), static_cast<std::int64_t>(k),
+      static_cast<std::int64_t>(n), beta != 0.0f);
+  GSGCN_PERF_REGION_WORK("gemm", work.flops, work.bytes);
   gemm_core({a.data(), a.ld(), false}, {b.data(), b.ld(), true}, c, m, n, k,
             alpha, beta, epilogue, threads);
 }

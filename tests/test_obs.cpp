@@ -135,6 +135,34 @@ TEST(Metrics, EmptyHistogramPercentileIsZero) {
   EXPECT_DOUBLE_EQ(reg.scrape().histogram("t.empty").percentile(50.0), 0.0);
 }
 
+TEST(Metrics, OneSampleHistogramEveryPercentileIsTheSample) {
+  // With a single observation min == max, so the clamped interpolation
+  // must collapse every percentile onto that one value.
+  obs::Registry reg;
+  const int h = reg.histogram("t.one", {10.0});
+  reg.observe(h, 5.0);
+  const auto hist = reg.scrape().histogram("t.one");
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(hist.percentile(p), 5.0) << "p=" << p;
+  }
+}
+
+TEST(Metrics, AllOverflowHistogramPercentilesStayInObservedRange) {
+  // Every sample lands past the last bound: the overflow bucket has no
+  // upper edge, so percentiles must clamp to [min, max] instead of
+  // extrapolating to infinity (or returning the meaningless bound).
+  obs::Registry reg;
+  const int h = reg.histogram("t.over", {1.0});
+  for (const double v : {10.0, 20.0, 30.0}) reg.observe(h, v);
+  const auto hist = reg.scrape().histogram("t.over");
+  ASSERT_EQ(hist.buckets.back(), 3u);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(100.0), 30.0);
+  const double p50 = hist.percentile(50.0);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 30.0);
+}
+
 TEST(Metrics, RegistrationIsIdempotentByName) {
   obs::Registry reg;
   EXPECT_EQ(reg.counter("t.c"), reg.counter("t.c"));
@@ -218,6 +246,36 @@ TEST(Trace, SpansProduceWellFormedChromeJson) {
   std::remove(path.c_str());
 }
 
+TEST(Trace, CounterEventsProduceChromeCounterPhase) {
+  // "ph":"C" samples drive Perfetto counter tracks (pool occupancy,
+  // per-phase GFLOP/s, loss). Tracer::counter() is a direct method so it
+  // works in every build flavor; the macro gates on GSGCN_OBS_ENABLED.
+  obs::Tracer& tr = obs::Tracer::instance();
+  const std::string path = ::testing::TempDir() + "gsgcn_counter_test.json";
+  ASSERT_TRUE(tr.start(path));
+  tr.counter("test/occupancy", 3.0);
+  tr.counter("test/occupancy", 7.5);
+  { obs::Span s("test/span"); }
+  EXPECT_EQ(tr.event_count(), 3u);
+  const std::string json = tr.dump_json();
+  EXPECT_TRUE(util::json_valid(json));
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/occupancy\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7.5"), std::string::npos);
+  // Duration events still interleave correctly with counters.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  ASSERT_TRUE(tr.stop());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, InactiveTracerIgnoresCounters) {
+  obs::Tracer& tr = obs::Tracer::instance();
+  ASSERT_FALSE(tr.active());
+  tr.counter("test/ignored", 1.0);
+  EXPECT_EQ(tr.event_count(), 0u);
+}
+
 TEST(Trace, InactiveTracerRecordsNothing) {
   obs::Tracer& tr = obs::Tracer::instance();
   ASSERT_FALSE(tr.active());
@@ -246,6 +304,33 @@ TEST(Telemetry, JsonlRoundTrip) {
     ++lines;
   }
   EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, EscapedStringsStayOneValidLinePerRecord) {
+  // JSONL only works if a record is exactly one line: strings containing
+  // newlines, quotes, backslashes and control bytes must arrive escaped
+  // (JsonWriter's job) and the sink must not mangle them.
+  obs::Telemetry& sink = obs::Telemetry::instance();
+  const std::string path = ::testing::TempDir() + "gsgcn_escape_test.jsonl";
+  ASSERT_TRUE(sink.open(path));
+  std::string rec;
+  util::JsonWriter w(&rec);
+  w.begin_object();
+  w.key("type").value("escape");
+  w.key("text").value("line1\nline2\t\"quoted\" back\\slash \x01 end");
+  w.end_object();
+  EXPECT_EQ(rec.find('\n'), std::string::npos);  // writer escaped it
+  sink.emit(rec);
+  sink.close();
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(util::json_valid(line)) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 1);  // still a single JSONL record
   std::remove(path.c_str());
 }
 
