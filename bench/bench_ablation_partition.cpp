@@ -98,7 +98,7 @@ int main() {
       const auto part = graph::partition_range(g.num_vertices(), parts);
       const int q = std::max(1, q_used / static_cast<int>(parts));
       const bench::TimingStats s_2d = bench::timing_stats(
-          [&] { propagation::propagate_2d(g, part, q, in, out, threads); }, 5);
+          [&] { propagation::propagate_2d(g, part, q, propagation::AggregatorKind::kMean, in, out, threads); }, 5);
       t.row()
           .cell("2-D (graph x feature)")
           .cell(static_cast<std::int64_t>(parts))
@@ -129,7 +129,7 @@ int main() {
     const auto parts = graph::partition_range(
         g.num_vertices(), static_cast<std::uint32_t>(std::max(2, threads)));
     const bench::TimingStats s_part = bench::timing_stats(
-        [&] { propagation::propagate_2d(g, parts, 1, in, out, threads); }, 5);
+        [&] { propagation::propagate_2d(g, parts, 1, propagation::AggregatorKind::kMean, in, out, threads); }, 5);
     propagation::FeaturePartitionOptions fopts;
     fopts.threads = threads;
     const bench::TimingStats s_feat = bench::timing_stats(

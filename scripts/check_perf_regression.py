@@ -1,8 +1,7 @@
 #!/usr/bin/env python3
 """Generic perf-regression gate over BENCH_*.json artifacts.
 
-Generalizes check_gemm_speedup.py: instead of one hardcoded comparison,
-this diffs any bench JSON — google-benchmark format ("benchmarks" list)
+Instead of one hardcoded comparison, this diffs any bench JSON — google-benchmark format ("benchmarks" list)
 or the repo JsonEmitter format ("records" list) — against a committed
 baseline with per-metric tolerances, and/or checks within-file pair
 ratios (e.g. packed vs legacy GEMM). It is the single CI perf gate.
@@ -24,7 +23,8 @@ Modes (combinable):
       prefixes and requires the median CUR/REF ratio of metric M to be
       >= R. Machine-independent (both sides run on the same host), so
       this is the strong gate; absolute baseline diffs across different
-      runners should use loose tolerances.
+      runners should use loose tolerances. --min-each-pair-ratio R2
+      additionally bounds every individual pair (no outlier escape).
 
 Entries are keyed by benchmark name (google-benchmark) or by the record
 "kind" plus the values of --key fields (JsonEmitter). Metrics are any
@@ -154,7 +154,8 @@ def check_baseline(current, baseline, rules, require_coverage,
     return failures
 
 
-def check_pairs(current, cur_prefix, ref_prefix, metric, min_ratio, out):
+def check_pairs(current, cur_prefix, ref_prefix, metric, min_ratio, out,
+                min_each_ratio=None):
     pairs, ratios = [], []
     for key, metrics in current.items():
         if not key.startswith(cur_prefix) or metric not in metrics:
@@ -180,10 +181,20 @@ def check_pairs(current, cur_prefix, ref_prefix, metric, min_ratio, out):
     median = statistics.median(ratios)
     out(f"pair {cur_prefix}/{ref_prefix} median {metric} ratio over "
         f"{len(ratios)} pairs: {median:.2f}x (floor {min_ratio:.2f}x)")
+    failures = []
     if median < min_ratio:
-        return [f"pair {cur_prefix}={ref_prefix}: median {metric} ratio "
-                f"{median:.2f}x below floor {min_ratio:.2f}x"]
-    return []
+        failures.append(f"pair {cur_prefix}={ref_prefix}: median {metric} "
+                        f"ratio {median:.2f}x below floor {min_ratio:.2f}x")
+    if min_each_ratio is not None:
+        # Per-pair floor: no individual shape may fall below it (the median
+        # gate tolerates outliers; this one doesn't).
+        for suffix, c, r, ratio in sorted(pairs):
+            if ratio < min_each_ratio:
+                failures.append(
+                    f"pair {cur_prefix}={ref_prefix}: entry '{suffix}' "
+                    f"{metric} ratio {ratio:.2f}x below per-pair floor "
+                    f"{min_each_ratio:.2f}x")
+    return failures
 
 
 def self_test():
@@ -218,6 +229,13 @@ def self_test():
     # Unknown metric -> explicit failure, not a silent pass.
     assert check_pairs(cur, "BM_FooPacked", "BM_FooLegacy", "nope",
                        1.0, quiet) != []
+    # Per-pair floor: ratios are (2.0, 3.0) — every pair clears 1.5, but
+    # the /64 pair falls below 2.5 even though the median (2.5) passes.
+    assert check_pairs(cur, "BM_FooPacked", "BM_FooLegacy", "GFLOPS",
+                       2.0, quiet, min_each_ratio=1.5) == []
+    fails = check_pairs(cur, "BM_FooPacked", "BM_FooLegacy", "GFLOPS",
+                        2.5, quiet, min_each_ratio=2.5)
+    assert len(fails) == 1 and "per-pair floor" in fails[0], fails
 
     # Baseline diff: 10% regression passes tol 0.8, fails tol 0.95.
     base = {k: dict(v) for k, v in cur.items()}
@@ -304,6 +322,10 @@ def main():
                          "BM_GemmPacked=BM_GemmLegacy")
     ap.add_argument("--pair-metric", default="GFLOPS")
     ap.add_argument("--min-pair-ratio", type=float, default=1.2)
+    ap.add_argument("--min-each-pair-ratio", type=float, default=None,
+                    help="additionally require EVERY pair ratio >= this "
+                         "(the median gate tolerates outliers; this "
+                         "doesn't)")
     ap.add_argument("--self-test", action="store_true",
                     help="run the built-in unit tests and exit")
     args = ap.parse_args()
@@ -325,7 +347,7 @@ def main():
         cur_prefix, ref_prefix = args.pair.split("=", 1)
         failures += check_pairs(current, cur_prefix, ref_prefix,
                                 args.pair_metric, args.min_pair_ratio,
-                                print)
+                                print, args.min_each_pair_ratio)
 
     if args.baseline:
         rules = [parse_metric_rule(s) for s in args.metric]

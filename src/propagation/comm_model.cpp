@@ -25,6 +25,9 @@ double g_comm(const CommModelParams& m, int p, int q, double gamma_p) {
 
 int choose_feature_partitions(const CommModelParams& m) {
   if (m.processors < 1) throw std::invalid_argument("choose_q: C >= 1");
+  if (m.cache_bytes == 0) {
+    throw std::invalid_argument("choose_q: S_cache must be positive");
+  }
   const double bytes = static_cast<double>(m.elem_bytes) *
                        static_cast<double>(m.n) * static_cast<double>(m.f);
   const int q_cache = static_cast<int>(
@@ -45,8 +48,10 @@ double g_comm_lower_bound(const CommModelParams& m) {
 bool theorem2_preconditions(const CommModelParams& m) {
   // C ≤ 4f/d (paper's constants give the factor elem/(2·idx) = 4/2 → the
   // published form C ≤ 4f/d assumes elem=8, idx=2; generalized:
-  // C·idx·d ≤ elem·f/2) and idx-stream fits cache: idx·n·d ≤ S/2 … the
-  // paper states 2nd ≤ S_cache with idx = 2 bytes.
+  // C·idx·d ≤ elem·f/2) and the index stream fits the FULL private cache:
+  // idx·n·d ≤ S_cache — the paper's 2nd ≤ S_cache with idx = 2 bytes.
+  // (Only the C-bound carries a 1/2; the feature slices are already sized
+  // to the cache by Q*, the index stream is what must additionally fit.)
   const double lhs_c = static_cast<double>(m.processors) *
                        static_cast<double>(m.idx_bytes) * m.d;
   const double rhs_c = 0.5 * static_cast<double>(m.elem_bytes) *

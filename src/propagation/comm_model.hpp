@@ -33,8 +33,10 @@ double g_comp(const CommModelParams& m);
 /// source-set expansion ratio gamma_p (γ_P ∈ [1/P, 1]).
 double g_comm(const CommModelParams& m, int p, int q, double gamma_p);
 
-/// The paper's feature-only choice Q* = max{C, elem_bytes·n·f/S_cache},
-/// rounded up to a multiple of C so every round uses all processors.
+/// The paper's feature-only choice Q* = max{C, ⌈elem_bytes·n·f/S_cache⌉},
+/// clamped to at most f (never more slices than features). Deliberately
+/// NOT rounded up to a multiple of C — that can break the 2-approximation.
+/// Throws if cache_bytes is 0 or processors < 1.
 int choose_feature_partitions(const CommModelParams& m);
 
 /// Lower bound elem_bytes·n·f on g_comm over all (P, Q, γ) — the quantity

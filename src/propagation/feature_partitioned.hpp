@@ -25,6 +25,11 @@ struct FeaturePartitionOptions {
   std::size_t cache_bytes = 0;  // per-core private cache; 0 = detect (L2)
   int force_q = 0;     // 0 = use choose_feature_partitions
   AggregatorKind aggregator = AggregatorKind::kMean;
+  // Time a few Q candidates around the analytic Q* and keep the fastest,
+  // cached per (n, e, f, threads) shape. Only engages when neither force_q
+  // nor cache_bytes pins the choice. The tiled kernel is bit-identical for
+  // every Q, so the measured pick never changes numerics.
+  bool autotune = true;
 };
 
 /// Mean aggregation via Algorithm 6 (P = 1, feature-only partitioning).
@@ -40,10 +45,24 @@ int propagate_feature_partitioned_backward(
     const graph::CsrGraph& g, const tensor::Matrix& d_out,
     tensor::Matrix& d_in, const FeaturePartitionOptions& opts = {});
 
-/// 2-D partitioned mean aggregation: vertex partition `parts` × q feature
-/// slices, parallel over (part, slice) pairs. Same numerical result.
+/// 2-D partitioned aggregation: vertex partition `parts` × q feature
+/// slices, parallel over (part, slice) pairs. Same numerical result as
+/// aggregate_forward(kind).
 void propagate_2d(const graph::CsrGraph& g, const graph::Partition& parts,
-                  int q, const tensor::Matrix& in, tensor::Matrix& out,
-                  int threads = 0);
+                  int q, AggregatorKind kind, const tensor::Matrix& in,
+                  tensor::Matrix& out, int threads = 0);
+
+/// The pre-tiling scalar slice kernels, kept as the measured baseline for
+/// bench_propagation (the tiled-vs-legacy CI gate). Always uses the
+/// analytic Q — no autotuning.
+namespace legacy {
+int propagate_feature_partitioned(const graph::CsrGraph& g,
+                                  const tensor::Matrix& in,
+                                  tensor::Matrix& out,
+                                  const FeaturePartitionOptions& opts = {});
+int propagate_feature_partitioned_backward(
+    const graph::CsrGraph& g, const tensor::Matrix& d_out,
+    tensor::Matrix& d_in, const FeaturePartitionOptions& opts = {});
+}  // namespace legacy
 
 }  // namespace gsgcn::propagation

@@ -7,6 +7,17 @@
 // dIn[u] = Σ_{v ∈ N(u)} dOut[v] / deg(v). Both stream CSR rows and do
 // random reads on the dense operand, exactly the access pattern Section V
 // models. Degree-0 vertices aggregate to zero.
+//
+// Every gather-style entry point below bottoms out in the tiled::
+// row-block kernel: per destination row, 32-float column chunks are
+// accumulated in four ymm registers across the whole neighbor list and
+// stored once, with the degree normalization fused into the store (the
+// way ReLU was fused into the GEMM epilogue). One store pass instead of
+// the old memset + per-neighbor read-modify-write + scale passes — the
+// kernel is bandwidth-bound, so that is where the speedup lives.
+
+#include <span>
+#include <vector>
 
 #include "graph/csr.hpp"
 #include "tensor/matrix.hpp"
@@ -56,6 +67,50 @@ void aggregate_forward_edge_centric(const graph::CsrGraph& g,
                                     AggregatorKind kind,
                                     const tensor::Matrix& in,
                                     tensor::Matrix& out, int threads = 0);
+
+/// The row-block tiled kernel underneath every gather-style path above
+/// (and the partitioned/2-D schemes in feature_partitioned.hpp). All
+/// aggregators reduce to one form:
+///   out[v][j] = s_v · Σ_{u ∈ N(v)} w[u] · in[u][j]
+/// with a per-SOURCE weight table w (nullptr ⇒ w ≡ 1) and a per-DEST
+/// epilogue scale s_v fused into the store:
+///   sum (fwd = bwd):   w ≡ 1,          s_v = 1
+///   mean forward:      w ≡ 1,          s_v = 1/deg v
+///   mean backward:     w[u] = 1/deg u, s_v = 1
+///   symmetric (= bwd): w[u] = 1/√deg u, s_v = 1/√deg v
+/// Accumulation order is always CSR neighbor order and every column sees
+/// the identical FMA/add chain regardless of which chunk width (32-wide,
+/// 8-wide, scalar tail) or slice computed it, so results are bit-identical
+/// for any Q, any row block, and any thread count — which is what lets
+/// the measured-Q autotuner vary Q without touching numerics.
+namespace tiled {
+
+/// Row-block granularity the aggregate_* wrappers parallelize over.
+inline constexpr std::int64_t kRowBlock = 64;
+
+/// Per-source weight table for (kind, backward), or empty when the path
+/// needs none (sum always; mean forward, whose 1/deg is the epilogue).
+std::vector<float> source_weights(const graph::CsrGraph& g,
+                                  AggregatorKind kind, bool backward,
+                                  int threads = 0);
+
+/// Aggregate rows [row_begin, row_end) × columns [col_begin, col_end).
+/// src_weights must be source_weights(g, kind, backward).data() when that
+/// table is non-empty and nullptr otherwise.
+void aggregate_rows(const graph::CsrGraph& g, AggregatorKind kind,
+                    bool backward, const tensor::Matrix& in,
+                    tensor::Matrix& out, graph::Vid row_begin,
+                    graph::Vid row_end, std::size_t col_begin,
+                    std::size_t col_end, const float* src_weights);
+
+/// Same kernel over an explicit vertex list (propagate_2d's tiles).
+void aggregate_rows(const graph::CsrGraph& g, AggregatorKind kind,
+                    bool backward, const tensor::Matrix& in,
+                    tensor::Matrix& out, std::span<const graph::Vid> rows,
+                    std::size_t col_begin, std::size_t col_end,
+                    const float* src_weights);
+
+}  // namespace tiled
 
 /// Serial, double-accumulated references for tests.
 namespace reference {

@@ -70,6 +70,25 @@ TEST(CommModel, ChooseQCacheBound) {
   EXPECT_GE(choose_feature_partitions(m), 125);
 }
 
+TEST(CommModel, ChooseQThrowsOnZeroCache) {
+  // Regression: cache_bytes = 0 used to feed an unguarded division whose
+  // infinite quotient hit UB on the float→int cast.
+  CommModelParams m = paper_params();
+  m.cache_bytes = 0;
+  EXPECT_THROW(choose_feature_partitions(m), std::invalid_argument);
+}
+
+TEST(CommModel, IndexStreamBoundUsesFullCache) {
+  // Pins the paper's form of the second precondition: idx·n·d ≤ S_cache
+  // (2nd ≤ S with idx = 2 bytes) — the FULL cache, not half of it. An
+  // index stream between S/2 and S must still pass; beyond S it fails.
+  CommModelParams m = paper_params();
+  m.n = 6000;  // idx·n·d = 2·6000·15 = 180000 ∈ (131072, 262144]
+  EXPECT_TRUE(theorem2_preconditions(m));
+  m.n = 9000;  // 270000 > 262144
+  EXPECT_FALSE(theorem2_preconditions(m));
+}
+
 TEST(CommModel, Theorem2TwoApproximation) {
   // Under the preconditions, g_comm(1, Q*) ≤ 2 · lower bound, hence ≤ 2 ·
   // optimum over all feasible (P, Q, γ).

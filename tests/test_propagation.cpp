@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "graph/partition.hpp"
 #include "propagation/feature_partitioned.hpp"
@@ -146,6 +148,26 @@ TEST(FeaturePartitioned, QNeverExceedsFeatureCount) {
   EXPECT_LE(q, 3);
 }
 
+TEST(FeaturePartitioned, ZeroColumnsWithForcedQ) {
+  // Regression: force_q > 0 with f = 0 used to clamp to q = 0, violating
+  // the q >= 1 slice contract.
+  const CsrGraph g = gsgcn::testing::small_er(40, 160, 21);
+  const Matrix in(40, 0);
+  Matrix out(40, 0);
+  FeaturePartitionOptions opts;
+  opts.force_q = 4;
+  EXPECT_EQ(propagate_feature_partitioned(g, in, out, opts), 1);
+  EXPECT_EQ(propagate_feature_partitioned_backward(g, in, out, opts), 1);
+}
+
+TEST(FeaturePartitioned, ZeroColumnsAnalyticQ) {
+  const CsrGraph g = gsgcn::testing::small_er(40, 160, 22);
+  const Matrix in(40, 0);
+  Matrix out(40, 0);
+  EXPECT_EQ(propagate_feature_partitioned(g, in, out, {}), 1);
+  EXPECT_EQ(propagate_feature_partitioned_backward(g, in, out, {}), 1);
+}
+
 TEST(FeaturePartitioned, TinyCacheForcesMoreSlices) {
   const CsrGraph g = gsgcn::testing::small_er(200, 1000, 15);
   const Matrix in = random_features(200, 64, 16);
@@ -172,7 +194,7 @@ TEST_P(Propagate2dSweep, MatchesPlainKernel) {
   const Matrix in = random_features(120, 24, 18);
   Matrix out(120, 24), ref(120, 24);
   const graph::Partition p = graph::partition_range(120, parts);
-  propagate_2d(g, p, q, in, out, 2);
+  propagate_2d(g, p, q, AggregatorKind::kMean, in, out, 2);
   aggregate_mean_forward(g, in, ref);
   EXPECT_LT(Matrix::max_abs_diff(out, ref), 1e-4f);
 }
@@ -292,12 +314,176 @@ TEST(Aggregator, SymmetricOnTinyGraphByHand) {
   EXPECT_NEAR(out(1, 0), (2.0f + 6.0f) / std::sqrt(2.0f), 1e-5);
 }
 
+TEST_P(AggregatorSweep, Propagate2dMatchesPlain) {
+  // Regression: propagate_2d used to hardcode mean normalization no matter
+  // which aggregator the layer was configured with.
+  const CsrGraph g = gsgcn::testing::small_er(120, 600, 44);
+  const Matrix in = random_features(120, 24, 45);
+  Matrix out(120, 24), ref(120, 24);
+  const graph::Partition p = graph::partition_hash(120, 5);
+  propagate_2d(g, p, 3, GetParam(), in, out, 2);
+  aggregate_forward(g, GetParam(), in, ref);
+  EXPECT_LT(Matrix::max_abs_diff(out, ref), 1e-4f);
+}
+
+TEST_P(AggregatorSweep, LegacyKernelsMatchTiled) {
+  const CsrGraph g = gsgcn::testing::small_er(120, 600, 46);
+  const Matrix in = random_features(120, 24, 47);
+  Matrix tiled_out(120, 24), legacy_out(120, 24);
+  FeaturePartitionOptions opts;
+  opts.threads = 2;
+  opts.aggregator = GetParam();
+  propagate_feature_partitioned(g, in, tiled_out, opts);
+  legacy::propagate_feature_partitioned(g, in, legacy_out, opts);
+  EXPECT_LT(Matrix::max_abs_diff(tiled_out, legacy_out), 1e-4f);
+  propagate_feature_partitioned_backward(g, in, tiled_out, opts);
+  legacy::propagate_feature_partitioned_backward(g, in, legacy_out, opts);
+  EXPECT_LT(Matrix::max_abs_diff(tiled_out, legacy_out), 1e-4f);
+}
+
+// ---- adjoint property on every kernel path --------------------------------
+
+// ⟨Ax, y⟩ must equal ⟨x, Aᵀy⟩ whichever kernel computes A. The graph keeps
+// 8 isolated vertices (empty-neighbor rows) and f = 5 stays below the
+// 8-wide vector width, so only the scalar tail runs.
+TEST_P(AggregatorSweep, AdjointOnEveryKernelPath) {
+  const AggregatorKind kind = GetParam();
+  constexpr Vid kN = 64;  // vertices 56..63 stay isolated
+  std::vector<graph::Edge> edges;
+  for (Vid i = 0; i + 1 < 56; ++i) edges.push_back({i, i + 1});
+  for (Vid i = 0; i < 56; ++i) edges.push_back({i, (i + 13) % 56});
+  const CsrGraph g = CsrGraph::from_edges(
+      kN, std::span<const graph::Edge>(edges.data(), edges.size()));
+  constexpr std::size_t kF = 5;
+  const Matrix x = random_features(kN, kF, 48);
+  const Matrix y = random_features(kN, kF, 49);
+  const graph::Partition parts = graph::partition_range(kN, 4);
+  const std::vector<float> w_fwd =
+      tiled::source_weights(g, kind, /*backward=*/false);
+
+  const auto forward = [&](int path, const Matrix& src, Matrix& dst) {
+    switch (path) {
+      case 0: aggregate_forward(g, kind, src, dst, 2); break;
+      case 1: aggregate_forward_edge_centric(g, kind, src, dst, 2); break;
+      case 2: {
+        FeaturePartitionOptions opts;
+        opts.threads = 2;
+        opts.aggregator = kind;
+        propagate_feature_partitioned(g, src, dst, opts);
+        break;
+      }
+      case 3: propagate_2d(g, parts, 2, kind, src, dst, 2); break;
+      case 4:
+        tiled::aggregate_rows(g, kind, /*backward=*/false, src, dst, 0, kN, 0,
+                              kF, w_fwd.empty() ? nullptr : w_fwd.data());
+        break;
+      default: FAIL();
+    }
+  };
+  const auto backward = [&](int path, const Matrix& src, Matrix& dst) {
+    if (path == 2) {
+      FeaturePartitionOptions opts;
+      opts.threads = 2;
+      opts.aggregator = kind;
+      propagate_feature_partitioned_backward(g, src, dst, opts);
+    } else {
+      aggregate_backward(g, kind, src, dst, 2);
+    }
+  };
+
+  for (int path = 0; path < 5; ++path) {
+    Matrix ax(kN, kF), aty(kN, kF);
+    forward(path, x, ax);
+    backward(path, y, aty);
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < ax.size(); ++i) {
+      lhs += static_cast<double>(ax.data()[i]) * y.data()[i];
+      rhs += static_cast<double>(x.data()[i]) * aty.data()[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-2) << "path " << path;
+    // Isolated vertices aggregate to zero on every path.
+    for (Vid v = 56; v < kN; ++v) {
+      for (std::size_t j = 0; j < kF; ++j) {
+        EXPECT_EQ(ax(v, j), 0.0f) << "path " << path << " v " << v;
+      }
+    }
+  }
+}
+
+// ---- bit-identity across Q, threads and kernel entry points ---------------
+
+// The autotuner may pick a different Q on every run (it measures wall
+// time), so the tiled kernel must produce bit-identical results for ANY
+// slicing — this is what keeps checkpoint/resume histories byte-stable.
+TEST_P(AggregatorSweep, BitIdenticalAcrossThreadsAndQ) {
+  const AggregatorKind kind = GetParam();
+  const CsrGraph g = gsgcn::testing::small_er(150, 700, 50);
+  const Matrix in = random_features(150, 37, 51);
+  const std::size_t bytes = 150 * 37 * sizeof(float);
+  Matrix base(150, 37);
+  FeaturePartitionOptions ref_opts;
+  ref_opts.threads = 1;
+  ref_opts.force_q = 1;
+  ref_opts.aggregator = kind;
+  propagate_feature_partitioned(g, in, base, ref_opts);
+  for (int threads : {1, 2, 4}) {
+    for (int q : {2, 5, 8, 37}) {
+      FeaturePartitionOptions opts;
+      opts.threads = threads;
+      opts.force_q = q;
+      opts.aggregator = kind;
+      Matrix out(150, 37);
+      propagate_feature_partitioned(g, in, out, opts);
+      ASSERT_EQ(0, std::memcmp(out.data(), base.data(), bytes))
+          << "threads=" << threads << " q=" << q;
+    }
+  }
+  // The plain entry point and the autotuned path land on the same bits.
+  Matrix plain(150, 37);
+  aggregate_forward(g, kind, in, plain, 4);
+  EXPECT_EQ(0, std::memcmp(plain.data(), base.data(), bytes));
+  Matrix tuned(150, 37);
+  FeaturePartitionOptions tuned_opts;
+  tuned_opts.threads = 2;
+  tuned_opts.aggregator = kind;
+  propagate_feature_partitioned(g, in, tuned, tuned_opts);
+  EXPECT_EQ(0, std::memcmp(tuned.data(), base.data(), bytes));
+}
+
+TEST_P(AggregatorSweep, BackwardBitIdenticalAcrossThreadsAndQ) {
+  const AggregatorKind kind = GetParam();
+  const CsrGraph g = gsgcn::testing::small_er(150, 700, 52);
+  const Matrix d_out = random_features(150, 21, 53);
+  const std::size_t bytes = 150 * 21 * sizeof(float);
+  Matrix base(150, 21);
+  FeaturePartitionOptions ref_opts;
+  ref_opts.threads = 1;
+  ref_opts.force_q = 1;
+  ref_opts.aggregator = kind;
+  propagate_feature_partitioned_backward(g, d_out, base, ref_opts);
+  for (int threads : {1, 4}) {
+    for (int q : {3, 21}) {
+      FeaturePartitionOptions opts;
+      opts.threads = threads;
+      opts.force_q = q;
+      opts.aggregator = kind;
+      Matrix d_in(150, 21);
+      propagate_feature_partitioned_backward(g, d_out, d_in, opts);
+      ASSERT_EQ(0, std::memcmp(d_in.data(), base.data(), bytes))
+          << "threads=" << threads << " q=" << q;
+    }
+  }
+  Matrix plain(150, 21);
+  aggregate_backward(g, kind, d_out, plain, 4);
+  EXPECT_EQ(0, std::memcmp(plain.data(), base.data(), bytes));
+}
+
 TEST(Propagate2d, HashPartitionAlsoCorrect) {
   const CsrGraph g = gsgcn::testing::small_er(120, 600, 19);
   const Matrix in = random_features(120, 16, 20);
   Matrix out(120, 16), ref(120, 16);
   const graph::Partition p = graph::partition_hash(120, 5);
-  propagate_2d(g, p, 2, in, out, 2);
+  propagate_2d(g, p, 2, AggregatorKind::kMean, in, out, 2);
   aggregate_mean_forward(g, in, ref);
   EXPECT_LT(Matrix::max_abs_diff(out, ref), 1e-4f);
 }
