@@ -1,0 +1,248 @@
+// gsgcn serve_load_cli — retrying load generator for serve_cli.
+//
+// Drives closed-loop request streams over N client threads (each with its
+// own connection, retry budget, and decorrelated jitter stream), measures
+// end-to-end latency INCLUDING retries/reconnects — the latency a real
+// caller sees — and reports p50/p99/p999, QPS, shed rate, and transport
+// error counts as JSON.
+//
+//   ./serve_load_cli --port 7070 --threads 4 --requests 500
+//   ./serve_load_cli --port-file /tmp/port --duration 5s --out load.json
+//
+// Exit codes: 0 = every request eventually answered (shed replies count
+// as answered — the protocol worked); 1 = transport give-ups or
+// malformed replies (the robustness bug CI is hunting).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "util/cli.hpp"
+#include "util/json_writer.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace gsgcn;
+using Clock = std::chrono::steady_clock;
+
+struct WorkerResult {
+  std::vector<double> latency_ms;  // answered calls only
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;        // final reply OVERLOADED/SHUTTING_DOWN
+  std::uint64_t bad = 0;         // BAD_REQUEST / INTERNAL (server-side)
+  std::uint64_t transport = 0;   // call() gave up entirely
+  serve::ClientStats client;
+};
+
+void print_help() {
+  std::printf(R"(gsgcn serve_load_cli — load generator / latency harness
+
+target:
+  --port P             server port (or --port-file FILE to read it)
+  --port-file FILE     file containing the port (written by serve_cli)
+
+load shape:
+  --threads C (2)      concurrent closed-loop client connections
+  --requests N (200)   requests per thread (ignored with --duration)
+  --duration D (0)     run for a wall-clock duration instead (2s, 500ms...)
+  --batch K (4)        vertex ids per request
+  --vertices V (2000)  id range to sample from (match the server dataset)
+  --deadline D (0)     per-request deadline (0 = server default)
+  --pacing D (0)       sleep between calls per thread (closed loop if 0)
+
+retry policy:
+  --attempts A (8)     tries per request before giving up
+  --backoff D (5ms)    base backoff (doubles per retry, jittered)
+  --recv-timeout (5s)  per-attempt receive timeout
+  --seed S (1)
+
+output:
+  --out FILE           write the summary JSON here (stdout always gets it)
+)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Cli cli(argc, argv);
+    if (cli.has("help")) {
+      print_help();
+      return 0;
+    }
+
+    std::uint16_t port = static_cast<std::uint16_t>(cli.get("port", 0));
+    const std::string port_file = cli.get("port-file", std::string());
+    if (!port_file.empty()) {
+      std::ifstream pf(port_file);
+      int from_file = 0;
+      if (!(pf >> from_file) || from_file <= 0 || from_file > 65535) {
+        std::cerr << "error: cannot read a port from " << port_file << "\n";
+        return 2;
+      }
+      port = static_cast<std::uint16_t>(from_file);
+    }
+    if (port == 0) {
+      std::cerr << "error: --port or --port-file required (see --help)\n";
+      return 2;
+    }
+
+    const int threads = std::max(1, cli.get("threads", 2));
+    const std::int64_t requests = cli.get("requests", std::int64_t{200});
+    const double duration_ms = cli.get_duration_ms("duration", 0.0);
+    const auto batch = static_cast<std::uint32_t>(cli.get("batch", 4));
+    const auto vertices =
+        static_cast<std::uint32_t>(cli.get("vertices", 2000));
+    const auto deadline_ms =
+        static_cast<std::uint32_t>(cli.get_duration_ms("deadline", 0.0));
+    const double pacing_ms = cli.get_duration_ms("pacing", 0.0);
+    const auto seed = static_cast<std::uint64_t>(cli.get("seed", 1));
+
+    serve::ClientOptions copts;
+    copts.port = port;
+    copts.max_attempts = cli.get("attempts", 8);
+    copts.base_backoff_ms = cli.get_duration_ms("backoff", 5.0);
+    copts.recv_timeout_ms = cli.get_duration_ms("recv-timeout", 5000.0);
+
+    const std::string out_path = cli.get("out", std::string());
+    for (const auto& flag : cli.unused()) {
+      std::cerr << "unknown flag: --" << flag << " (see --help)\n";
+      return 2;
+    }
+
+    std::vector<WorkerResult> results(static_cast<std::size_t>(threads));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    const Clock::time_point start = Clock::now();
+    const Clock::time_point stop_at =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(duration_ms));
+
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        WorkerResult& res = results[static_cast<std::size_t>(t)];
+        serve::ClientOptions o = copts;
+        o.seed = seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(t) + 1));
+        serve::RetryingClient client(o);
+        util::Xoshiro256 rng = util::Xoshiro256::stream(
+            seed, static_cast<std::uint64_t>(t));
+        std::uint64_t rid = (static_cast<std::uint64_t>(t) << 32) + 1;
+        res.latency_ms.reserve(
+            duration_ms > 0 ? 4096 : static_cast<std::size_t>(requests));
+
+        for (std::int64_t i = 0;; ++i) {
+          if (duration_ms > 0) {
+            if (Clock::now() >= stop_at) break;
+          } else if (i >= requests) {
+            break;
+          }
+          serve::Request req;
+          req.request_id = rid++;
+          req.deadline_ms = deadline_ms;
+          req.vertices.reserve(batch);
+          for (std::uint32_t k = 0; k < batch; ++k) {
+            req.vertices.push_back(
+                static_cast<graph::Vid>(rng.below(vertices)));
+          }
+          serve::Response resp;
+          std::string err;
+          const Clock::time_point t0 = Clock::now();
+          const bool answered = client.call(req, resp, err);
+          const double ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                  .count();
+          if (!answered) {
+            ++res.transport;
+          } else {
+            res.latency_ms.push_back(ms);
+            switch (resp.status) {
+              case serve::Status::kOk: ++res.ok; break;
+              case serve::Status::kOverloaded:
+              case serve::Status::kShuttingDown: ++res.shed; break;
+              default: ++res.bad; break;
+            }
+          }
+          if (pacing_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(pacing_ms));
+          }
+        }
+        res.client = client.stats();
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    WorkerResult total;
+    for (const WorkerResult& r : results) {
+      total.latency_ms.insert(total.latency_ms.end(), r.latency_ms.begin(),
+                              r.latency_ms.end());
+      total.ok += r.ok;
+      total.shed += r.shed;
+      total.bad += r.bad;
+      total.transport += r.transport;
+      total.client.calls += r.client.calls;
+      total.client.retries += r.client.retries;
+      total.client.reconnects += r.client.reconnects;
+      total.client.io_errors += r.client.io_errors;
+      total.client.overloaded += r.client.overloaded;
+    }
+    const std::uint64_t answered = total.ok + total.shed + total.bad;
+    const double qps = wall_s > 0 ? static_cast<double>(answered) / wall_s : 0;
+    const double shed_rate =
+        answered > 0 ? static_cast<double>(total.shed) /
+                           static_cast<double>(answered)
+                     : 0.0;
+    const double p50 = util::percentile(total.latency_ms, 50.0);
+    const double p99 = util::percentile(total.latency_ms, 99.0);
+    const double p999 = util::percentile(total.latency_ms, 99.9);
+
+    std::string json;
+    util::JsonWriter w(&json);
+    w.begin_object();
+    w.key("threads").value(threads);
+    w.key("batch").value(static_cast<std::int64_t>(batch));
+    w.key("answered").value(static_cast<std::int64_t>(answered));
+    w.key("ok").value(static_cast<std::int64_t>(total.ok));
+    w.key("shed").value(static_cast<std::int64_t>(total.shed));
+    w.key("bad").value(static_cast<std::int64_t>(total.bad));
+    w.key("transport_failures")
+        .value(static_cast<std::int64_t>(total.transport));
+    w.key("retries").value(static_cast<std::int64_t>(total.client.retries));
+    w.key("reconnects")
+        .value(static_cast<std::int64_t>(total.client.reconnects));
+    w.key("io_errors_absorbed")
+        .value(static_cast<std::int64_t>(total.client.io_errors));
+    w.key("wall_seconds").value(wall_s);
+    w.key("qps").value(qps);
+    w.key("shed_rate").value(shed_rate);
+    w.key("latency_ms_p50").value(p50);
+    w.key("latency_ms_p99").value(p99);
+    w.key("latency_ms_p999").value(p999);
+    w.end_object();
+    std::printf("%s\n", json.c_str());
+    if (!out_path.empty()) {
+      std::ofstream out(out_path, std::ios::trunc);
+      out << json << "\n";
+      if (!out) {
+        std::cerr << "error: cannot write --out " << out_path << "\n";
+        return 1;
+      }
+    }
+    if (total.transport > 0 || total.bad > 0) return 1;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

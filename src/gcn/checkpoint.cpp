@@ -9,8 +9,8 @@
 #include <stdexcept>
 #include <utility>
 
-#include "util/crc32.hpp"
 #include "util/fault.hpp"
+#include "util/frame.hpp"
 
 namespace gsgcn::gcn {
 
@@ -18,11 +18,16 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr std::uint64_t kCkptMagic = 0x6773676e636b7031ULL;  // "gsgnckp1"
-constexpr std::uint32_t kCkptVersion = 1;
 constexpr std::uint32_t kPayloadVersion = 1;
-// A checkpoint larger than this is a corrupt size field, not a model.
-constexpr std::uint64_t kMaxPayloadBytes = 1ull << 34;
+// Magic/version/size-cap of the on-disk envelope. The header layout lives
+// in util/frame.hpp (shared with the serving wire protocol); this spec
+// keeps the exact bytes PR 4 wrote, so old checkpoints remain readable.
+// A checkpoint larger than max_payload is a corrupt size field, not a
+// model.
+constexpr util::FrameSpec kCkptFrame{
+    /*magic=*/0x6773676e636b7031ULL,  // "gsgnckp1"
+    /*version=*/1,
+    /*max_payload=*/1ull << 34};
 
 template <class T>
 void put(std::ostream& out, const T& v) {
@@ -165,22 +170,17 @@ void CheckpointManager::write_file(const std::string& path,
   if (!out) {
     throw std::runtime_error("checkpoint: cannot open " + path + " for write");
   }
-  const std::uint64_t size = payload.size();
-  const std::uint32_t crc = util::crc32(payload.data(), payload.size());
-  put(out, kCkptMagic);
-  put(out, kCkptVersion);
-  put(out, size);
-  put(out, crc);
+  const std::string framed = util::frame_encode(kCkptFrame, payload);
   if (util::fault_point("ckpt.torn_write")) {
-    // Simulated crash mid-write: half the payload lands, then the writer
-    // "dies". The temp file is left behind exactly as a real torn write
-    // would leave it; the rename never happens.
-    out.write(payload.data(),
-              static_cast<std::streamsize>(payload.size() / 2));
+    // Simulated crash mid-write: the header and half the payload land,
+    // then the writer "dies". The temp file is left behind exactly as a
+    // real torn write would leave it; the rename never happens.
+    const std::size_t torn = util::kFrameHeaderBytes + payload.size() / 2;
+    out.write(framed.data(), static_cast<std::streamsize>(torn));
     out.flush();
     throw util::InjectedFault("torn checkpoint write: " + path);
   }
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
   out.flush();
   if (!out) throw std::runtime_error("checkpoint: write failed: " + path);
 }
@@ -189,22 +189,15 @@ bool CheckpointManager::read_file(const std::string& path,
                                   std::string& payload) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
-  std::uint64_t magic = 0, size = 0;
-  std::uint32_t version = 0, crc = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  in.read(reinterpret_cast<char*>(&size), sizeof(size));
-  in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
-  if (!in || magic != kCkptMagic || version != kCkptVersion ||
-      size > kMaxPayloadBytes) {
-    return false;
-  }
-  std::string buf(size, '\0');
-  in.read(buf.data(), static_cast<std::streamsize>(size));
-  if (!in) return false;  // truncated payload
-  if (util::crc32(buf.data(), buf.size()) != crc) return false;
-  payload = std::move(buf);
-  return true;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return false;
+  const std::string bytes = std::move(buf).str();
+  // One shared parser for every reject class (util/frame.hpp): bad magic,
+  // unknown version, implausible size, truncation, and CRC mismatch all
+  // make load_latest fall back to the previous checkpoint.
+  return util::frame_decode_buffer(kCkptFrame, bytes, payload) ==
+         util::FrameStatus::kOk;
 }
 
 std::string CheckpointManager::write(int epoch, const std::string& payload) {

@@ -1,0 +1,132 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <thread>
+
+namespace gsgcn::serve {
+
+RetryingClient::RetryingClient(ClientOptions options)
+    : opts_(options), rng_(options.seed) {}
+
+bool RetryingClient::ensure_connected(std::string& err) {
+  if (fd_.valid()) return true;
+  fd_ = connect_to(opts_.port, err);
+  if (!fd_.valid()) return false;
+  if (opts_.recv_timeout_ms > 0) {
+    timeval tv{};
+    const long total_us = static_cast<long>(opts_.recv_timeout_ms * 1000.0);
+    tv.tv_sec = total_us / 1000000;
+    tv.tv_usec = total_us % 1000000;
+    ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  inbuf_.clear();  // stale bytes belong to the previous connection
+  ++stats_.reconnects;
+  return true;
+}
+
+void RetryingClient::backoff(int attempt_idx) {
+  double ms = opts_.base_backoff_ms * std::ldexp(1.0, attempt_idx);
+  if (ms > opts_.max_backoff_ms) ms = opts_.max_backoff_ms;
+  ms *= 0.5 + 0.5 * rng_.uniform();  // jitter: decorrelate retry storms
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+bool RetryingClient::attempt(const Request& req, Response& resp,
+                             std::string& err) {
+  const std::string framed = util::frame_encode(kWireFrame,
+                                                encode_request(req));
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t w =
+        sock_write(fd_.get(), framed.data() + sent, framed.size() - sent);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    err = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+
+  char buf[4096];
+  for (;;) {
+    std::string payload;
+    std::size_t consumed = 0;
+    const util::FrameStatus st = util::frame_try_decode(
+        kWireFrame, inbuf_.data(), inbuf_.size(), payload, consumed);
+    if (st == util::FrameStatus::kOk) {
+      inbuf_.erase(0, consumed);
+      if (!decode_response(payload, resp, err)) return false;
+      if (resp.request_id != req.request_id) {
+        // A reply to an earlier attempt that raced with a reconnect; this
+        // connection is fresh, so ids can only mismatch on server bugs.
+        err = "response id mismatch";
+        return false;
+      }
+      return true;
+    }
+    if (st != util::FrameStatus::kNeedMore) {
+      err = std::string("bad frame from server: ") + util::frame_status_name(st);
+      return false;
+    }
+    const ssize_t r = sock_read(fd_.get(), buf, sizeof(buf));
+    if (r > 0) {
+      inbuf_.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      err = "connection closed by server";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    err = std::string("recv: ") + std::strerror(errno);  // incl. timeout
+    return false;
+  }
+}
+
+bool RetryingClient::call(const Request& req, Response& resp,
+                          std::string& err) {
+  ++stats_.calls;
+  const int attempts = opts_.max_attempts < 1 ? 1 : opts_.max_attempts;
+  err.clear();
+  bool last_was_shed = false;
+  for (int a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      ++stats_.retries;
+      backoff(a - 1);
+    }
+    std::string attempt_err;
+    if (!ensure_connected(attempt_err)) {
+      ++stats_.io_errors;
+      err = attempt_err;
+      last_was_shed = false;
+      continue;  // server down / restarting: back off and re-dial
+    }
+    if (!attempt(req, resp, attempt_err)) {
+      ++stats_.io_errors;
+      err = attempt_err;
+      fd_.reset();  // every transport failure invalidates the stream
+      last_was_shed = false;
+      continue;
+    }
+    if (resp.status == Status::kOverloaded ||
+        resp.status == Status::kShuttingDown) {
+      ++stats_.overloaded;
+      err = resp.message;
+      last_was_shed = true;
+      continue;  // server asked us to slow down; keep the connection
+    }
+    return true;
+  }
+  // Out of attempts. If the LAST attempt produced a parsed shed reply,
+  // surface it so callers can distinguish "shed" from "unreachable".
+  return last_was_shed;
+}
+
+}  // namespace gsgcn::serve

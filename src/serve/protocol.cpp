@@ -1,0 +1,174 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+namespace gsgcn::serve {
+
+namespace {
+
+template <class T>
+void put_le(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+/// Bounds-checked little-endian cursor over an untrusted payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  template <class T>
+  bool take(T& v, const char* what, std::string& err) {
+    if (bytes_.size() - pos_ < sizeof(T)) {
+      err = std::string("truncated at ") + what;
+      return false;
+    }
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool take_bytes(void* dst, std::size_t n, const char* what,
+                  std::string& err) {
+    if (bytes_.size() - pos_ < n) {
+      err = std::string("truncated at ") + what;
+      return false;
+    }
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool at_end() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+bool check_consumed(const Reader& r, std::string& err) {
+  if (!r.at_end()) {
+    err = "trailing bytes after message";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kBadRequest: return "bad_request";
+    case Status::kShuttingDown: return "shutting_down";
+    case Status::kInternalError: return "internal_error";
+  }
+  return "unknown";
+}
+
+std::string encode_request(const Request& req) {
+  std::string out;
+  out.reserve(17 + 4 + req.vertices.size() * sizeof(graph::Vid));
+  put_le(out, static_cast<std::uint8_t>(req.op));
+  put_le(out, req.request_id);
+  put_le(out, req.deadline_ms);
+  put_le(out, static_cast<std::uint32_t>(req.vertices.size()));
+  for (const graph::Vid v : req.vertices) put_le(out, v);
+  return out;
+}
+
+bool decode_request(std::string_view payload, Request& out, std::string& err) {
+  Reader r(payload);
+  std::uint8_t op = 0;
+  if (!r.take(op, "op", err)) return false;
+  if (op != static_cast<std::uint8_t>(Op::kInfer) &&
+      op != static_cast<std::uint8_t>(Op::kPing)) {
+    err = "unknown op " + std::to_string(op);
+    return false;
+  }
+  out.op = static_cast<Op>(op);
+  if (!r.take(out.request_id, "request_id", err)) return false;
+  if (!r.take(out.deadline_ms, "deadline_ms", err)) return false;
+  std::uint32_t n = 0;
+  if (!r.take(n, "vertex count", err)) return false;
+  if (n > kMaxVerticesPerRequest) {
+    err = "vertex count " + std::to_string(n) + " exceeds limit " +
+          std::to_string(kMaxVerticesPerRequest);
+    return false;
+  }
+  out.vertices.resize(n);
+  if (n > 0 &&
+      !r.take_bytes(out.vertices.data(), n * sizeof(graph::Vid), "vertex ids",
+                    err)) {
+    return false;
+  }
+  return check_consumed(r, err);
+}
+
+std::string encode_response(const Response& resp) {
+  std::string out;
+  out.reserve(29 + resp.logits.size() * sizeof(float) + 4 +
+              resp.message.size());
+  put_le(out, static_cast<std::uint8_t>(resp.status));
+  put_le(out, resp.request_id);
+  put_le(out, resp.snapshot_seq);
+  put_le(out, resp.rows);
+  put_le(out, resp.cols);
+  for (const float v : resp.logits) put_le(out, v);
+  put_le(out, static_cast<std::uint32_t>(resp.message.size()));
+  out.append(resp.message);
+  return out;
+}
+
+bool decode_response(std::string_view payload, Response& out,
+                     std::string& err) {
+  Reader r(payload);
+  std::uint8_t status = 0;
+  if (!r.take(status, "status", err)) return false;
+  if (status > static_cast<std::uint8_t>(Status::kInternalError)) {
+    err = "unknown status " + std::to_string(status);
+    return false;
+  }
+  out.status = static_cast<Status>(status);
+  if (!r.take(out.request_id, "request_id", err)) return false;
+  if (!r.take(out.snapshot_seq, "snapshot_seq", err)) return false;
+  if (!r.take(out.rows, "rows", err)) return false;
+  if (!r.take(out.cols, "cols", err)) return false;
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(out.rows) * out.cols;
+  // rows*cols already passed the 16 MB frame cap implicitly, but check
+  // against the actual remaining bytes before the allocation anyway.
+  if (cells * sizeof(float) > payload.size()) {
+    err = "logit block larger than payload";
+    return false;
+  }
+  out.logits.resize(cells);
+  if (cells > 0 &&
+      !r.take_bytes(out.logits.data(), cells * sizeof(float), "logits",
+                    err)) {
+    return false;
+  }
+  std::uint32_t msg_len = 0;
+  if (!r.take(msg_len, "message length", err)) return false;
+  if (msg_len > payload.size()) {
+    err = "message length larger than payload";
+    return false;
+  }
+  out.message.resize(msg_len);
+  if (msg_len > 0 &&
+      !r.take_bytes(out.message.data(), msg_len, "message", err)) {
+    return false;
+  }
+  return check_consumed(r, err);
+}
+
+std::string make_error_frame(Status status, const std::string& message) {
+  Response resp;
+  resp.status = status;
+  resp.message = message;
+  return util::frame_encode(kWireFrame, encode_response(resp));
+}
+
+}  // namespace gsgcn::serve

@@ -1,0 +1,98 @@
+#pragma once
+// Wire protocol of the online inference service.
+//
+// Every message is one CRC-32 frame (util/frame.hpp — the same 24-byte
+// magic/version/size/crc envelope as the on-disk checkpoints, with its own
+// magic) whose payload is a little-endian packed struct:
+//
+//   request payload                      response payload
+//   ---------------                      ----------------
+//   u8   op      (1=infer, 2=ping)       u8   status (Status below)
+//   u64  request_id                      u64  request_id (echoed)
+//   u32  deadline_ms (0 = server         u64  snapshot_seq (model version
+//        default)                             that served the request)
+//   u32  n_vertices                      u32  rows
+//   u32  vertex_id[n]                    u32  cols
+//                                        f32  logits[rows*cols]
+//                                        u32  message_len
+//                                        u8   message[message_len]
+//
+// Request ids are caller-chosen and echoed verbatim; a client may pipeline
+// requests on one connection and match responses by id (the server
+// preserves per-connection order anyway, but the id makes retries across
+// reconnects unambiguous).
+//
+// Robustness contract: decode_* never throws on malformed bytes — it
+// returns false with a reason, and the server answers an error frame and
+// closes. Sizes are validated before any allocation, so hostile payloads
+// cannot OOM the process; the frame layer has already CRC-checked the
+// bytes, so failures here mean a protocol bug or version skew, not line
+// noise.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/frame.hpp"
+
+namespace gsgcn::serve {
+
+/// Frame envelope of the wire protocol ("gsrvwp1\0"). 16 MB cap: the
+/// largest legitimate response (kMaxVerticesPerRequest rows of a few
+/// hundred f32 classes) fits with a wide margin, and a corrupt length
+/// field can never trigger a giant allocation.
+inline constexpr util::FrameSpec kWireFrame{0x0031707677727367ULL, 1,
+                                            16ull << 20};
+
+inline constexpr std::uint32_t kMaxVerticesPerRequest = 1u << 16;
+
+enum class Op : std::uint8_t {
+  kInfer = 1,  // logits for a batch of vertex ids
+  kPing = 2,   // liveness + snapshot version probe (no compute)
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kOverloaded = 1,     // shed: queue full or deadline already expired
+  kBadRequest = 2,     // malformed payload or out-of-range vertex id
+  kShuttingDown = 3,   // server is draining; retry against a replica
+  kInternalError = 4,  // inference failed; request may be retried
+};
+
+const char* status_name(Status s);
+
+struct Request {
+  Op op = Op::kInfer;
+  std::uint64_t request_id = 0;
+  std::uint32_t deadline_ms = 0;  // 0 = use the server's default
+  std::vector<graph::Vid> vertices;
+};
+
+struct Response {
+  Status status = Status::kOk;
+  std::uint64_t request_id = 0;
+  std::uint64_t snapshot_seq = 0;
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::vector<float> logits;  // rows * cols, row-major
+  std::string message;        // human-readable reason on error statuses
+};
+
+/// Payload bytes (not yet framed — callers wrap with frame_encode so the
+/// fault-injection tests can corrupt the boundary deliberately).
+std::string encode_request(const Request& req);
+std::string encode_response(const Response& resp);
+
+/// Strict decode of one payload. On failure returns false and sets `err`
+/// to the reason; `out` may be partially written.
+bool decode_request(std::string_view payload, Request& out, std::string& err);
+bool decode_response(std::string_view payload, Response& out,
+                     std::string& err);
+
+/// Convenience: a framed error response (the server's answer to a frame
+/// or payload it could not parse, where no request id is known).
+std::string make_error_frame(Status status, const std::string& message);
+
+}  // namespace gsgcn::serve

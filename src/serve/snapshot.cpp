@@ -1,0 +1,131 @@
+#include "serve/snapshot.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "gcn/adam.hpp"
+#include "obs/metrics.hpp"
+#include "util/fault.hpp"
+
+namespace gsgcn::serve {
+
+SnapshotStore::SnapshotStore(std::shared_ptr<const ModelSnapshot> initial)
+    : current_(std::move(initial)) {
+  if (current_ == nullptr) {
+    throw std::invalid_argument("SnapshotStore: initial snapshot is null");
+  }
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotStore::current() const {
+  util::MutexLock lock(mu_);
+  return current_;
+}
+
+void SnapshotStore::publish(std::shared_ptr<const ModelSnapshot> snap) {
+  if (snap == nullptr) {
+    throw std::invalid_argument("SnapshotStore::publish: null snapshot");
+  }
+  util::MutexLock lock(mu_);
+  current_ = std::move(snap);
+  ++swaps_;
+}
+
+std::uint64_t SnapshotStore::swaps() const {
+  util::MutexLock lock(mu_);
+  return swaps_;
+}
+
+SnapshotWatcher::SnapshotWatcher(std::string dir, gcn::ModelConfig cfg,
+                                 SnapshotStore& store)
+    : cfg_(std::move(cfg)), store_(store), mgr_(std::move(dir)) {}
+
+SnapshotWatcher::~SnapshotWatcher() { stop(); }
+
+bool SnapshotWatcher::poll_once() {
+  util::MutexLock lock(state_mu_);
+  std::string payload;
+  int epoch = -1;
+  if (!mgr_.load_latest(payload, &epoch)) return false;  // nothing valid yet
+  if (epoch <= loaded_epoch_) return false;              // already serving it
+
+  // Decode into a FRESH model so a structurally-corrupt payload (valid
+  // CRC, wrong shapes — e.g. the trainer was reconfigured) can never
+  // damage the published snapshot: decode_checkpoint validates every
+  // shape before mutating, and we only publish after it returns.
+  try {
+    util::fault_point("serve.snapshot_decode");
+    gcn::GcnModel model(cfg_);
+    gcn::Adam opt;
+    model.attach(opt);
+    gcn::decode_checkpoint(payload, model, opt);
+    auto snap = std::make_shared<const ModelSnapshot>(next_seq_, epoch,
+                                                      std::move(model));
+    ++next_seq_;
+    loaded_epoch_ = epoch;
+    store_.publish(std::move(snap));
+    GSGCN_COUNTER_INC("serve.swap");
+    return true;
+  } catch (const std::exception&) {
+    // Last-known-good stays published. The epoch is NOT marked loaded:
+    // if the trainer rewrites the file correctly later, a future poll
+    // picks it up.
+    ++rejected_;
+    GSGCN_COUNTER_INC("serve.swap_rejected");
+    return false;
+  }
+}
+
+void SnapshotWatcher::start(double interval_ms) {
+  {
+    util::MutexLock lock(poll_mu_);
+    if (poller_.joinable()) {
+      throw std::logic_error("SnapshotWatcher::start: already running");
+    }
+    stop_requested_ = false;
+  }
+  const auto interval = std::chrono::duration<double, std::milli>(
+      interval_ms < 1.0 ? 1.0 : interval_ms);
+  poller_ = std::thread([this, interval] {
+    for (;;) {
+      {
+        util::MutexLock lock(poll_mu_);
+        poll_cv_.wait_for(
+            poll_mu_,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(interval),
+            [&] {
+              poll_mu_.AssertHeld();  // wait predicates run with the lock held
+              return stop_requested_;
+            });
+        if (stop_requested_) return;
+      }
+      poll_once();
+    }
+  });
+}
+
+void SnapshotWatcher::stop() {
+  {
+    util::MutexLock lock(poll_mu_);
+    stop_requested_ = true;
+    poll_cv_.notify_all();
+  }
+  if (poller_.joinable()) poller_.join();
+}
+
+int SnapshotWatcher::loaded_epoch() const {
+  util::MutexLock lock(state_mu_);
+  return loaded_epoch_;
+}
+
+std::uint64_t SnapshotWatcher::rejected() const {
+  util::MutexLock lock(state_mu_);
+  return rejected_;
+}
+
+std::uint64_t SnapshotWatcher::fallbacks() const {
+  util::MutexLock lock(state_mu_);
+  return mgr_.fallbacks();
+}
+
+}  // namespace gsgcn::serve

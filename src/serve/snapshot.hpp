@@ -1,0 +1,117 @@
+#pragma once
+// Hot-swappable model snapshots.
+//
+// The serving invariant: a worker thread that picked up a snapshot keeps
+// computing on it untouched for the whole batch, while the watcher may
+// concurrently publish a newer one. Immutability + shared_ptr gives this
+// for free — SnapshotStore::current() hands out a shared_ptr<const ...>,
+// publish() swaps the stored pointer under a mutex, and the old snapshot
+// dies when its last in-flight batch completes. No request is ever
+// dropped or blocked by a swap.
+//
+// The watcher side is deliberately paranoid, because the checkpoint
+// directory is written by a separate trainer process that can crash
+// mid-write, be killed between temp-write and rename, or produce a
+// checkpoint for a differently-shaped model:
+//   - files failing the magic/version/size/CRC gate are skipped by
+//     CheckpointManager::load_latest (tmp files are never even listed);
+//   - a payload that passes CRC but fails structural validation
+//     (decode_checkpoint throws on any shape mismatch) is rejected;
+//   - in every failure case the last-known-good snapshot stays published
+//     and the rejection is counted, so degraded means "stale model",
+//     never "no model" or "torn model".
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "gcn/checkpoint.hpp"
+#include "gcn/model.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace gsgcn::serve {
+
+/// One immutable published model version. `seq` increases by 1 per
+/// publish; `epoch` is the training epoch of the source checkpoint
+/// (-1 for an initial/randomly-initialized model with no checkpoint).
+struct ModelSnapshot {
+  std::uint64_t seq = 0;
+  int epoch = -1;
+  gcn::GcnModel model;
+
+  ModelSnapshot(std::uint64_t seq_, int epoch_, gcn::GcnModel model_)
+      : seq(seq_), epoch(epoch_), model(std::move(model_)) {}
+};
+
+/// Atomic published-snapshot cell.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::shared_ptr<const ModelSnapshot> initial);
+
+  /// The currently published snapshot (never null).
+  std::shared_ptr<const ModelSnapshot> current() const EXCLUDES(mu_);
+
+  /// Atomically replace the published snapshot. In-flight holders of the
+  /// previous one are unaffected.
+  void publish(std::shared_ptr<const ModelSnapshot> snap) EXCLUDES(mu_);
+
+  /// Publishes since construction (the serve.swap counter's source).
+  std::uint64_t swaps() const EXCLUDES(mu_);
+
+ private:
+  mutable util::Mutex mu_;
+  std::shared_ptr<const ModelSnapshot> current_ GUARDED_BY(mu_);
+  std::uint64_t swaps_ GUARDED_BY(mu_) = 0;
+};
+
+/// Polls a checkpoint directory and publishes validated new checkpoints
+/// into a SnapshotStore.
+class SnapshotWatcher {
+ public:
+  /// `cfg` must describe the architecture the trainer checkpoints (same
+  /// in_dim/hidden/layers/classes/aggregator); shape mismatches are
+  /// caught per-file and rejected.
+  SnapshotWatcher(std::string dir, gcn::ModelConfig cfg,
+                  SnapshotStore& store);
+  ~SnapshotWatcher();
+
+  SnapshotWatcher(const SnapshotWatcher&) = delete;
+  SnapshotWatcher& operator=(const SnapshotWatcher&) = delete;
+
+  /// One poll: if the directory's newest valid checkpoint is from a newer
+  /// epoch than the last published one, decode and publish it. Returns
+  /// true iff a swap happened. Never throws on corrupt/mismatched files —
+  /// those increment rejected() and keep the last-known-good.
+  bool poll_once() EXCLUDES(state_mu_);
+
+  /// Background polling at `interval_ms`. stop() (or destruction) joins.
+  void start(double interval_ms) EXCLUDES(state_mu_);
+  void stop() EXCLUDES(state_mu_);
+
+  /// Epoch of the most recently published checkpoint (-1 = none yet).
+  int loaded_epoch() const EXCLUDES(state_mu_);
+  /// Checkpoints that passed the CRC gate but failed structural
+  /// validation (decode threw). CRC-level skips are fallbacks().
+  std::uint64_t rejected() const EXCLUDES(state_mu_);
+  /// Files skipped by the frame gate during polling.
+  std::uint64_t fallbacks() const EXCLUDES(state_mu_);
+
+ private:
+  gcn::ModelConfig cfg_;
+  SnapshotStore& store_;
+
+  mutable util::Mutex state_mu_;
+  gcn::CheckpointManager mgr_ GUARDED_BY(state_mu_);
+  int loaded_epoch_ GUARDED_BY(state_mu_) = -1;
+  std::uint64_t next_seq_ GUARDED_BY(state_mu_) = 1;
+  std::uint64_t rejected_ GUARDED_BY(state_mu_) = 0;
+
+  util::Mutex poll_mu_;
+  util::CondVar poll_cv_;
+  bool stop_requested_ GUARDED_BY(poll_mu_) = false;
+  std::thread poller_;
+};
+
+}  // namespace gsgcn::serve

@@ -1,0 +1,107 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/fault.hpp"
+
+namespace gsgcn::serve {
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Fd create_listener(std::uint16_t port, int backlog, std::string& err) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    err = std::string("socket: ") + std::strerror(errno);
+    return Fd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    err = std::string("bind: ") + std::strerror(errno);
+    return Fd();
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    err = std::string("listen: ") + std::strerror(errno);
+    return Fd();
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+Fd connect_to(std::uint16_t port, std::string& err) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    err = std::string("socket: ") + std::strerror(errno);
+    return Fd();
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    err = std::string("connect: ") + std::strerror(errno);
+    return Fd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+ssize_t sock_read(int fd, void* buf, std::size_t n) {
+  if (util::fault_point("serve.sock.read_eagain")) {
+    errno = EAGAIN;
+    return -1;
+  }
+  if (util::fault_point("serve.sock.read_reset")) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (n > 1 && util::fault_point("serve.sock.short_read")) n = 1;
+  return ::recv(fd, buf, n, 0);
+}
+
+ssize_t sock_write(int fd, const void* buf, std::size_t n) {
+  if (util::fault_point("serve.sock.write_eagain")) {
+    errno = EAGAIN;
+    return -1;
+  }
+  if (util::fault_point("serve.sock.write_reset")) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (n > 1 && util::fault_point("serve.sock.short_write")) n = 1;
+  // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not SIGPIPE.
+  return ::send(fd, buf, n, MSG_NOSIGNAL);
+}
+
+}  // namespace gsgcn::serve

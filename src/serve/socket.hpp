@@ -1,0 +1,73 @@
+#pragma once
+// Thin POSIX socket helpers with deterministic wire-fault injection.
+//
+// All serving IO funnels through sock_read/sock_write so the fault
+// injector can perturb the wire without a proxy process:
+//
+//   serve.sock.read_eagain   report-armed: return -1/EAGAIN (no syscall)
+//   serve.sock.read_reset    report-armed: return -1/ECONNRESET
+//   serve.sock.short_read    report-armed: clamp the read to 1 byte
+//   serve.sock.write_eagain  report-armed: return -1/EAGAIN (no syscall)
+//   serve.sock.write_reset   report-armed: return -1/ECONNRESET
+//   serve.sock.short_write   report-armed: clamp the write to 1 byte
+//
+// Short reads/writes are not errors — they force the incremental
+// frame-decode and pending-write paths that rarely trigger on loopback;
+// EAGAIN/ECONNRESET exercise the retry and reconnect paths. The tests arm
+// these with probability triggers to shake out ordering assumptions.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+
+namespace gsgcn::serve {
+
+/// RAII fd (close on destruction; -1 = empty).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket on 127.0.0.1:`port` (0 = kernel-assigned; read it
+/// back with local_port). Returns an invalid Fd and sets `err` on failure.
+Fd create_listener(std::uint16_t port, int backlog, std::string& err);
+
+/// Port a bound socket actually listens on (0 on error).
+std::uint16_t local_port(int fd);
+
+/// Blocking connect to 127.0.0.1:`port`. Invalid Fd + `err` on failure.
+Fd connect_to(std::uint16_t port, std::string& err);
+
+bool set_nonblocking(int fd);
+
+/// read(2)/write(2) with the fault hooks above. Semantics are exactly the
+/// syscalls': >0 bytes moved, 0 EOF (read), -1 with errno set.
+ssize_t sock_read(int fd, void* buf, std::size_t n);
+ssize_t sock_write(int fd, const void* buf, std::size_t n);
+
+}  // namespace gsgcn::serve

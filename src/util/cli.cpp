@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cctype>
 #include <limits>
 #include <stdexcept>
 
@@ -76,6 +77,48 @@ bool Cli::get(const std::string& key, bool fallback) const {
   const auto it = kv_.find(key);
   if (it == kv_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool Cli::parse_duration_ms(const std::string& text, double& out_ms) {
+  if (text.empty()) return false;
+  // Split off a letter suffix; the numeric part reuses the strict
+  // whole-token parser so "1e3ms", "  2s", and "2 s" behave exactly like
+  // every other numeric flag (the first accepted, the others rejected).
+  std::size_t num_end = text.size();
+  while (num_end > 0 && (std::isalpha(static_cast<unsigned char>(
+                            text[num_end - 1])) != 0)) {
+    --num_end;
+  }
+  const std::string suffix = text.substr(num_end);
+  double scale_to_ms = 1.0;  // bare number = milliseconds
+  if (suffix == "us") {
+    scale_to_ms = 1e-3;
+  } else if (suffix == "ms" || suffix.empty()) {
+    scale_to_ms = 1.0;
+  } else if (suffix == "s") {
+    scale_to_ms = 1e3;
+  } else {
+    return false;
+  }
+  double value = 0.0;
+  if (!parse_double(text.substr(0, num_end), value)) return false;
+  if (value < 0.0) return false;
+  out_ms = value * scale_to_ms;
+  return true;
+}
+
+double Cli::get_duration_ms(const std::string& key, double fallback_ms) const {
+  used_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback_ms;
+  double ms = 0.0;
+  if (!parse_duration_ms(it->second, ms)) {
+    throw std::invalid_argument("--" + key + ": invalid duration '" +
+                                it->second +
+                                "' (want e.g. 500us, 50ms, 2s, or a plain "
+                                "number of milliseconds)");
+  }
+  return ms;
 }
 
 std::vector<std::string> Cli::unused() const {

@@ -25,8 +25,20 @@ class Cli {
   double get(const std::string& key, double fallback) const;
   bool get(const std::string& key, bool fallback) const;
 
+  /// Duration flag in milliseconds. Accepts `500us`, `50ms`, `2s`, `1.5s`,
+  /// or a bare non-negative number (already milliseconds). Same strict
+  /// whole-token contract as the numeric getters: trailing garbage,
+  /// negative values, and unknown suffixes throw std::invalid_argument
+  /// naming the flag.
+  double get_duration_ms(const std::string& key, double fallback_ms) const;
+
   /// Keys the caller never read — used to reject typo'd flags.
   std::vector<std::string> unused() const;
+
+  /// The parser behind get_duration_ms, exposed for tests and env knobs:
+  /// returns false on anything but one whole token of
+  /// <non-negative finite number>[us|ms|s].
+  static bool parse_duration_ms(const std::string& text, double& out_ms);
 
   const std::string& program() const { return program_; }
 

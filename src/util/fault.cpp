@@ -1,8 +1,10 @@
 #include "util/fault.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <thread>
 
 #include "util/env.hpp"
 
@@ -20,20 +22,21 @@ FaultInjector::FaultInjector() {
 }
 
 void FaultInjector::arm(const std::string& site, std::uint64_t nth,
-                        FaultKind kind) {
+                        FaultKind kind, std::uint64_t delay_ms) {
   if (site.empty() || nth == 0) {
     throw std::invalid_argument("FaultInjector::arm: empty site or nth == 0");
   }
   Arm a;
   a.nth = nth;
   a.kind = kind;
+  a.delay_ms = delay_ms;
   util::MutexLock lock(mu_);
   arms_[site] = a;
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::arm_probability(const std::string& site, double p,
-                                    FaultKind kind) {
+                                    FaultKind kind, std::uint64_t delay_ms) {
   if (site.empty() || p < 0.0 || p > 1.0) {
     throw std::invalid_argument(
         "FaultInjector::arm_probability: bad site or p outside [0, 1]");
@@ -41,6 +44,7 @@ void FaultInjector::arm_probability(const std::string& site, double p,
   Arm a;
   a.probability = p;
   a.kind = kind;
+  a.delay_ms = delay_ms;
   util::MutexLock lock(mu_);
   // Site-keyed stream: the firing pattern depends only on (seed, site),
   // never on how many other sites are armed or hit.
@@ -70,6 +74,7 @@ void FaultInjector::configure(const std::string& spec) {
         entry.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
                                                      : c2 - c1 - 1);
     FaultKind kind = FaultKind::kThrow;
+    std::uint64_t delay_ms = 0;
     if (c2 != std::string::npos) {
       const std::string k = entry.substr(c2 + 1);
       if (k == "throw") {
@@ -78,6 +83,14 @@ void FaultInjector::configure(const std::string& spec) {
         kind = FaultKind::kAbort;
       } else if (k == "report") {
         kind = FaultKind::kReport;
+      } else if (k.rfind("delay:", 0) == 0) {
+        std::int64_t ms = 0;
+        if (!parse_int64(k.substr(6), ms) || ms < 0) {
+          throw std::invalid_argument("GSGCN_FAULTS: bad delay ms in '" +
+                                      entry + "'");
+        }
+        kind = FaultKind::kDelay;
+        delay_ms = static_cast<std::uint64_t>(ms);
       } else {
         throw std::invalid_argument("GSGCN_FAULTS: unknown kind '" + k +
                                     "' in '" + entry + "'");
@@ -93,14 +106,14 @@ void FaultInjector::configure(const std::string& spec) {
         throw std::invalid_argument("GSGCN_FAULTS: bad probability in '" +
                                     entry + "'");
       }
-      arm_probability(site, p, kind);
+      arm_probability(site, p, kind, delay_ms);
     } else {
       std::int64_t nth = 0;
       if (!parse_int64(trigger, nth) || nth <= 0) {
         throw std::invalid_argument("GSGCN_FAULTS: bad hit count in '" + entry +
                                     "'");
       }
-      arm(site, static_cast<std::uint64_t>(nth), kind);
+      arm(site, static_cast<std::uint64_t>(nth), kind, delay_ms);
     }
   }
 }
@@ -118,6 +131,7 @@ void FaultInjector::set_seed(std::uint64_t seed) {
 
 bool FaultInjector::hit(const char* site) {
   FaultKind kind;
+  std::uint64_t delay_ms = 0;
   {
     util::MutexLock lock(mu_);
     const auto it = arms_.find(site);
@@ -129,6 +143,7 @@ bool FaultInjector::hit(const char* site) {
     if (!fire) return false;
     ++a.fired;
     kind = a.kind;
+    delay_ms = a.delay_ms;
   }
   switch (kind) {
     case FaultKind::kThrow:
@@ -141,6 +156,12 @@ bool FaultInjector::hit(const char* site) {
       std::_Exit(kFaultExitCode);
     case FaultKind::kReport:
       return true;
+    case FaultKind::kDelay:
+      // Injected latency, outside the lock: other sites (and other hits
+      // of this site) stay live while this call sleeps. The call then
+      // proceeds normally — a slow operation, not a failed one.
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return false;
   }
   return true;  // unreachable for in-range enum values
 }

@@ -25,10 +25,17 @@
 //             stand-in for kill -9 (used by the kill/resume CI test)
 //   kReport — return true and let the call site implement the fault
 //             (torn checkpoint writes, poisoned losses)
+//   kDelay  — sleep the armed number of milliseconds at the fault point,
+//             then return false (the call proceeds normally, late). The
+//             deadline/timeout paths in the serving layer are tested with
+//             this: WHEN latency strikes is a pure function of the seed
+//             and site, so an "expired deadline" test never depends on
+//             scheduler luck to make a request slow.
 //
 // Env grammar: GSGCN_FAULTS="site:trigger[:kind][,site:trigger[:kind]]..."
 // where trigger is an integer n >= 1 or "p<prob>", and kind is
-// throw|abort|report. GSGCN_FAULT_SEED seeds the probability streams.
+// throw|abort|report|delay:<ms>. GSGCN_FAULT_SEED seeds the probability
+// streams.
 
 #include <atomic>
 #include <cstdint>
@@ -50,7 +57,7 @@ class InjectedFault : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-enum class FaultKind { kThrow, kAbort, kReport };
+enum class FaultKind { kThrow, kAbort, kReport, kDelay };
 
 /// Exit code of kAbort sites; asserted by death tests and the CI kill job.
 inline constexpr int kFaultExitCode = 117;
@@ -61,13 +68,16 @@ class FaultInjector {
   /// GSGCN_FAULT_SEED so every binary is injectable without wiring.
   static FaultInjector& instance();
 
-  /// Arm `site` to fire once, on its nth hit (1-based).
+  /// Arm `site` to fire once, on its nth hit (1-based). `delay_ms` is
+  /// consulted only for kDelay arms.
   void arm(const std::string& site, std::uint64_t nth,
-           FaultKind kind = FaultKind::kThrow) EXCLUDES(mu_);
+           FaultKind kind = FaultKind::kThrow, std::uint64_t delay_ms = 0)
+      EXCLUDES(mu_);
   /// Arm `site` to fire each hit with probability p from the site-keyed
   /// stream (seed, splitmix64(hash(site))).
   void arm_probability(const std::string& site, double p,
-                       FaultKind kind = FaultKind::kThrow) EXCLUDES(mu_);
+                       FaultKind kind = FaultKind::kThrow,
+                       std::uint64_t delay_ms = 0) EXCLUDES(mu_);
 
   /// Parse and apply the env grammar above. Throws std::invalid_argument
   /// on malformed specs (a typo'd site name firing never is a silent test
@@ -100,6 +110,7 @@ class FaultInjector {
     std::uint64_t nth = 0;  // 0 = probability trigger
     double probability = 0.0;
     FaultKind kind = FaultKind::kThrow;
+    std::uint64_t delay_ms = 0;  // kDelay only
     std::uint64_t hit_count = 0;
     std::uint64_t fired = 0;
     Xoshiro256 rng;

@@ -1,0 +1,94 @@
+#include "util/frame.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/crc32.hpp"
+
+namespace gsgcn::util {
+
+namespace {
+
+template <class T>
+void put_le(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <class T>
+T get_le(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+const char* frame_status_name(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kNeedMore: return "need_more";
+    case FrameStatus::kBadMagic: return "bad_magic";
+    case FrameStatus::kBadVersion: return "bad_version";
+    case FrameStatus::kTooLarge: return "too_large";
+    case FrameStatus::kBadCrc: return "bad_crc";
+  }
+  return "unknown";
+}
+
+std::string frame_encode(const FrameSpec& spec, std::string_view payload) {
+  if (payload.size() > spec.max_payload) {
+    throw std::invalid_argument("frame_encode: payload " +
+                                std::to_string(payload.size()) +
+                                " bytes exceeds max " +
+                                std::to_string(spec.max_payload));
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_le(out, spec.magic);
+  put_le(out, spec.version);
+  put_le(out, static_cast<std::uint64_t>(payload.size()));
+  put_le(out, crc32(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+FrameStatus frame_try_decode(const FrameSpec& spec, const char* data,
+                             std::size_t n, std::string& payload,
+                             std::size_t& consumed) {
+  // Reject garbage as early as possible: magic mismatches on the first 8
+  // bytes even when fewer than 8 have arrived would mean waiting forever
+  // on a connection that will never become valid, so compare the prefix
+  // byte-for-byte as it trickles in.
+  std::uint64_t magic_le = spec.magic;
+  char magic_bytes[8];
+  std::memcpy(magic_bytes, &magic_le, 8);
+  const std::size_t magic_avail = n < 8 ? n : 8;
+  if (std::memcmp(data, magic_bytes, magic_avail) != 0) {
+    return FrameStatus::kBadMagic;
+  }
+  if (n < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+
+  const std::uint32_t version = get_le<std::uint32_t>(data + 8);
+  if (version != spec.version) return FrameStatus::kBadVersion;
+  const std::uint64_t size = get_le<std::uint64_t>(data + 12);
+  if (size > spec.max_payload) return FrameStatus::kTooLarge;
+  if (n < kFrameHeaderBytes + size) return FrameStatus::kNeedMore;
+
+  const std::uint32_t crc = get_le<std::uint32_t>(data + 20);
+  if (crc32(data + kFrameHeaderBytes, size) != crc) {
+    return FrameStatus::kBadCrc;
+  }
+  payload.assign(data + kFrameHeaderBytes, size);
+  consumed = kFrameHeaderBytes + static_cast<std::size_t>(size);
+  return FrameStatus::kOk;
+}
+
+FrameStatus frame_decode_buffer(const FrameSpec& spec, std::string_view buf,
+                                std::string& payload) {
+  std::size_t consumed = 0;
+  return frame_try_decode(spec, buf.data(), buf.size(), payload, consumed);
+}
+
+}  // namespace gsgcn::util

@@ -1,0 +1,73 @@
+#pragma once
+// Shared CRC-32 frame codec — one hardened parser for every length-prefixed
+// binary envelope in the repo.
+//
+// A frame is a fixed 24-byte little-endian header followed by the payload:
+//
+//   offset  size  field
+//   0       8     magic    (format discriminator, e.g. "gsgnckp1")
+//   8       4     version  (format revision; readers reject unknown)
+//   12      8     size     (payload byte count)
+//   20      4     crc      (CRC-32/IEEE of the payload bytes)
+//
+// The layout is byte-identical to the PR-4 checkpoint header, so existing
+// checkpoint files remain readable; the online serving protocol reuses the
+// same codec with its own magic, which means the torn-write / bad-magic /
+// bad-CRC handling that the checkpoint corruption tests hardened is
+// exactly the code parsing untrusted bytes off the network.
+//
+// Decoding is incremental: try_decode never consumes bytes on kNeedMore,
+// so a socket read loop can append chunks of any size and re-poll. Every
+// reject reason is a distinct status — a parser that collapses "garbage"
+// and "keep reading" into one code either stalls or kills good
+// connections.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gsgcn::util {
+
+/// Per-format parameters. `max_payload` bounds the size field before any
+/// allocation happens: a corrupt/hostile length can never OOM the reader.
+struct FrameSpec {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 1;
+  std::uint64_t max_payload = 1ull << 34;
+};
+
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+
+enum class FrameStatus {
+  kOk,          // one complete valid frame decoded
+  kNeedMore,    // prefix is consistent so far; read more bytes
+  kBadMagic,    // first 8 bytes are not this format
+  kBadVersion,  // right format, unknown revision
+  kTooLarge,    // size field exceeds spec.max_payload
+  kBadCrc,      // payload present but checksum mismatch
+};
+
+const char* frame_status_name(FrameStatus s);
+
+/// Header + payload as one contiguous buffer (appends to nothing; returns
+/// the framed bytes). Throws std::invalid_argument if payload exceeds
+/// spec.max_payload.
+std::string frame_encode(const FrameSpec& spec, std::string_view payload);
+
+/// Try to decode one frame from the front of [data, data+n). On kOk,
+/// `payload` receives the payload bytes and `consumed` the total frame
+/// size (header + payload); both are untouched otherwise. kNeedMore means
+/// the bytes so far are a valid prefix — append and retry. Any other
+/// status is a permanent reject of this buffer.
+FrameStatus frame_try_decode(const FrameSpec& spec, const char* data,
+                             std::size_t n, std::string& payload,
+                             std::size_t& consumed);
+
+/// Whole-buffer variant for file formats: exactly one frame, trailing
+/// bytes after the frame are tolerated (a torn rewrite may leave them).
+/// Returns kNeedMore when the buffer ends mid-frame (i.e. truncated).
+FrameStatus frame_decode_buffer(const FrameSpec& spec, std::string_view buf,
+                                std::string& payload);
+
+}  // namespace gsgcn::util

@@ -24,6 +24,7 @@
 // unrelated function — start each predicate with `mu_.AssertHeld();` to
 // re-teach it that fact (see thread_annotations.hpp conventions).
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -106,6 +107,34 @@ class CondVar {
       throw;
     }
     lk.release();
+  }
+
+  /// Timed variant: block until `pred()` holds or `deadline` passes.
+  /// Returns pred()'s value at wake (false means the deadline expired
+  /// with the predicate still false). Same adopt/release discipline as
+  /// wait() — the capability never lapses from the caller's view. The
+  /// admission queue's batch-window collection is built on this.
+  template <class Clock, class Duration, class Pred>
+  bool wait_until(Mutex& mu,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Pred pred) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    bool satisfied = false;
+    try {
+      satisfied = cv_.wait_until(lk, deadline, std::move(pred));
+    } catch (...) {
+      lk.release();
+      throw;
+    }
+    lk.release();
+    return satisfied;
+  }
+
+  template <class Rep, class Period, class Pred>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur,
+                Pred pred) REQUIRES(mu) {
+    return wait_until(mu, std::chrono::steady_clock::now() + dur,
+                      std::move(pred));
   }
 
   void notify_one() { cv_.notify_one(); }

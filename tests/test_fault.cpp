@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -126,6 +127,49 @@ TEST_F(FaultTest, ClearDisarmsAndResetsCounts) {
   EXPECT_EQ(f.fired_total(), 0u);
   EXPECT_EQ(f.hits("site.x"), 0u);
   EXPECT_FALSE(fault_point("site.x"));
+}
+
+TEST_F(FaultTest, DelayKindSleepsThenProceeds) {
+  FaultInjector& f = FaultInjector::instance();
+  f.arm("site.slow", 1, FaultKind::kDelay, /*delay_ms=*/30);
+  const auto t0 = std::chrono::steady_clock::now();
+  // A delay fault makes the call LATE, not failed: it must return false
+  // so the call site proceeds normally.
+  EXPECT_FALSE(fault_point("site.slow"));
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 29.0);  // small tolerance for clock rounding
+  EXPECT_EQ(f.fired_total(), 1u);    // the delay counts as a fired fault
+  // One-shot count trigger: subsequent hits are fast.
+  const auto t1 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(fault_point("site.slow"));
+  const auto after = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - t1);
+  EXPECT_LT(after.count(), 25.0);
+}
+
+TEST_F(FaultTest, ConfigureParsesDelayKind) {
+  FaultInjector& f = FaultInjector::instance();
+  f.configure("slow.site:2:delay:25");
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(fault_point("slow.site"));  // 1st hit: not yet
+  const auto fast = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(fast.count(), 20.0);
+  const auto t1 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(fault_point("slow.site"));  // 2nd hit: 25 ms late
+  const auto slow = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - t1);
+  EXPECT_GE(slow.count(), 24.0);
+  EXPECT_EQ(f.fired_total(), 1u);
+}
+
+TEST_F(FaultTest, ConfigureRejectsMalformedDelays) {
+  FaultInjector& f = FaultInjector::instance();
+  EXPECT_THROW(f.configure("a.b:1:delay"), std::invalid_argument);
+  EXPECT_THROW(f.configure("a.b:1:delay:"), std::invalid_argument);
+  EXPECT_THROW(f.configure("a.b:1:delay:-5"), std::invalid_argument);
+  EXPECT_THROW(f.configure("a.b:1:delay:5x"), std::invalid_argument);
 }
 
 using FaultDeathTest = FaultTest;

@@ -1,0 +1,171 @@
+// util/frame: the shared CRC-32 envelope under both the on-disk
+// checkpoints and the serving wire protocol. Round trips, every reject
+// status, incremental (byte-at-a-time) decoding, and the trailing-bytes
+// tolerance the torn-rewrite recovery depends on.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "util/frame.hpp"
+
+namespace gsgcn::util {
+namespace {
+
+constexpr FrameSpec kSpec{/*magic=*/0x74736574656d6172ULL, /*version=*/3,
+                          /*max_payload=*/1u << 20};
+
+TEST(FrameTest, RoundTripsPayload) {
+  const std::string payload = "the quick brown fox";
+  const std::string framed = frame_encode(kSpec, payload);
+  ASSERT_EQ(framed.size(), kFrameHeaderBytes + payload.size());
+
+  std::string out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(frame_try_decode(kSpec, framed.data(), framed.size(), out,
+                             consumed),
+            FrameStatus::kOk);
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(consumed, framed.size());
+}
+
+TEST(FrameTest, RoundTripsEmptyAndBinaryPayloads) {
+  for (const std::string& payload :
+       {std::string(), std::string("\x00\xff\x01", 3),
+        std::string(100000, '\x7f')}) {
+    const std::string framed = frame_encode(kSpec, payload);
+    std::string out;
+    EXPECT_EQ(frame_decode_buffer(kSpec, framed, out), FrameStatus::kOk);
+    EXPECT_EQ(out, payload);
+  }
+}
+
+TEST(FrameTest, IncrementalFeedNeedsMoreUntilComplete) {
+  const std::string payload = "incremental decode";
+  const std::string framed = frame_encode(kSpec, payload);
+
+  // Feed one byte at a time, exactly like a socket read loop: every
+  // prefix must report kNeedMore without consuming or mutating outputs.
+  std::string out = "sentinel";
+  std::size_t consumed = 99;
+  for (std::size_t n = 0; n < framed.size(); ++n) {
+    EXPECT_EQ(frame_try_decode(kSpec, framed.data(), n, out, consumed),
+              FrameStatus::kNeedMore)
+        << "at prefix length " << n;
+    EXPECT_EQ(out, "sentinel");
+    EXPECT_EQ(consumed, 99u);
+  }
+  EXPECT_EQ(frame_try_decode(kSpec, framed.data(), framed.size(), out,
+                             consumed),
+            FrameStatus::kOk);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(FrameTest, BadMagicRejectsBeforeFullHeaderArrives) {
+  // A stream that is definitely not this format must be rejected as soon
+  // as the prefix diverges — not after 24 bytes of buffering garbage.
+  const std::string garbage = "GARBAGE!nothdr";
+  std::string out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(frame_try_decode(kSpec, garbage.data(), 3, out, consumed),
+            FrameStatus::kBadMagic);
+}
+
+TEST(FrameTest, WrongMagicAndWrongVersionAreDistinct) {
+  const std::string framed = frame_encode(kSpec, "payload");
+
+  FrameSpec other = kSpec;
+  other.magic ^= 1;
+  std::string out;
+  EXPECT_EQ(frame_decode_buffer(other, framed, out), FrameStatus::kBadMagic);
+
+  FrameSpec newer = kSpec;
+  newer.version = 4;
+  EXPECT_EQ(frame_decode_buffer(newer, framed, out), FrameStatus::kBadVersion);
+}
+
+TEST(FrameTest, OversizedLengthFieldRejectsWithoutAllocating) {
+  std::string framed = frame_encode(kSpec, "x");
+  // Corrupt the size field (offset 12, u64 LE) to an absurd value.
+  const std::uint64_t huge = ~0ull;
+  std::memcpy(framed.data() + 12, &huge, sizeof(huge));
+  std::string out;
+  EXPECT_EQ(frame_decode_buffer(kSpec, framed, out), FrameStatus::kTooLarge);
+}
+
+TEST(FrameTest, CorruptPayloadFailsCrc) {
+  std::string framed = frame_encode(kSpec, "checksummed payload");
+  framed[kFrameHeaderBytes + 5] ^= 0x40;  // one bit, mid-payload
+  std::string out;
+  EXPECT_EQ(frame_decode_buffer(kSpec, framed, out), FrameStatus::kBadCrc);
+}
+
+TEST(FrameTest, CorruptCrcFieldFailsCrc) {
+  std::string framed = frame_encode(kSpec, "checksummed payload");
+  framed[20] ^= 0x01;  // crc field itself (offset 20)
+  std::string out;
+  EXPECT_EQ(frame_decode_buffer(kSpec, framed, out), FrameStatus::kBadCrc);
+}
+
+TEST(FrameTest, TruncatedBufferReportsNeedMore) {
+  const std::string framed = frame_encode(kSpec, "will be cut short");
+  std::string out;
+  EXPECT_EQ(frame_decode_buffer(
+                kSpec, std::string_view(framed).substr(0, framed.size() - 3),
+                out),
+            FrameStatus::kNeedMore);
+  EXPECT_EQ(frame_decode_buffer(kSpec,
+                                std::string_view(framed).substr(0, 10), out),
+            FrameStatus::kNeedMore);
+}
+
+TEST(FrameTest, BufferDecodeToleratesTrailingBytes) {
+  // A torn rewrite can leave old-file bytes after a shorter new frame;
+  // the file variant must still accept the leading frame.
+  const std::string framed = frame_encode(kSpec, "short new payload");
+  const std::string with_tail = framed + std::string(1000, '\xab');
+  std::string out;
+  EXPECT_EQ(frame_decode_buffer(kSpec, with_tail, out), FrameStatus::kOk);
+  EXPECT_EQ(out, "short new payload");
+}
+
+TEST(FrameTest, TryDecodeLeavesTrailingBytesForNextFrame) {
+  // The wire case: two frames back to back; consumed must point exactly
+  // at the second frame's first byte.
+  const std::string a = frame_encode(kSpec, "first");
+  const std::string b = frame_encode(kSpec, "second");
+  const std::string stream = a + b;
+
+  std::string out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(frame_try_decode(kSpec, stream.data(), stream.size(), out,
+                             consumed),
+            FrameStatus::kOk);
+  EXPECT_EQ(out, "first");
+  ASSERT_EQ(consumed, a.size());
+  ASSERT_EQ(frame_try_decode(kSpec, stream.data() + consumed,
+                             stream.size() - consumed, out, consumed),
+            FrameStatus::kOk);
+  EXPECT_EQ(out, "second");
+  EXPECT_EQ(consumed, b.size());
+}
+
+TEST(FrameTest, EncodeRejectsPayloadOverCap) {
+  FrameSpec tiny = kSpec;
+  tiny.max_payload = 8;
+  EXPECT_THROW(frame_encode(tiny, "123456789"), std::invalid_argument);
+  EXPECT_NO_THROW(frame_encode(tiny, "12345678"));
+}
+
+TEST(FrameTest, StatusNamesAreStable) {
+  EXPECT_STREQ(frame_status_name(FrameStatus::kOk), "ok");
+  EXPECT_STREQ(frame_status_name(FrameStatus::kNeedMore), "need_more");
+  EXPECT_STREQ(frame_status_name(FrameStatus::kBadMagic), "bad_magic");
+  EXPECT_STREQ(frame_status_name(FrameStatus::kBadVersion), "bad_version");
+  EXPECT_STREQ(frame_status_name(FrameStatus::kTooLarge), "too_large");
+  EXPECT_STREQ(frame_status_name(FrameStatus::kBadCrc), "bad_crc");
+}
+
+}  // namespace
+}  // namespace gsgcn::util

@@ -359,5 +359,54 @@ TEST(Cli, IntGetterRangeChecksInsteadOfWrapping) {
   EXPECT_THROW(cli.get("epochs", 1), std::invalid_argument);
 }
 
+TEST(ParseDuration, SuffixesNormalizeToMilliseconds) {
+  double ms = -1.0;
+  EXPECT_TRUE(Cli::parse_duration_ms("500us", ms));
+  EXPECT_DOUBLE_EQ(ms, 0.5);
+  EXPECT_TRUE(Cli::parse_duration_ms("50ms", ms));
+  EXPECT_DOUBLE_EQ(ms, 50.0);
+  EXPECT_TRUE(Cli::parse_duration_ms("2s", ms));
+  EXPECT_DOUBLE_EQ(ms, 2000.0);
+  EXPECT_TRUE(Cli::parse_duration_ms("1.5s", ms));
+  EXPECT_DOUBLE_EQ(ms, 1500.0);
+  // Bare numbers are already milliseconds (back-compat with plain flags).
+  EXPECT_TRUE(Cli::parse_duration_ms("250", ms));
+  EXPECT_DOUBLE_EQ(ms, 250.0);
+  EXPECT_TRUE(Cli::parse_duration_ms("0", ms));
+  EXPECT_DOUBLE_EQ(ms, 0.0);
+  EXPECT_TRUE(Cli::parse_duration_ms("2e3ms", ms));
+  EXPECT_DOUBLE_EQ(ms, 2000.0);
+}
+
+TEST(ParseDuration, WholeTokenContract) {
+  // Same strictness as the numeric getters: trailing garbage, unknown
+  // suffixes, negatives, and non-finite values are rejected, never
+  // truncated or guessed at.
+  double ms = 0.0;
+  EXPECT_FALSE(Cli::parse_duration_ms("", ms));
+  EXPECT_FALSE(Cli::parse_duration_ms("ms", ms));        // no number
+  EXPECT_FALSE(Cli::parse_duration_ms("5 ms", ms));      // inner space
+  EXPECT_FALSE(Cli::parse_duration_ms("5m", ms));        // unknown suffix
+  EXPECT_FALSE(Cli::parse_duration_ms("5min", ms));
+  EXPECT_FALSE(Cli::parse_duration_ms("5msx", ms));
+  EXPECT_FALSE(Cli::parse_duration_ms("-5ms", ms));      // durations >= 0
+  EXPECT_FALSE(Cli::parse_duration_ms("nan", ms));
+  EXPECT_FALSE(Cli::parse_duration_ms("1e999s", ms));    // overflow
+}
+
+TEST(Cli, DurationGetterThrowsNamingTheFlag) {
+  const char* argv[] = {"prog", "--batch-window=2ms", "--deadline=oops"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_duration_ms("batch-window", 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(cli.get_duration_ms("missing", 7.5), 7.5);
+  try {
+    cli.get_duration_ms("deadline", 0.0);
+    FAIL() << "expected rejection of --deadline=oops";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--deadline"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace gsgcn::util
