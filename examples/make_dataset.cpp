@@ -4,10 +4,17 @@
 //
 //   ./make_dataset --preset reddit-s --out reddit-s.gsd
 //   ./make_dataset --vertices 5000 --classes 10 --out my.gsd [--pca 32]
+//
+// Out-of-core prep: --feature-file F.fstore [--feature-dtype fp16] writes
+// the features as a standalone mmap-able FeatureStore file, and
+// --stripped-out S.gsd saves a featureless copy of the dataset; train_cli
+// then runs `--dataset S.gsd --feature-mmap F.fstore` without ever
+// holding the dense matrix in RAM.
 
 #include <cstdio>
 #include <iostream>
 
+#include "data/feature_store.hpp"
 #include "data/synthetic.hpp"
 #include "data/transform.hpp"
 #include "graph/analysis.hpp"
@@ -38,9 +45,29 @@ int main(int argc, char** argv) {
     const int pca = cli.get("pca", 0);
     if (pca > 0) data::compress_dataset_features(ds, static_cast<std::size_t>(pca));
 
+    const std::string feature_file = cli.get("feature-file", std::string());
+    const std::string feature_dtype =
+        cli.get("feature-dtype", std::string("fp32"));
+    const std::string stripped_out = cli.get("stripped-out", std::string());
+
     for (const auto& flag : cli.unused()) {
       std::cerr << "unknown flag: --" << flag << "\n";
       return 2;
+    }
+
+    if (!feature_file.empty()) {
+      const data::FeatureDtype fd = data::parse_feature_dtype(feature_dtype);
+      data::FeatureStore::write_file(feature_file, ds.features, fd);
+      std::printf("wrote %s: %zu x %zu %s feature payload\n",
+                  feature_file.c_str(), ds.features.rows(),
+                  ds.features.cols(), data::feature_dtype_name(fd));
+    }
+    if (!stripped_out.empty()) {
+      data::Dataset stripped = ds;
+      stripped.features = tensor::Matrix();
+      data::save_dataset(stripped, stripped_out);
+      std::printf("wrote %s: featureless copy (pair with --feature-mmap)\n",
+                  stripped_out.c_str());
     }
 
     data::save_dataset(ds, out);

@@ -21,8 +21,10 @@
 #include <fstream>
 #include <iostream>
 
+#include "data/feature_store.hpp"
 #include "data/synthetic.hpp"
 #include "gcn/adam.hpp"
+#include "graph/reorder.hpp"
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
 #include "util/cli.hpp"
@@ -61,6 +63,11 @@ serving:
   --batch-window (2ms) how long a batch waits to fill (500us, 2ms, 1s...)
   --deadline (1s)      default request deadline (0 = never expire)
   --idle-timeout (30s) reap connections with no IO progress
+
+features:
+  --feature-dtype D    fp32 | fp16 | bf16 | int8 — serve from a compressed
+                       feature store (fp32 = zero-copy view; default)
+  --feature-cache-mb M hot-vertex fp32 cache budget, degree-ordered (0)
 
 snapshots:
   --checkpoint-dir D   watch D for trainer checkpoints; hot-swap on change
@@ -117,6 +124,11 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(cli.get_duration_ms("deadline", 1000.0));
     so.idle_timeout_ms = cli.get_duration_ms("idle-timeout", 30000.0);
 
+    const auto feat_dtype =
+        data::parse_feature_dtype(cli.get("feature-dtype", std::string("fp32")));
+    const auto feat_cache_mb =
+        static_cast<std::size_t>(cli.get("feature-cache-mb", 0));
+
     const std::string ckpt_dir = cli.get("checkpoint-dir", std::string());
     const double poll_ms = cli.get_duration_ms("snapshot-poll", 50.0);
     const std::string port_file = cli.get("port-file", std::string());
@@ -139,7 +151,20 @@ int main(int argc, char** argv) {
       watcher->start(poll_ms);
     }
 
-    serve::Server server(store, ds.graph, ds.features, so);
+    // fp32 with no cache serves straight from ds.features (zero copy);
+    // otherwise quantize into a store with degree-ordered cache residency.
+    data::FeatureStore fstore;
+    if (feat_dtype == data::FeatureDtype::kF32 && feat_cache_mb == 0) {
+      fstore = data::FeatureStore::view(ds.features);
+    } else {
+      data::FeatureStoreOptions fo;
+      fo.dtype = feat_dtype;
+      fo.cache_mb = feat_cache_mb;
+      fstore = data::FeatureStore::build(ds.features, fo,
+                                         graph::degree_order(ds.graph));
+    }
+
+    serve::Server server(store, ds.graph, fstore, so);
     g_server = &server;
     std::signal(SIGTERM, handle_term);
     std::signal(SIGINT, handle_term);

@@ -14,14 +14,19 @@
 //   ./train_cli --help
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 
+#include "data/dataset.hpp"
+#include "data/feature_store.hpp"
 #include "data/synthetic.hpp"
 #include "data/transform.hpp"
 #include "gcn/loss.hpp"
 #include "gcn/metrics.hpp"
 #include "gcn/trainer.hpp"
 #include "graph/io.hpp"
+#include "graph/reorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
 #include "obs/roofline.hpp"
@@ -42,11 +47,24 @@ data source (choose one):
   --preset NAME        ppi-s | reddit-s | yelp-s | amazon-s
   --edges FILE         SNAP-format edge list; labels are synthesized from
                        SBM-like communities detected by --classes
+  --dataset FILE       binary dataset written by make_dataset (.gsd); may
+                       be featureless when paired with --feature-mmap
   (default)            synthetic SBM dataset (--vertices, --classes, ...)
 
 data options:
   --vertices N (3000)  --classes C (8)     --features F (48)
   --degree D (14)      --multi-label       --pca K (0 = off)
+
+feature store:
+  --feature-dtype D    fp32 | fp16 | bf16 | int8 — train-gather codec;
+                       rows widen to fp32 on the fly (fp32 = passthrough)
+  --feature-cache-mb M hot-vertex fp32 cache budget, degree-ordered (0)
+  --feature-mmap FILE  train out-of-core from a FeatureStore file
+                       (make_dataset --feature-file). Written from the
+                       dataset's features first if FILE doesn't exist.
+  --no-eval            skip per-epoch/final evaluation and the test
+                       report (required when the dataset is featureless:
+                       full-graph inference needs dense fp32 features)
 
 model / training:
   --layers L (2)       --hidden H (64)     --dropout P (0)
@@ -185,6 +203,8 @@ int main(int argc, char** argv) {
     data::Dataset ds;
     if (cli.has("preset")) {
       ds = data::make_preset(cli.get("preset", std::string("ppi-s")));
+    } else if (cli.has("dataset")) {
+      ds = data::load_dataset(cli.get("dataset", std::string()));
     } else if (cli.has("edges")) {
       ds = dataset_from_edges(
           cli.get("edges", std::string()),
@@ -254,6 +274,15 @@ int main(int argc, char** argv) {
       std::cerr << "error: --resume requires --checkpoint-dir\n";
       return 2;
     }
+    cfg.feature_dtype = data::parse_feature_dtype(
+        cli.get("feature-dtype", std::string("fp32")));
+    cfg.feature_cache_mb =
+        static_cast<std::size_t>(cli.get("feature-cache-mb", 0));
+    const std::string feature_mmap = cli.get("feature-mmap", std::string());
+    if (cli.get("no-eval", false)) {
+      cfg.eval_every_epoch = false;
+      cfg.final_eval = false;
+    }
     cfg.metrics_every_epoch = cli.get("metrics-every-epoch", false);
     const std::string ckpt = cli.get("checkpoint", std::string());
     const std::string trace_out = cli.get("trace-out", std::string());
@@ -293,7 +322,42 @@ int main(int argc, char** argv) {
       obs::PerfProfiler::instance().enable();
     }
 
-    gcn::Trainer trainer(ds, cfg);
+    // Out-of-core path: map the feature file (writing it first from the
+    // in-RAM features if it doesn't exist yet) and hand the trainer an
+    // external store; the dataset's dense matrix is freed before training.
+    std::unique_ptr<data::FeatureStore> mmap_store;
+    if (!feature_mmap.empty()) {
+      if (!std::filesystem::exists(feature_mmap)) {
+        if (ds.features.empty()) {
+          std::cerr << "error: --feature-mmap file does not exist and the "
+                       "dataset has no features to write it from\n";
+          return 2;
+        }
+        data::FeatureStore::write_file(feature_mmap, ds.features,
+                                       cfg.feature_dtype);
+      }
+      data::FeatureStoreOptions fo;
+      fo.cache_mb = cfg.feature_cache_mb;
+      mmap_store = std::make_unique<data::FeatureStore>(
+          data::FeatureStore::open_mmap(feature_mmap, fo,
+                                        graph::degree_order(ds.graph)));
+      ds.features = tensor::Matrix();  // train from the map, not RAM
+      std::printf("feature store: %s, %zu x %zu %s, cache %zu rows\n",
+                  feature_mmap.c_str(), mmap_store->rows(),
+                  mmap_store->cols(),
+                  data::feature_dtype_name(mmap_store->dtype()),
+                  mmap_store->cache_rows());
+    }
+    const bool dense_features = !ds.features.empty();
+    if (!dense_features && (cfg.eval_every_epoch || cfg.final_eval ||
+                            cfg.early_stop_patience > 0 || cfg.restore_best)) {
+      std::cerr << "error: featureless out-of-core training needs --no-eval "
+                   "(and no --patience/--restore-best): evaluation runs "
+                   "full-graph inference over dense fp32 features\n";
+      return 2;
+    }
+
+    gcn::Trainer trainer(ds, cfg, mmap_store.get());
     std::printf("training: %d layers, hidden %zu, sampler %s (m=%u n=%u)\n",
                 cfg.num_layers, cfg.hidden_dim,
                 gcn::sampler_kind_name(cfg.sampler),
@@ -327,28 +391,55 @@ int main(int argc, char** argv) {
     }
 
     // ---- report ----
-    const tensor::Matrix& logits =
-        trainer.model().forward(ds.graph, ds.features, cfg.threads);
-    tensor::Matrix pred(logits.rows(), logits.cols());
-    gcn::predict(ds.mode, logits, pred);
-    tensor::Matrix test_pred(ds.test_vertices.size(), logits.cols());
-    tensor::Matrix test_truth(ds.test_vertices.size(), logits.cols());
-    tensor::gather_rows(pred, ds.test_vertices, test_pred);
-    tensor::gather_rows(ds.labels, ds.test_vertices, test_truth);
-    std::printf("\ntest-split classification report:\n%s",
-                gcn::format_report(
-                    gcn::classification_report(test_pred, test_truth))
-                    .c_str());
+    // Full-graph inference wants the dense fp32 matrix; out-of-core runs
+    // (featureless dataset) skip the report rather than widening |V|xF.
+    if (dense_features) {
+      const tensor::Matrix& logits =
+          trainer.model().forward(ds.graph, ds.features, cfg.threads);
+      tensor::Matrix pred(logits.rows(), logits.cols());
+      gcn::predict(ds.mode, logits, pred);
+      tensor::Matrix test_pred(ds.test_vertices.size(), logits.cols());
+      tensor::Matrix test_truth(ds.test_vertices.size(), logits.cols());
+      tensor::gather_rows(pred, ds.test_vertices, test_pred);
+      tensor::gather_rows(ds.labels, ds.test_vertices, test_truth);
+      std::printf("\ntest-split classification report:\n%s",
+                  gcn::format_report(
+                      gcn::classification_report(test_pred, test_truth))
+                      .c_str());
 
-    // ---- checkpoint round trip ----
-    if (!ckpt.empty()) {
+      // ---- checkpoint round trip ----
+      if (!ckpt.empty()) {
+        trainer.model().save(ckpt);
+        gcn::GcnModel restored = gcn::GcnModel::load(ckpt);
+        const tensor::Matrix& logits2 =
+            restored.forward(ds.graph, ds.features, cfg.threads);
+        const float drift = tensor::Matrix::max_abs_diff(logits, logits2);
+        std::printf("checkpoint '%s' saved; reload drift %.2g (expect 0)\n",
+                    ckpt.c_str(), static_cast<double>(drift));
+      }
+    } else if (!ckpt.empty()) {
       trainer.model().save(ckpt);
-      gcn::GcnModel restored = gcn::GcnModel::load(ckpt);
-      const tensor::Matrix& logits2 =
-          restored.forward(ds.graph, ds.features, cfg.threads);
-      const float drift = tensor::Matrix::max_abs_diff(logits, logits2);
-      std::printf("checkpoint '%s' saved; reload drift %.2g (expect 0)\n",
-                  ckpt.c_str(), static_cast<double>(drift));
+      std::printf("checkpoint '%s' saved (reload check skipped: no dense "
+                  "features)\n",
+                  ckpt.c_str());
+    }
+
+    // Gather-path traffic accounting from the store that fed training.
+    const data::FeatureStore* fs =
+        mmap_store ? mmap_store.get() : trainer.feature_store();
+    if (fs != nullptr) {
+      const data::FeatureStoreStats fstats = fs->stats();
+      std::printf(
+          "feature gathers: %llu rows (%s), %.1f%% cache hits, "
+          "%.1f MB moved, %.1f MB prefetch hints\n",
+          static_cast<unsigned long long>(fstats.gathered_rows),
+          data::feature_dtype_name(fs->dtype()),
+          fstats.gathered_rows > 0
+              ? 100.0 * static_cast<double>(fstats.cache_hits) /
+                    static_cast<double>(fstats.gathered_rows)
+              : 0.0,
+          static_cast<double>(fstats.bytes_moved) / (1024.0 * 1024.0),
+          static_cast<double>(fstats.prefetch_bytes) / (1024.0 * 1024.0));
     }
 
     // ---- observability artifacts ----

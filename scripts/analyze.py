@@ -52,6 +52,14 @@ Checks (select with --check, comma-separated; default all):
       write sits under `#pragma omp atomic/critical`, or it carries
       `// omp-safe: <reason>`.
 
+  mutex-guards
+      Every util::Mutex member declared in a file must be named by at
+      least one thread-safety annotation (GUARDED_BY / REQUIRES /
+      EXCLUDES / ...) in that file: a mutex that guards nothing is
+      invisible to the Clang -Wthread-safety pass, so the protection the
+      author believes exists is never checked.
+      Escape hatch: `// unguarded-ok: <reason>` on the declaration line.
+
 Usage:
   analyze.py [--db build/compile_commands.json] [paths...]
   analyze.py --check determinism --serialization-path 'tests/analyze/*' f.cpp
@@ -74,6 +82,7 @@ CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh"}
 # Files whose bytes feed serialization, cross-thread reductions, or
 # telemetry: hash-order iteration here breaks the determinism contract.
 SERIALIZATION_PATH_GLOBS = [
+    "src/data/feature_store.*",  # on-disk layout + cross-thread stat folds
     "src/gcn/checkpoint.*",
     "src/gcn/metrics.*",
     "src/obs/*",
@@ -1020,10 +1029,84 @@ def _judge_write(src, helper, lam, locals_, shared, toks, tgt, line,
 
 
 # ---------------------------------------------------------------------------
+# Check 4: mutex-guards
+# ---------------------------------------------------------------------------
+
+# Thread-safety-annotation macros (src/util/thread_annotations.hpp) whose
+# arguments name the mutexes they relate to.
+MUTEX_GUARD_MACROS = {
+    "GUARDED_BY", "PT_GUARDED_BY", "REQUIRES", "REQUIRES_SHARED",
+    "ACQUIRE", "ACQUIRE_SHARED", "RELEASE", "RELEASE_SHARED", "EXCLUDES",
+    "ACQUIRED_BEFORE", "ACQUIRED_AFTER", "TRY_ACQUIRE",
+    "RETURN_CAPABILITY", "ASSERT_CAPABILITY",
+}
+UNGUARDED_OK_RE = re.compile(r"//\s*unguarded-ok:\s*\S")
+
+
+def check_mutex_guards(src):
+    """Every util::Mutex member must appear in at least one thread-safety
+    annotation argument in the same file.
+
+    A mutex that guards nothing is either dead weight or — worse — the
+    author believes something is protected when the annotation layer (and
+    Clang's -Wthread-safety pass in the `tsafety` preset) knows nothing
+    about it. Declaring the mutex and annotating the state it protects
+    must travel together; this check enforces the pairing lexically so it
+    also runs on gcc-only hosts. Escape hatch: `// unguarded-ok: <reason>`
+    on the declaration line (e.g. a mutex handed to external code).
+    """
+    toks = src.tokens
+    n = len(toks)
+
+    # Mutex member/variable declarations:  [mutable] [util::] Mutex name ;
+    declared = []  # (name, line)
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.value != "Mutex":
+            continue
+        prev = toks[i - 1] if i > 0 else None
+        if prev is not None and prev.kind == "id" and prev.value in (
+                "class", "struct", "typename"):
+            continue  # the Mutex class definition / template param itself
+        j = i + 1
+        if j < n and toks[j].kind == "id":
+            name = toks[j].value
+            if j + 1 < n and toks[j + 1].value == ";":
+                declared.append((name, toks[j].line))
+
+    if not declared:
+        return []
+
+    # Names referenced inside any annotation's argument list. The lexer
+    # splits `mu_` vs `other.mu` the same way, so collect every id.
+    referenced = set()
+    for i, t in enumerate(toks):
+        if (t.kind == "id" and t.value in MUTEX_GUARD_MACROS
+                and i + 1 < n and toks[i + 1].value == "("):
+            end = match_group(toks, i + 1, "(", ")")
+            for k in range(i + 2, end - 1):
+                if toks[k].kind == "id":
+                    referenced.add(toks[k].value)
+
+    findings = []
+    for name, line in declared:
+        if name in referenced:
+            continue
+        if src.annotated(line, UNGUARDED_OK_RE):
+            continue
+        findings.append(Finding(
+            src.path, line, "mutex-guards",
+            f"mutex '{name}' is never named by a thread-safety annotation "
+            "(GUARDED_BY/REQUIRES/...) in this file: annotate the state it "
+            "protects or mark the declaration `// unguarded-ok: <reason>`"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
-ALL_CHECKS = ("determinism", "checkpoint-drift", "parallel-capture")
+ALL_CHECKS = ("determinism", "checkpoint-drift", "parallel-capture",
+              "mutex-guards")
 
 
 def gather_files(paths, db):
@@ -1128,6 +1211,9 @@ def main(argv):
     if "parallel-capture" in checks:
         for src in sources:
             findings.extend(check_parallel_capture(src))
+    if "mutex-guards" in checks:
+        for src in sources:
+            findings.extend(check_mutex_guards(src))
 
     findings.sort(key=lambda f: (f.path, f.line))
     for f in findings:
@@ -1150,6 +1236,8 @@ def _run_on(text, check, serialization=False):
         return check_parallel_capture(src)
     if check == "checkpoint-drift":
         return check_checkpoint_drift([src])
+    if check == "mutex-guards":
+        return check_mutex_guards(src)
     raise AssertionError(check)
 
 
@@ -1242,6 +1330,29 @@ def self_test():
         "void f() { int k = 3;\n"
         "  parallel_for(n, p, [k, &out](std::int64_t i) { out[i] = k; });\n"
         "}", "parallel-capture"), 0)
+
+    expect("mutex-unguarded", _run_on(
+        "class C {\n"
+        "  util::Mutex mu_;\n"
+        "  int x_ = 0;\n"
+        "};", "mutex-guards"), 1)
+    expect("mutex-guarded-ok", _run_on(
+        "class C {\n"
+        "  util::Mutex mu_;\n"
+        "  int x_ GUARDED_BY(mu_) = 0;\n"
+        "};", "mutex-guards"), 0)
+    expect("mutex-method-annotation-ok", _run_on(
+        "class C {\n"
+        "  void tick() EXCLUDES(mu_);\n"
+        "  mutable util::Mutex mu_;\n"
+        "};", "mutex-guards"), 0)
+    expect("mutex-unguarded-annotated", _run_on(
+        "class C {\n"
+        "  util::Mutex mu_;  // unguarded-ok: handed to external waiters\n"
+        "};", "mutex-guards"), 0)
+    expect("mutex-class-def-ok", _run_on(
+        "class Mutex { public: void lock(); };",
+        "mutex-guards"), 0)
 
     if failures:
         for f in failures:

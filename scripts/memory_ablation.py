@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Feature-store memory ablation: codec vs RSS / bytes-moved / time / F1.
+
+Runs train_cli once per feature-store configuration on the same dataset
+and seed, and prints the EXPERIMENTS.md "memory ablation" markdown table:
+
+  peak RSS (exact, per-child via os.wait4), feature bytes gathered per
+  epoch (from the trainer's gather counters), median epoch time, and
+  final test micro-F1.
+
+The dtype rows quantify the codec trade (bytes halve/quarter, F1 must
+hold within noise); the cache row shows the hot-vertex cache converting
+misses into fp32 hits on a degree-skewed access pattern.
+
+Usage:
+  python3 scripts/memory_ablation.py --train-cli build/examples/train_cli \
+      [--preset reddit-s] [--scale 20] [--epochs 8] [--threads 4] \
+      [--cache-mb 16]
+"""
+
+import argparse
+import json
+import os
+import re
+import statistics
+import subprocess
+import sys
+import tempfile
+
+GATHER_RE = re.compile(
+    r"feature gathers: (\d+) rows \(([^)]*)\), ([0-9.]+)% cache hits, "
+    r"([0-9.]+) MB moved")
+
+
+def run_variant(args, label, extra_flags):
+    with tempfile.TemporaryDirectory() as td:
+        jsonl = os.path.join(td, "m.jsonl")
+        cmd = [args.train_cli, "--preset", args.preset,
+               "--epochs", str(args.epochs), "--threads", str(args.threads),
+               "--metrics-out", jsonl] + extra_flags
+        env = dict(os.environ, GSGCN_SCALE=str(args.scale))
+        print("+", " ".join(cmd), file=sys.stderr, flush=True)
+        p = subprocess.Popen(cmd, stdout=subprocess.PIPE, env=env, text=True)
+        stdout = p.stdout.read()
+        _, status, ru = os.wait4(p.pid, 0)
+        if os.waitstatus_to_exitcode(status) != 0:
+            print(stdout[-2000:], file=sys.stderr)
+            raise RuntimeError("%s: train_cli failed" % label)
+
+        m = GATHER_RE.search(stdout)
+        if not m:
+            raise RuntimeError("%s: no 'feature gathers:' line — is the "
+                               "feature store on this path?" % label)
+        hit_pct, mb_moved = float(m.group(3)), float(m.group(4))
+
+        epoch_secs, summary = [], None
+        with open(jsonl) as f:
+            for line in f:
+                rec = json.loads(line)
+                if rec.get("type") == "epoch":
+                    epoch_secs.append(rec["epoch_seconds"])
+                elif rec.get("type") == "run_summary":
+                    summary = rec
+        assert summary is not None and len(epoch_secs) == args.epochs
+        return {
+            "label": label,
+            "rss_mb": ru.ru_maxrss / 1024.0,
+            "mb_per_epoch": mb_moved / args.epochs,
+            "hit_pct": hit_pct,
+            "epoch_s": statistics.median(epoch_secs),
+            "test_f1": summary["final_test_f1"],
+        }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--train-cli", required=True)
+    ap.add_argument("--preset", default="reddit-s")
+    ap.add_argument("--scale", type=float, default=20.0)
+    ap.add_argument("--epochs", type=int, default=8)
+    ap.add_argument("--threads", type=int, default=4)
+    ap.add_argument("--cache-mb", type=int, default=16)
+    args = ap.parse_args()
+
+    variants = [
+        ("fp32", ["--feature-dtype", "fp32"]),
+        ("fp16", ["--feature-dtype", "fp16"]),
+        ("bf16", ["--feature-dtype", "bf16"]),
+        ("int8", ["--feature-dtype", "int8"]),
+        ("fp16 + cache %d MB" % args.cache_mb,
+         ["--feature-dtype", "fp16", "--feature-cache-mb",
+          str(args.cache_mb)]),
+    ]
+    rows = [run_variant(args, label, flags) for label, flags in variants]
+
+    base = rows[0]
+    print("\n| store | peak RSS | feat MB/epoch | cache hits | "
+          "epoch time | test micro-F1 |")
+    print("|---|---|---|---|---|---|")
+    for r in rows:
+        print("| %s | %.0f MB | %.1f | %s | %.2f s | %.4f |" % (
+            r["label"], r["rss_mb"], r["mb_per_epoch"],
+            "%.1f%%" % r["hit_pct"] if r["hit_pct"] > 0 else "—",
+            r["epoch_s"], r["test_f1"]))
+    print("\nfp32 baseline: RSS %.0f MB, %.1f MB/epoch; "
+          "largest F1 delta %.4f" % (
+              base["rss_mb"], base["mb_per_epoch"],
+              max(abs(r["test_f1"] - base["test_f1"]) for r in rows[1:])))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,12 @@ namespace gsgcn::data {
 
 std::string Dataset::validate() const {
   const graph::Vid n = graph.num_vertices();
-  if (features.rows() != n) return "features rows != |V|";
+  // An empty feature matrix is legal: out-of-core datasets strip the
+  // dense features and carry them in a FeatureStore file instead (the
+  // trainer validates the store's row count against |V| itself).
+  if (!features.empty() && features.rows() != n) {
+    return "features rows != |V|";
+  }
   if (labels.rows() != n) return "labels rows != |V|";
   const std::string g = graph.validate();
   if (!g.empty()) return "graph: " + g;

@@ -18,7 +18,10 @@ enum class LabelMode { kSingle, kMulti };
 struct Dataset {
   std::string name;
   graph::CsrGraph graph;
-  tensor::Matrix features;  // |V| x f, row-normalized
+  /// |V| x f, row-normalized. May be empty (0 x 0) for out-of-core
+  /// datasets whose features live in a FeatureStore file; anything that
+  /// needs dense features must check before touching it.
+  tensor::Matrix features;
   tensor::Matrix labels;    // |V| x C, entries in {0, 1}
   LabelMode mode = LabelMode::kSingle;
 

@@ -11,6 +11,7 @@
 #include "gcn/inference.hpp"
 #include "gcn/loss.hpp"
 #include "gcn/metrics.hpp"
+#include "graph/reorder.hpp"
 #include "graph/subgraph.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
@@ -55,10 +56,42 @@ bool all_finite(const float* data, std::size_t n) {
 
 }  // namespace
 
-Trainer::Trainer(const data::Dataset& dataset, const TrainerConfig& config)
-    : ds_(dataset), cfg_(config) {
+Trainer::Trainer(const data::Dataset& dataset, const TrainerConfig& config,
+                 const data::FeatureStore* dataset_features)
+    : ds_(dataset), cfg_(config), ext_features_(dataset_features) {
   const std::string err = ds_.validate();
   if (!err.empty()) throw std::invalid_argument("Trainer: bad dataset: " + err);
+
+  const bool external = ext_features_ != nullptr;
+  if (external) {
+    if (ext_features_->rows() != ds_.graph.num_vertices()) {
+      throw std::invalid_argument(
+          "Trainer: feature store has " +
+          std::to_string(ext_features_->rows()) + " rows but the graph has " +
+          std::to_string(ds_.graph.num_vertices()) + " vertices");
+    }
+    if (!ds_.features.empty() &&
+        ds_.features.cols() != ext_features_->cols()) {
+      throw std::invalid_argument(
+          "Trainer: feature store width disagrees with dataset features");
+    }
+    in_dim_ = ext_features_->cols();
+  } else {
+    if (ds_.features.empty()) {
+      throw std::invalid_argument(
+          "Trainer: dataset has no dense features; pass a FeatureStore");
+    }
+    in_dim_ = ds_.feature_dim();
+  }
+  // Full-graph inference (every evaluation flavor) reads dense features.
+  if (ds_.features.empty() &&
+      (cfg_.eval_every_epoch || cfg_.early_stop_patience > 0 ||
+       cfg_.restore_best || cfg_.final_eval)) {
+    throw std::invalid_argument(
+        "Trainer: evaluation needs dense dataset features; disable "
+        "eval_every_epoch/early_stop/restore_best/final_eval for "
+        "out-of-core runs");
+  }
 
   // Build the training graph once (inductive setup).
   graph::Inducer inducer(ds_.graph);
@@ -66,10 +99,43 @@ Trainer::Trainer(const data::Dataset& dataset, const TrainerConfig& config)
   train_graph_ = std::move(sub.graph);
   train_orig_ = std::move(sub.orig_ids);
 
-  train_features_ = tensor::Matrix(train_orig_.size(), ds_.feature_dim());
   train_labels_ = tensor::Matrix(train_orig_.size(), ds_.num_classes());
-  tensor::gather_rows(ds_.features, train_orig_, train_features_);
   tensor::gather_rows(ds_.labels, train_orig_, train_labels_);
+
+  if (!external) {
+    // Gather the training-split features once, then hand them to the
+    // feature store. fp32 with no cache stays a zero-copy view (the
+    // legacy dense path, byte for byte); any codec or cache budget
+    // builds a compressed store keyed by train-local ids, with cache
+    // residency ranked by training-graph degree, and the dense copy is
+    // freed — the decompressed matrix never outlives construction.
+    train_features_ = tensor::Matrix(train_orig_.size(), in_dim_);
+    tensor::gather_rows(ds_.features, train_orig_, train_features_);
+    if (cfg_.feature_dtype == data::FeatureDtype::kF32 &&
+        cfg_.feature_cache_mb == 0) {
+      feat_store_ = std::make_unique<data::FeatureStore>(
+          data::FeatureStore::view(train_features_));
+    } else {
+      data::FeatureStoreOptions fo;
+      fo.dtype = cfg_.feature_dtype;
+      fo.cache_mb = cfg_.feature_cache_mb;
+      const std::vector<graph::Vid> hot = graph::degree_order(train_graph_);
+      feat_store_ = std::make_unique<data::FeatureStore>(
+          data::FeatureStore::build(train_features_, fo, hot));
+      train_features_ = tensor::Matrix();
+    }
+  }
+
+  // Loop-invariant truth rows for evaluate() (satellite of the gather
+  // overhaul: these were re-gathered from ds_.labels on every eval).
+  if (!ds_.val_vertices.empty()) {
+    val_truth_ = tensor::Matrix(ds_.val_vertices.size(), ds_.num_classes());
+    tensor::gather_rows(ds_.labels, ds_.val_vertices, val_truth_);
+  }
+  if (!ds_.test_vertices.empty()) {
+    test_truth_ = tensor::Matrix(ds_.test_vertices.size(), ds_.num_classes());
+    tensor::gather_rows(ds_.labels, ds_.test_vertices, test_truth_);
+  }
 
   // Clamp sampler parameters to the training-graph size: budget at most
   // |V_train|, frontier below budget.
@@ -80,7 +146,7 @@ Trainer::Trainer(const data::Dataset& dataset, const TrainerConfig& config)
   if (frontier_ >= budget_) frontier_ = budget_ - 1;
 
   ModelConfig mc;
-  mc.in_dim = ds_.feature_dim();
+  mc.in_dim = in_dim_;
   mc.hidden_dim = cfg_.hidden_dim;
   mc.num_classes = ds_.num_classes();
   mc.num_layers = cfg_.num_layers;
@@ -275,17 +341,47 @@ TrainResult Trainer::train() {
 
         {
           GSGCN_TRACE_SPAN_ID("train/gather", n_sub);
-          const obs::Work work [[maybe_unused]] = obs::gather_work(
+          const data::FeatureStore& fstore =
+              ext_features_ != nullptr ? *ext_features_ : *feat_store_;
+          // The roofline work model learns the codec: a compressed row
+          // reads value_bytes() per value, and every gather writes fp32.
+          const obs::Work fwork [[maybe_unused]] = obs::gather_work(
               static_cast<std::int64_t>(n_sub),
-              static_cast<std::int64_t>(ds_.feature_dim() +
-                                        ds_.num_classes()));
-          GSGCN_PERF_REGION_WORK("gather", work.flops, work.bytes);
-          ensure_shape(batch_features_, n_sub, ds_.feature_dim());
+              static_cast<std::int64_t>(in_dim_),
+              static_cast<double>(fstore.value_bytes()));
+          const obs::Work lwork [[maybe_unused]] = obs::gather_work(
+              static_cast<std::int64_t>(n_sub),
+              static_cast<std::int64_t>(ds_.num_classes()));
+          GSGCN_PERF_REGION_WORK("gather", fwork.flops + lwork.flops,
+                                 fwork.bytes + lwork.bytes);
+          ensure_shape(batch_features_, n_sub, in_dim_);
           ensure_shape(batch_labels_, n_sub, ds_.num_classes());
-          tensor::gather_rows(train_features_, sub.orig_ids, batch_features_,
-                              cfg_.threads);
+          if (ext_features_ != nullptr) {
+            // External stores are keyed by dataset ids; translate the
+            // train-local subgraph ids through train_orig_.
+            batch_ids_.resize(n_sub);
+            for (graph::Vid i = 0; i < n_sub; ++i) {
+              batch_ids_[i] = train_orig_[sub.orig_ids[i]];
+            }
+            fstore.gather(batch_ids_, batch_features_, cfg_.threads);
+          } else {
+            fstore.gather(sub.orig_ids, batch_features_, cfg_.threads);
+          }
           tensor::gather_rows(train_labels_, sub.orig_ids, batch_labels_,
                               cfg_.threads);
+          if (ext_features_ != nullptr && ext_features_->mmapped()) {
+            // Out-of-core lookahead: hint the pages behind the subgraph
+            // the pool will hand us next, so the page cache fills while
+            // this iteration computes.
+            const std::vector<graph::Vid> next = pool_->peek_next_orig_ids();
+            if (!next.empty()) {
+              prefetch_ids_.resize(next.size());
+              for (std::size_t i = 0; i < next.size(); ++i) {
+                prefetch_ids_[i] = train_orig_[next[i]];
+              }
+              ext_features_->prefetch(prefetch_ids_);
+            }
+          }
         }
 
         const tensor::Matrix& logits = model_->forward(
@@ -446,8 +542,10 @@ TrainResult Trainer::train() {
   result.pool_cold_starts = static_cast<std::int64_t>(pool_->cold_starts());
   result.featprop_seconds = clock.feature_prop.total_seconds();
   result.weight_seconds = clock.weight_apply.total_seconds();
-  result.final_val_f1 = evaluate(ds_.val_vertices);
-  result.final_test_f1 = evaluate(ds_.test_vertices);
+  if (cfg_.final_eval) {
+    result.final_val_f1 = evaluate(ds_.val_vertices);
+    result.final_test_f1 = evaluate(ds_.test_vertices);
+  }
   if (mgr != nullptr && mgr->fallbacks() > 0) {
     GSGCN_COUNTER_ADD("ckpt.fallbacks",
                       static_cast<double>(mgr->fallbacks()));
@@ -570,10 +668,22 @@ double Trainer::evaluate(const std::vector<graph::Vid>& subset) {
   ensure_shape(eval_pred_, logits.rows(), logits.cols());
   predict(ds_.mode, logits, eval_pred_);
   ensure_shape(subset_pred_, subset.size(), logits.cols());
-  ensure_shape(subset_truth_, subset.size(), logits.cols());
   tensor::gather_rows(eval_pred_, subset, subset_pred_, cfg_.threads);
-  tensor::gather_rows(ds_.labels, subset, subset_truth_, cfg_.threads);
-  return f1_micro(subset_pred_, subset_truth_);
+  // The val/test truth subsets were gathered once at construction; any
+  // other subset (callers may evaluate arbitrary vertex sets) falls back
+  // to a per-call gather.
+  const tensor::Matrix* truth = nullptr;
+  if (&subset == &ds_.val_vertices && val_truth_.rows() == subset.size()) {
+    truth = &val_truth_;
+  } else if (&subset == &ds_.test_vertices &&
+             test_truth_.rows() == subset.size()) {
+    truth = &test_truth_;
+  } else {
+    ensure_shape(subset_truth_, subset.size(), logits.cols());
+    tensor::gather_rows(ds_.labels, subset, subset_truth_, cfg_.threads);
+    truth = &subset_truth_;
+  }
+  return f1_micro(subset_pred_, *truth);
 }
 
 }  // namespace gsgcn::gcn

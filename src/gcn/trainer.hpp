@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "data/feature_store.hpp"
 #include "gcn/model.hpp"
 #include "gcn/inference.hpp"
 #include "gcn/saint_norm.hpp"
@@ -76,8 +77,19 @@ struct TrainerConfig {
   bool async_sampling = false;
   std::size_t pool_capacity = 0;  // subgraph queue bound; 0 → 2·p_inter
 
+  // Feature storage (data/feature_store.hpp): codec for the training
+  // gather path and the hot-vertex fp32 cache budget. fp32 with no cache
+  // is a zero-copy view — byte-identical to the legacy dense path. All
+  // codecs keep gathers bit-identical across thread counts/cache sizes.
+  data::FeatureDtype feature_dtype = data::FeatureDtype::kF32;
+  std::size_t feature_cache_mb = 0;
+
   std::uint64_t seed = 1;
   bool eval_every_epoch = true;
+  // Run the final val/test full-graph evaluation after the loop. Needs
+  // dense ds.features; out-of-core runs (stripped dataset + external
+  // FeatureStore) turn it off along with eval_every_epoch.
+  bool final_eval = true;
 
   // Scrape + emit the metrics registry (telemetry record type "metrics")
   // at every epoch boundary instead of only in the final run_summary, so
@@ -159,7 +171,14 @@ struct TrainResult {
 
 class Trainer {
  public:
-  Trainer(const data::Dataset& dataset, const TrainerConfig& config);
+  /// `dataset_features`, when given, replaces `dataset.features` on the
+  /// training gather path: a FeatureStore over *dataset* vertex ids
+  /// (rows() must equal |V|), e.g. an mmap-opened feature file. It must
+  /// outlive the trainer. The dataset's dense features may then be empty,
+  /// in which case every evaluation flag must be off (full-graph
+  /// inference needs dense features).
+  Trainer(const data::Dataset& dataset, const TrainerConfig& config,
+          const data::FeatureStore* dataset_features = nullptr);
 
   TrainResult train();
 
@@ -173,6 +192,12 @@ class Trainer {
   graph::Vid effective_budget() const { return budget_; }
   graph::Vid effective_frontier() const { return frontier_; }
   graph::Vid train_graph_size() const { return train_graph_.num_vertices(); }
+
+  /// The store feeding training gathers: the external store when one was
+  /// passed, else the internal per-split store. Null only before train().
+  const data::FeatureStore* feature_store() const {
+    return ext_features_ != nullptr ? ext_features_ : feat_store_.get();
+  }
 
  private:
   std::unique_ptr<sampling::VertexSampler> make_sampler(int instance) const;
@@ -189,8 +214,17 @@ class Trainer {
 
   graph::CsrGraph train_graph_;          // induced on the training split
   std::vector<graph::Vid> train_orig_;   // train-graph local → dataset id
-  tensor::Matrix train_features_;        // gathered once
+  tensor::Matrix train_features_;        // kept only for the fp32 view path
   tensor::Matrix train_labels_;
+
+  // Training-gather feature source: exactly one of these is active.
+  // ext_features_ is indexed by dataset ids (batch ids are translated
+  // through train_orig_); feat_store_ is indexed by train-local ids.
+  const data::FeatureStore* ext_features_ = nullptr;
+  std::unique_ptr<data::FeatureStore> feat_store_;
+  std::size_t in_dim_ = 0;
+  std::vector<std::uint32_t> batch_ids_;     // external-mode id scratch
+  std::vector<std::uint32_t> prefetch_ids_;  // mmap lookahead scratch
 
   std::unique_ptr<GcnModel> model_;
   std::unique_ptr<Adam> opt_;
@@ -204,6 +238,11 @@ class Trainer {
   tensor::Matrix eval_pred_;
   tensor::Matrix subset_pred_;
   tensor::Matrix subset_truth_;
+  // Hoisted evaluate() truth rows: the val/test label subsets are
+  // loop-invariant, so they are gathered once at construction instead of
+  // on every eval.
+  tensor::Matrix val_truth_;
+  tensor::Matrix test_truth_;
   InferenceScratch infer_scratch_;
 };
 

@@ -34,22 +34,21 @@ Reordering relabel(const CsrGraph& g, std::vector<Vid> new_to_old) {
 
 }  // namespace
 
-Reordering reorder_by_degree(const CsrGraph& g) {
+std::vector<Vid> degree_order(const CsrGraph& g) {
   const Vid n = g.num_vertices();
   std::vector<Vid> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](Vid a, Vid b) {
     return g.degree(a) > g.degree(b);
   });
-  return relabel(g, std::move(order));
+  return order;
 }
 
-Reordering reorder_by_bfs(const CsrGraph& g, Vid root) {
+std::vector<Vid> bfs_order(const CsrGraph& g, Vid root) {
   const Vid n = g.num_vertices();
   std::vector<Vid> order;
   order.reserve(n);
   std::vector<bool> seen(n, false);
-  std::vector<Vid> frontier;
   auto bfs_from = [&](Vid start) {
     seen[start] = true;
     order.push_back(start);
@@ -68,7 +67,15 @@ Reordering reorder_by_bfs(const CsrGraph& g, Vid root) {
   for (Vid v = 0; v < n; ++v) {
     if (!seen[v]) bfs_from(v);
   }
-  return relabel(g, std::move(order));
+  return order;
+}
+
+Reordering reorder_by_degree(const CsrGraph& g) {
+  return relabel(g, degree_order(g));
+}
+
+Reordering reorder_by_bfs(const CsrGraph& g, Vid root) {
+  return relabel(g, bfs_order(g, root));
 }
 
 }  // namespace gsgcn::graph

@@ -20,6 +20,16 @@ struct Reordering {
   std::vector<Vid> old_to_new;    // original id → new id
 };
 
+/// Vertex ids by descending degree (ties by original id, so
+/// deterministic). This is both the relabeling order below and the
+/// hot-vertex priority the feature store uses for cache residency: the
+/// highest-degree vertices are the rows a sampled gather touches most.
+std::vector<Vid> degree_order(const CsrGraph& g);
+
+/// Vertex ids in BFS order from `root` (RCM-lite); unreached components
+/// appended in id order. Same dual use as degree_order.
+std::vector<Vid> bfs_order(const CsrGraph& g, Vid root = 0);
+
 /// Relabel by descending degree (ties by original id, so deterministic).
 Reordering reorder_by_degree(const CsrGraph& g);
 

@@ -36,9 +36,15 @@ Work spmm_work(std::int64_t n_vertices, std::int64_t n_edges,
 }
 
 Work gather_work(std::int64_t rows, std::int64_t cols) {
+  return gather_work(rows, cols, 4.0);
+}
+
+Work gather_work(std::int64_t rows, std::int64_t cols,
+                 double read_bytes_per_value) {
   Work w;
   w.flops = 0.0;
-  w.bytes = 8.0 * static_cast<double>(rows) * static_cast<double>(cols);
+  w.bytes = (read_bytes_per_value + 4.0) * static_cast<double>(rows) *
+            static_cast<double>(cols);
   return w;
 }
 

@@ -43,6 +43,11 @@ Work gemm_work(std::int64_t m, std::int64_t k, std::int64_t n,
 Work spmm_work(std::int64_t n_vertices, std::int64_t n_edges,
                std::int64_t cols);
 Work gather_work(std::int64_t rows, std::int64_t cols);
+/// Feature-store variant: the source rows are stored compressed, so a
+/// gathered value reads `read_bytes_per_value` (4 fp32, 2 fp16/bf16,
+/// 1 int8) and writes 4 bytes of widened fp32.
+Work gather_work(std::int64_t rows, std::int64_t cols,
+                 double read_bytes_per_value);
 Work adam_work(std::int64_t params);
 
 /// Host description for report headers and bench baselines.

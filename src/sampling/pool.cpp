@@ -280,6 +280,12 @@ std::size_t SubgraphPool::available() const {
   return queue_.size();
 }
 
+std::vector<graph::Vid> SubgraphPool::peek_next_orig_ids() const {
+  util::MutexLock lock(mu_);
+  if (queue_.empty()) return {};
+  return queue_.front().orig_ids;
+}
+
 std::uint64_t SubgraphPool::consumed() const {
   util::MutexLock lock(mu_);
   return popped_;

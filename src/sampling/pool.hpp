@@ -123,6 +123,13 @@ class SubgraphPool {
   /// True while the producer thread is accepting work.
   bool async_running() const EXCLUDES(mu_);
 
+  /// Original-graph vertex ids of the oldest queued subgraph (the one the
+  /// next pop() returns), or empty when nothing is queued. This is the
+  /// lookahead hook for the feature store's mmap prefetch: the trainer
+  /// peeks the upcoming gather set and issues madvise hints while the
+  /// current subgraph trains. Purely advisory — peeking never consumes.
+  std::vector<graph::Vid> peek_next_orig_ids() const EXCLUDES(mu_);
+
   std::size_t available() const EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
   int p_inter() const { return static_cast<int>(samplers_.size()); }

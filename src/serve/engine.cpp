@@ -12,7 +12,7 @@
 namespace gsgcn::serve {
 
 InferenceEngine::InferenceEngine(const graph::CsrGraph& graph,
-                                 const tensor::Matrix& features)
+                                 const data::FeatureStore& features)
     : g_(graph),
       features_(features),
       inducer_(graph),
@@ -104,9 +104,8 @@ void InferenceEngine::run_batch(const ModelSnapshot& snap,
       batch_x_.cols() != features_.cols()) {
     batch_x_ = tensor::Matrix(closure_.size(), features_.cols());
   }
-  tensor::gather_rows(features_,
-                      std::span<const std::uint32_t>(closure_), batch_x_,
-                      threads);
+  features_.gather(std::span<const std::uint32_t>(closure_), batch_x_,
+                   threads);
   const tensor::Matrix& logits =
       gcn::infer_logits(snap.model, sub.graph, batch_x_, scratch_, threads);
 

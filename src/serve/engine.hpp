@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/feature_store.hpp"
 #include "gcn/inference.hpp"
 #include "graph/csr.hpp"
 #include "graph/subgraph.hpp"
@@ -35,8 +36,11 @@ namespace gsgcn::serve {
 
 class InferenceEngine {
  public:
+  /// `features` is the serving feature source — a zero-copy fp32 view or
+  /// a compressed store; the closure gather widens rows on the fly either
+  /// way. Must outlive the engine.
   InferenceEngine(const graph::CsrGraph& graph,
-                  const tensor::Matrix& features);
+                  const data::FeatureStore& features);
 
   /// Answer every ticket in `batch` against `snap`, appending one Response
   /// per ticket to `out` (in batch order). Per-ticket failures (vertex id
@@ -56,7 +60,7 @@ class InferenceEngine {
   graph::Vid closure_add(graph::Vid v);
 
   const graph::CsrGraph& g_;
-  const tensor::Matrix& features_;
+  const data::FeatureStore& features_;
   graph::Inducer inducer_;
   gcn::InferenceScratch scratch_;
   tensor::Matrix batch_x_;

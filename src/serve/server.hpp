@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "data/feature_store.hpp"
 #include "graph/csr.hpp"
 #include "serve/admission.hpp"
 #include "serve/protocol.hpp"
@@ -83,9 +84,15 @@ struct ServerStats {
 class Server {
  public:
   /// `store` must outlive the server; `graph`/`features` are the serving
-  /// graph (requests address its vertex ids).
+  /// graph (requests address its vertex ids). This overload wraps the
+  /// matrix in a zero-copy fp32 FeatureStore view.
   Server(SnapshotStore& store, const graph::CsrGraph& graph,
          const tensor::Matrix& features, ServerOptions options);
+
+  /// Serve from a compressed / mmap-backed feature store (must outlive
+  /// the server). Worker engines widen rows on the fly during gathers.
+  Server(SnapshotStore& store, const graph::CsrGraph& graph,
+         const data::FeatureStore& features, ServerOptions options);
   ~Server();
 
   Server(const Server&) = delete;
@@ -150,7 +157,10 @@ class Server {
 
   SnapshotStore& store_;
   const graph::CsrGraph& graph_;
-  const tensor::Matrix& features_;
+  // The legacy Matrix ctor materializes owned_view_ and points features_
+  // at it; the FeatureStore ctor points at the caller's store directly.
+  data::FeatureStore owned_view_;
+  const data::FeatureStore* features_;
   const ServerOptions opts_;
 
   AdmissionQueue queue_;

@@ -1,0 +1,385 @@
+#include "tensor/codec.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#if defined(GSGCN_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace gsgcn::tensor::codec {
+
+bool f16c_available() {
+#if defined(GSGCN_F16C)
+  static const bool ok = __builtin_cpu_supports("f16c");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+inline std::uint32_t f32_bits(float x) {
+  std::uint32_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+inline float bits_f32(std::uint32_t u) {
+  float x;
+  std::memcpy(&x, &u, sizeof(x));
+  return x;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scalar element conversions.
+// ---------------------------------------------------------------------------
+
+float f16_to_f32(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  const std::uint32_t man = h & 0x03FFu;
+  if (exp == 31u) {  // inf / NaN
+    // NaN payloads carry over shifted, and the quiet bit is forced on:
+    // F16C's vcvtph2ps silences signaling NaNs, and the scalar path must
+    // produce the same bits (caught by the exhaustive codec test).
+    const std::uint32_t quiet = man != 0u ? 0x00400000u : 0u;
+    return bits_f32(sign | 0x7F800000u | quiet | (man << 13));
+  }
+  if (exp != 0u) {  // normal: rebias 15 → 127
+    return bits_f32(sign | ((exp + 112u) << 23) | (man << 13));
+  }
+  if (man == 0u) {  // ±0
+    return bits_f32(sign);
+  }
+  // Subnormal half: renormalize the mantissa into an f32 normal. Every
+  // half subnormal is exactly representable in f32, so this is lossless.
+  std::uint32_t m = man << 13;
+  std::uint32_t e = 113u;  // exponent of the smallest normal half, biased
+  while ((m & 0x00800000u) == 0u) {
+    m <<= 1;
+    --e;
+  }
+  return bits_f32(sign | (e << 23) | (m & 0x007FFFFFu));
+}
+
+std::uint16_t f32_to_f16(float x) {
+  const std::uint32_t u = f32_bits(x);
+  const std::uint32_t sign = (u >> 16) & 0x8000u;
+  std::uint32_t abs = u & 0x7FFFFFFFu;
+  if (abs >= 0x7F800000u) {  // inf / NaN (quiet the NaN, keep payload bits)
+    const std::uint32_t nan =
+        abs > 0x7F800000u ? (0x0200u | ((abs >> 13) & 0x03FFu)) : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | nan);
+  }
+  if (abs >= 0x38800000u) {  // maps to a normal half (before rounding)
+    // Round-to-nearest-even on the 13 bits being dropped; a mantissa
+    // carry propagates into the exponent by ordinary integer overflow.
+    abs += 0x00000FFFu + ((abs >> 13) & 1u);
+    const std::int32_t e = static_cast<std::int32_t>(abs >> 23) - 112;
+    if (e >= 31) return static_cast<std::uint16_t>(sign | 0x7C00u);  // → inf
+    return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(e)
+                                              << 10) |
+                                      ((abs >> 13) & 0x03FFu));
+  }
+  if (abs <= 0x33000000u) {  // ≤ 2^-25: underflows to ±0 (tie-to-even at =)
+    return static_cast<std::uint16_t>(sign);
+  }
+  // Subnormal half: shift the 24-bit significand down to the 2^-24 grid
+  // with round-to-nearest-even. A round-up out of the top is exactly the
+  // smallest normal half and the carry lands in the exponent field.
+  const std::uint32_t sig = (abs & 0x007FFFFFu) | 0x00800000u;
+  const std::uint32_t shift = 126u - (abs >> 23);  // in [14, 24]
+  const std::uint32_t half = 1u << (shift - 1);
+  const std::uint32_t rem = sig & ((1u << shift) - 1u);
+  std::uint32_t q = sig >> shift;
+  if (rem > half || (rem == half && (q & 1u) != 0u)) ++q;
+  return static_cast<std::uint16_t>(sign | q);
+}
+
+float bf16_to_f32(std::uint16_t b) {
+  return bits_f32(static_cast<std::uint32_t>(b) << 16);
+}
+
+std::uint16_t f32_to_bf16(float x) {
+  const std::uint32_t u = f32_bits(x);
+  if ((u & 0x7FFFFFFFu) > 0x7F800000u) {  // NaN: keep it a NaN after truncation
+    return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+  }
+  // Round-to-nearest-even into the top 16 bits; carry may bump the
+  // exponent (overflow to inf is the correct RNE result there).
+  const std::uint32_t rounded = u + 0x7FFFu + ((u >> 16) & 1u);
+  return static_cast<std::uint16_t>(rounded >> 16);
+}
+
+// ---------------------------------------------------------------------------
+// Row kernels. Each has one scalar body; the dispatched entry points add
+// the SIMD fast path where the ISA allows and fall through to the scalar
+// body for the tail and on older hardware.
+// ---------------------------------------------------------------------------
+
+void widen_f16_row_scalar(const std::uint16_t* in, float* out,
+                          std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = f16_to_f32(in[j]);
+}
+
+void widen_f16_row(const std::uint16_t* in, float* out, std::size_t n) {
+#if defined(GSGCN_F16C)
+  if (f16c_available()) {
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m128i h =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + j));
+      _mm256_storeu_ps(out + j, _mm256_cvtph_ps(h));
+    }
+    widen_f16_row_scalar(in + j, out + j, n - j);
+    return;
+  }
+#endif
+  widen_f16_row_scalar(in, out, n);
+}
+
+void widen_bf16_row_scalar(const std::uint16_t* in, float* out,
+                           std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = bf16_to_f32(in[j]);
+}
+
+void widen_bf16_row(const std::uint16_t* in, float* out, std::size_t n) {
+#if defined(GSGCN_AVX2)
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + j));
+    const __m256i w = _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16);
+    _mm256_storeu_ps(out + j, _mm256_castsi256_ps(w));
+  }
+  widen_bf16_row_scalar(in + j, out + j, n - j);
+#else
+  widen_bf16_row_scalar(in, out, n);
+#endif
+}
+
+void widen_i8_row_scalar(const std::int8_t* in, const float* scale,
+                         const float* bias, float* out, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    // std::fma rounds once, exactly like the AVX2 vfmadd lane below.
+    out[j] = std::fma(static_cast<float>(in[j]), scale[j], bias[j]);
+  }
+}
+
+void widen_i8_row(const std::int8_t* in, const float* scale,
+                  const float* bias, float* out, std::size_t n) {
+#if defined(GSGCN_AVX2)
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m128i q8 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + j));
+    const __m256 q = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q8));
+    const __m256 s = _mm256_loadu_ps(scale + j);
+    const __m256 b = _mm256_loadu_ps(bias + j);
+    _mm256_storeu_ps(out + j, _mm256_fmadd_ps(q, s, b));
+  }
+  widen_i8_row_scalar(in + j, scale + j, bias + j, out + j, n - j);
+#else
+  widen_i8_row_scalar(in, scale, bias, out, n);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Batched gather-decode kernels. The prefetch lookahead is a pure hint —
+// any distance (or none) produces the same bytes; kPrefetchRows trades
+// DRAM-latency overlap against cache pressure from rows not yet needed.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Lookahead targets a constant number of cache lines in flight rather
+// than a constant number of rows: the core only sustains ~10-16
+// outstanding line fills, so a narrow int8 row (1 line) wants a deeper
+// row lookahead than a wide fp32 row (4 lines) to fill the same window.
+constexpr std::size_t kPrefetchLines = 64;
+
+inline std::size_t prefetch_distance(std::size_t stride) {
+  const std::size_t lines = (stride + 63) / 64;
+  const std::size_t rows = kPrefetchLines / (lines == 0 ? 1 : lines);
+  return rows < 8 ? 8 : rows > 32 ? 32 : rows;
+}
+
+inline void prefetch_row(const std::uint8_t* payload, std::size_t stride,
+                         const std::uint32_t* idx, std::size_t nrows,
+                         std::size_t i, std::size_t dist) {
+  const std::size_t pf = i + dist;
+  if (pf >= nrows) return;
+  const std::uint8_t* src = payload + static_cast<std::size_t>(idx[pf]) * stride;
+  for (std::size_t b = 0; b < stride; b += 64) {
+    __builtin_prefetch(src + b, 0, 3);
+  }
+}
+
+}  // namespace
+
+void gather_f32_rows(const std::uint8_t* payload, std::size_t stride,
+                     const std::uint32_t* idx, std::size_t nrows,
+                     std::size_t cols, float* out) {
+  const std::size_t dist = prefetch_distance(stride);
+  for (std::size_t i = 0; i < nrows; ++i) {
+    prefetch_row(payload, stride, idx, nrows, i, dist);
+    const auto* src = reinterpret_cast<const float*>(
+        payload + static_cast<std::size_t>(idx[i]) * stride);
+    float* dst = out + i * cols;
+#if defined(GSGCN_AVX2)
+    // Inline wide copy: libc memcpy's size dispatch costs real time at
+    // a few hundred bytes per row.
+    std::size_t j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      _mm256_storeu_ps(dst + j, _mm256_loadu_ps(src + j));
+    }
+    for (; j < cols; ++j) dst[j] = src[j];
+#else
+    std::memcpy(dst, src, cols * sizeof(float));
+#endif
+  }
+}
+
+void gather_f16_rows(const std::uint8_t* payload, std::size_t stride,
+                     const std::uint32_t* idx, std::size_t nrows,
+                     std::size_t cols, float* out) {
+  const std::size_t dist = prefetch_distance(stride);
+#if defined(GSGCN_F16C)
+  // Hoist the f16c dispatch check and the per-row call out of the loop
+  // for the common 64-wide rows; vcvtph2ps lane-for-lane matches the
+  // widen_f16_row vector body, so the bits are identical.
+  if (cols == 64 && f16c_available()) {
+    for (std::size_t i = 0; i < nrows; ++i) {
+      prefetch_row(payload, stride, idx, nrows, i, dist);
+      const auto* src = reinterpret_cast<const std::uint16_t*>(
+          payload + static_cast<std::size_t>(idx[i]) * stride);
+      float* dst = out + i * 64;
+      for (int k = 0; k < 8; ++k) {
+        const __m128i h =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 8 * k));
+        _mm256_storeu_ps(dst + 8 * k, _mm256_cvtph_ps(h));
+      }
+    }
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < nrows; ++i) {
+    prefetch_row(payload, stride, idx, nrows, i, dist);
+    widen_f16_row(reinterpret_cast<const std::uint16_t*>(
+                      payload + static_cast<std::size_t>(idx[i]) * stride),
+                  out + i * cols, cols);
+  }
+}
+
+void gather_bf16_rows(const std::uint8_t* payload, std::size_t stride,
+                      const std::uint32_t* idx, std::size_t nrows,
+                      std::size_t cols, float* out) {
+  const std::size_t dist = prefetch_distance(stride);
+#if defined(GSGCN_AVX2)
+  if (cols == 64) {  // same shift-widen as widen_bf16_row, call hoisted
+    for (std::size_t i = 0; i < nrows; ++i) {
+      prefetch_row(payload, stride, idx, nrows, i, dist);
+      const auto* src = reinterpret_cast<const std::uint16_t*>(
+          payload + static_cast<std::size_t>(idx[i]) * stride);
+      float* dst = out + i * 64;
+      for (int k = 0; k < 8; ++k) {
+        const __m128i h =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 8 * k));
+        const __m256i w = _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16);
+        _mm256_storeu_ps(dst + 8 * k, _mm256_castsi256_ps(w));
+      }
+    }
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < nrows; ++i) {
+    prefetch_row(payload, stride, idx, nrows, i, dist);
+    widen_bf16_row(reinterpret_cast<const std::uint16_t*>(
+                       payload + static_cast<std::size_t>(idx[i]) * stride),
+                   out + i * cols, cols);
+  }
+}
+
+void gather_i8_rows(const std::uint8_t* payload, std::size_t stride,
+                    const std::uint32_t* idx, std::size_t nrows,
+                    const float* scale, const float* bias, std::size_t cols,
+                    float* out) {
+  const std::size_t dist = prefetch_distance(stride);
+#if defined(GSGCN_AVX2)
+  if (cols == 64) {
+    // Register-hoisted fast path for the common 64-wide feature rows:
+    // the eight scale and eight bias vectors live in YMM registers for
+    // the whole batch instead of being reloaded per row. Same fma per
+    // element as the generic path, so the bits are identical.
+    __m256 s[8], b[8];
+    for (int k = 0; k < 8; ++k) {
+      s[k] = _mm256_loadu_ps(scale + 8 * k);
+      b[k] = _mm256_loadu_ps(bias + 8 * k);
+    }
+    for (std::size_t i = 0; i < nrows; ++i) {
+      prefetch_row(payload, stride, idx, nrows, i, dist);
+      const auto* src = reinterpret_cast<const std::int8_t*>(
+          payload + static_cast<std::size_t>(idx[i]) * stride);
+      float* dst = out + i * 64;
+      for (int k = 0; k < 8; ++k) {
+        const __m128i q8 =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + 8 * k));
+        const __m256 q = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q8));
+        _mm256_storeu_ps(dst + 8 * k, _mm256_fmadd_ps(q, s[k], b[k]));
+      }
+    }
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < nrows; ++i) {
+    prefetch_row(payload, stride, idx, nrows, i, dist);
+    widen_i8_row(reinterpret_cast<const std::int8_t*>(
+                     payload + static_cast<std::size_t>(idx[i]) * stride),
+                 scale, bias, out + i * cols, cols);
+  }
+}
+
+void narrow_f16_row_scalar(const float* in, std::uint16_t* out,
+                           std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = f32_to_f16(in[j]);
+}
+
+void narrow_f16_row(const float* in, std::uint16_t* out, std::size_t n) {
+#if defined(GSGCN_F16C)
+  if (f16c_available()) {
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m128i h = _mm256_cvtps_ph(_mm256_loadu_ps(in + j),
+                                        _MM_FROUND_TO_NEAREST_INT |
+                                            _MM_FROUND_NO_EXC);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + j), h);
+    }
+    narrow_f16_row_scalar(in + j, out + j, n - j);
+    return;
+  }
+#endif
+  narrow_f16_row_scalar(in, out, n);
+}
+
+void narrow_bf16_row(const float* in, std::uint16_t* out, std::size_t n) {
+  // Encode runs once per dataset build — the scalar RNE body is plenty.
+  for (std::size_t j = 0; j < n; ++j) out[j] = f32_to_bf16(in[j]);
+}
+
+void quantize_i8_row(const float* in, const float* scale, const float* zp,
+                     std::int8_t* out, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    // lrintf honors the default FP environment (round-to-nearest-even),
+    // so quantization is deterministic across hosts/threading.
+    long q = std::lrintf(in[j] / scale[j]) + static_cast<long>(zp[j]);
+    if (q < -128) q = -128;
+    if (q > 127) q = 127;
+    out[j] = static_cast<std::int8_t>(q);
+  }
+}
+
+}  // namespace gsgcn::tensor::codec

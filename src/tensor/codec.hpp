@@ -1,0 +1,91 @@
+#pragma once
+// Compressed feature codecs: fp16 / bf16 / int8 ⇄ fp32 row kernels.
+//
+// The feature store (src/data/feature_store.*) keeps vertex features in a
+// narrow on-disk/in-RAM encoding and widens rows to fp32 *inside* the
+// gather pass — the decompressed matrix never exists. These kernels are
+// the per-row building blocks:
+//
+//   fp16  IEEE 754 binary16. Widening is exact; narrowing rounds to
+//         nearest-even, matching F16C `vcvtps2ph` with MXCSR defaults.
+//         The vector path uses F16C (`vcvtph2ps`) behind a runtime
+//         `__builtin_cpu_supports("f16c")` check; the scalar fallback is
+//         bit-identical, so results never depend on the dispatch.
+//   bf16  Top 16 bits of a float, round-to-nearest-even on narrowing.
+//         Widening is a 16-bit shift — exact on every path.
+//   int8  Affine per-column quantization q = round(x/scale) + zp with
+//         dequant out = fma(float(q), scale, bias), bias = -zp*scale.
+//         Both the AVX2 path (vfmadd) and the scalar path (std::fma)
+//         round once, so they agree bit-for-bit.
+//
+// Determinism contract: for a fixed encoded payload, every widen_* kernel
+// produces identical bytes regardless of ISA path, thread count, or call
+// slicing. The *_scalar variants are exposed so tests can assert the
+// SIMD paths match on hardware that has them.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gsgcn::tensor::codec {
+
+/// True when the CPU (and build) support F16C half↔float conversion.
+/// Cheap after the first call; safe to call from any thread.
+bool f16c_available();
+
+// --- scalar element conversions (exact / RNE; reference semantics) ------
+float f16_to_f32(std::uint16_t h);
+std::uint16_t f32_to_f16(float x);
+float bf16_to_f32(std::uint16_t b);
+std::uint16_t f32_to_bf16(float x);
+
+// --- row widen kernels (decode: narrow payload → fp32 out) --------------
+void widen_f16_row(const std::uint16_t* in, float* out, std::size_t n);
+void widen_bf16_row(const std::uint16_t* in, float* out, std::size_t n);
+/// out[j] = fma(float(in[j]), scale[j], bias[j]); scale/bias are
+/// per-column arrays of length n (the caller passes the column slice that
+/// matches this row's columns).
+void widen_i8_row(const std::int8_t* in, const float* scale,
+                  const float* bias, float* out, std::size_t n);
+
+// --- batched gather-decode kernels --------------------------------------
+// Decode payload rows idx[0..nrows) into consecutive fp32 output rows:
+//   out + i*cols  =  widen(payload + idx[i]*stride)   (stride in bytes)
+// One call per gather chunk keeps the codec switch, the dequant-parameter
+// loads, and the software prefetch (rows idx[i+k] are pulled toward the
+// core while row idx[i] decodes — gathered rows land at uncorrelated
+// addresses, so without the hint every row stalls on a fresh DRAM miss)
+// out of the per-row path. Elementwise conversions only — results are
+// bit-identical to calling the matching widen_*_row per row.
+void gather_f32_rows(const std::uint8_t* payload, std::size_t stride,
+                     const std::uint32_t* idx, std::size_t nrows,
+                     std::size_t cols, float* out);
+void gather_f16_rows(const std::uint8_t* payload, std::size_t stride,
+                     const std::uint32_t* idx, std::size_t nrows,
+                     std::size_t cols, float* out);
+void gather_bf16_rows(const std::uint8_t* payload, std::size_t stride,
+                      const std::uint32_t* idx, std::size_t nrows,
+                      std::size_t cols, float* out);
+void gather_i8_rows(const std::uint8_t* payload, std::size_t stride,
+                    const std::uint32_t* idx, std::size_t nrows,
+                    const float* scale, const float* bias, std::size_t cols,
+                    float* out);
+
+// --- row narrow kernels (encode: fp32 → payload) ------------------------
+void narrow_f16_row(const float* in, std::uint16_t* out, std::size_t n);
+void narrow_bf16_row(const float* in, std::uint16_t* out, std::size_t n);
+/// out[j] = clamp(round(in[j] / scale[j]) + zp[j], -128, 127). zp is
+/// carried as float (always an integral value) so dequant can fuse it
+/// into a single fma bias.
+void quantize_i8_row(const float* in, const float* scale, const float* zp,
+                     std::int8_t* out, std::size_t n);
+
+// --- scalar reference paths ---------------------------------------------
+// Same contracts as above, forced onto the scalar implementation. Tests
+// compare these against the dispatched kernels to prove bit-identity.
+void widen_f16_row_scalar(const std::uint16_t* in, float* out, std::size_t n);
+void widen_bf16_row_scalar(const std::uint16_t* in, float* out, std::size_t n);
+void widen_i8_row_scalar(const std::int8_t* in, const float* scale,
+                         const float* bias, float* out, std::size_t n);
+void narrow_f16_row_scalar(const float* in, std::uint16_t* out, std::size_t n);
+
+}  // namespace gsgcn::tensor::codec

@@ -111,15 +111,20 @@ void gather_rows(const Matrix& src, std::span<const std::uint32_t> indices,
     throw std::invalid_argument("gather_rows: shape mismatch");
   }
   const std::size_t n = indices.size();
+  // Validate before entering the parallel region — a throw cannot cross
+  // that boundary, and the serial pre-scan costs one cached pass over the
+  // index list next to n full row copies.
+  for (std::size_t r = 0; r < n; ++r) {
+    if (indices[r] >= src.rows()) {
+      throw std::out_of_range(
+          "gather_rows: index " + std::to_string(indices[r]) +
+          " at position " + std::to_string(r) + " out of range (src has " +
+          std::to_string(src.rows()) + " rows)");
+    }
+  }
   util::parallel_for(static_cast<std::int64_t>(n), threads,
                      [&src, indices, &out](std::int64_t i) {
                        const auto r = static_cast<std::size_t>(i);
-                       if (indices[r] >= src.rows()) {
-                         // Inside a parallel region we cannot throw across
-                         // the boundary; abort via a trap — this indicates
-                         // a programming error upstream.
-                         std::abort();
-                       }
                        std::memcpy(out.row(r), src.row(indices[r]),
                                    src.cols() * sizeof(float));
                      });

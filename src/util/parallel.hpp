@@ -161,11 +161,11 @@ class ExceptionCollector {
 template <class F>
 void parallel_region(int threads, F&& body) {
   const int p = resolve_threads(threads);
-#ifdef GSGCN_THREAD_BACKEND
-  if (p <= 1) {
+  if (p <= 1) {  // skip fork/join entirely — a 1-thread region is overhead
     body(0, 1);
     return;
   }
+#ifdef GSGCN_THREAD_BACKEND
   std::vector<std::thread> team;
   team.reserve(static_cast<std::size_t>(p) - 1);
   for (int t = 1; t < p; ++t) {
@@ -185,6 +185,10 @@ void parallel_for(std::int64_t n, int threads, F&& body) {
   if (n <= 0) return;
   int p = resolve_threads(threads);
   if (static_cast<std::int64_t>(p) > n) p = static_cast<int>(n);
+  if (p <= 1) {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
 #ifdef GSGCN_THREAD_BACKEND
   parallel_region(p, [&body, n](int tid, int nt) {
     const Range r = split_range(n, nt, tid);
@@ -222,6 +226,10 @@ void parallel_for_dynamic(std::int64_t n, int threads, F&& body) {
   if (n <= 0) return;
   int p = resolve_threads(threads);
   if (static_cast<std::int64_t>(p) > n) p = static_cast<int>(n);
+  if (p <= 1) {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
 #ifdef GSGCN_THREAD_BACKEND
   std::atomic<std::int64_t> next{0};
   parallel_region(p, [&body, &next, n](int, int) {

@@ -1,0 +1,31 @@
+// Golden fixture: mutex-guards check MUST flag `mu_` — a mutex member
+// declared with zero thread-safety annotations naming it. Nothing in the
+// class records what `mu_` protects, so Clang's -Wthread-safety pass has
+// no capability graph to verify and every lock/unlock is unchecked. This
+// is the shape the check exists to catch: a mutex added "for safety"
+// whose protected state silently drifts out from under it.
+#include <cstdint>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace gsgcn {
+
+class SilentCounter {
+ public:
+  void bump() {
+    util::MutexLock lock(&mu_);
+    ++count_;
+  }
+
+  std::uint64_t value() const {
+    util::MutexLock lock(&mu_);
+    return count_;
+  }
+
+ private:
+  mutable util::Mutex mu_;  // FINDING: never named by any annotation
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace gsgcn

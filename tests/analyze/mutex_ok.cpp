@@ -1,0 +1,43 @@
+// Golden fixture: mutex-guards check must stay quiet here. Three blessed
+// shapes: a mutex wired into the capability graph via GUARDED_BY, one
+// referenced only through method-level EXCLUDES/REQUIRES annotations
+// (state guarded indirectly), and one carrying the documented
+// `// unguarded-ok:` escape hatch for mutexes handed to external waiters
+// where annotations cannot express the protocol.
+#include <cstdint>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace gsgcn {
+
+class GuardedCounter {
+ public:
+  void bump() {
+    util::MutexLock lock(&mu_);
+    ++count_;
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  std::uint64_t count_ GUARDED_BY(mu_) = 0;
+};
+
+class MethodAnnotated {
+ public:
+  void refill() EXCLUDES(mu_);
+  void push_locked() REQUIRES(mu_);
+
+ private:
+  util::Mutex mu_;
+};
+
+class HandoffMutex {
+ private:
+  // The mutex pairs with a condition variable owned by callers; the
+  // protected state lives outside this class, so there is nothing local
+  // to annotate.
+  util::Mutex mu_;  // unguarded-ok: paired with caller-owned condvar
+};
+
+}  // namespace gsgcn

@@ -400,6 +400,7 @@ class ServeEngineTest : public ::testing::Test {
     mc.num_layers = 2;
     mc.seed = 11;
     snap_ = std::make_shared<const ModelSnapshot>(7, 1, gcn::GcnModel(mc));
+    fstore_ = data::FeatureStore::view(ds_.features);
   }
 
   Ticket infer_ticket(std::vector<graph::Vid> vertices, std::uint64_t id) {
@@ -413,6 +414,8 @@ class ServeEngineTest : public ::testing::Test {
 
   data::Dataset ds_;
   std::shared_ptr<const ModelSnapshot> snap_;
+  // Zero-copy fp32 store over ds_.features (set up after ds_ in SetUp).
+  data::FeatureStore fstore_;
 };
 
 TEST_F(ServeEngineTest, ClosureInferenceMatchesFullGraph) {
@@ -420,7 +423,7 @@ TEST_F(ServeEngineTest, ClosureInferenceMatchesFullGraph) {
   const tensor::Matrix& full = gcn::infer_logits(
       snap_->model, ds_.graph, ds_.features, scratch, /*threads=*/1);
 
-  InferenceEngine engine(ds_.graph, ds_.features);
+  InferenceEngine engine(ds_.graph, fstore_);
   std::vector<Ticket> batch;
   batch.push_back(infer_ticket({0, 17, 123}, 1));
   batch.push_back(infer_ticket({250, 17}, 2));  // overlap with batch[0]
@@ -450,7 +453,7 @@ TEST_F(ServeEngineTest, ClosureInferenceMatchesFullGraph) {
 }
 
 TEST_F(ServeEngineTest, BadVertexFailsThatTicketOnly) {
-  InferenceEngine engine(ds_.graph, ds_.features);
+  InferenceEngine engine(ds_.graph, fstore_);
   std::vector<Ticket> batch;
   batch.push_back(infer_ticket({5, ds_.graph.num_vertices()}, 1));  // bad
   batch.push_back(infer_ticket({5}, 2));                            // good
@@ -469,7 +472,7 @@ TEST_F(ServeEngineTest, InjectedFaultPropagatesForInternalErrorMapping) {
   util::FaultInjector::instance().clear();
   util::FaultInjector::instance().arm("serve.infer", 1,
                                       util::FaultKind::kThrow);
-  InferenceEngine engine(ds_.graph, ds_.features);
+  InferenceEngine engine(ds_.graph, fstore_);
   std::vector<Ticket> batch;
   batch.push_back(infer_ticket({1}, 1));
   std::vector<Response> out;
